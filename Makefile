@@ -1,0 +1,30 @@
+# Convenience targets for the VLSA reproduction.
+
+PY ?= python
+
+.PHONY: install test bench bench-quick examples experiments clean
+
+install:
+	pip install -e .
+
+test:
+	$(PY) -m pytest tests/
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+bench-quick:
+	REPRO_FIG8_WIDTHS=64,128 REPRO_FIG4_WIDTHS=64 REPRO_ERR_WIDTHS=64 \
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	for e in quickstart crypto_attack vlsa_pipeline design_space \
+	         speculative_multiplier formal_verification; do \
+	    $(PY) examples/$$e.py || exit 1; done
+
+experiments:
+	$(PY) -m repro all
+
+clean:
+	rm -rf results rtl_out .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

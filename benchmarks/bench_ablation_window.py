@@ -1,0 +1,31 @@
+"""Experiment ABL — window-size ablation at 1024 bits: the
+accuracy/delay/area trade-off behind the paper's 99.99 % design point."""
+
+from repro import experiments as ex
+from repro.circuit import UMC180, analyze_timing
+from repro.core import build_vlsa_datapath
+
+
+def test_vlsa_datapath_kernel(benchmark):
+    circuit = build_vlsa_datapath(256)
+    benchmark(analyze_timing, circuit, UMC180)
+
+
+def test_window_sweep(report, benchmark):
+    table = benchmark.pedantic(ex.window_sweep, kwargs={"width": 1024},
+                               rounds=1, iterations=1)
+    report("ablation_window.txt", table.render())
+    rows = [(int(r[0]), float(r[1]), float(r[3]), float(r[5]))
+            for r in table.rows]
+    # Error probability falls monotonically with window size ...
+    p_errs = [p for _, p, _, _ in rows]
+    assert p_errs == sorted(p_errs, reverse=True)
+    # ... while ACA delay rises (log-like) with window size.
+    delays = [d for _, _, d, _ in rows]
+    assert delays == sorted(delays)
+    # The paper's design point (99.99% window) maximises the average
+    # VLSA speedup within a few percent across this sweep.
+    from repro.analysis import choose_window
+    by_window = {w: s for w, _, _, s in rows}
+    w_star = choose_window(1024)
+    assert by_window[w_star] >= 0.9 * max(by_window.values())

@@ -1,0 +1,56 @@
+"""Supporting bench (paper Section 2 "state of the art"): delay/area of
+every baseline architecture at 256 bits, and the DesignWare-proxy pick."""
+
+import pytest
+
+from repro.adders import ADDER_BUILDERS, build_adder, evaluate_candidates
+from repro.circuit import UMC180, analyze_area, analyze_timing
+from repro.reporting import Table
+
+_BENCH_NAMES = ["ripple", "cla", "carry_select", "sklansky", "kogge_stone",
+                "brent_kung", "han_carlson"]
+
+
+@pytest.mark.parametrize("name", _BENCH_NAMES)
+def test_build_adder_kernel(benchmark, name):
+    benchmark(build_adder, name, 256)
+
+
+def test_baseline_comparison(report, benchmark):
+    table = Table("Baseline adders at 256 bits (umc180)",
+                  ["architecture", "delay [ns]", "area", "gates", "depth"])
+    def characterise():
+        out = []
+        for name in sorted(ADDER_BUILDERS):
+            c = build_adder(name, 256)
+            delay = analyze_timing(c, UMC180).critical_delay
+            area = analyze_area(c, UMC180).total
+            out.append((name, delay, area, c.gate_count(), c.logic_depth()))
+        return out
+
+    rows = benchmark.pedantic(characterise, rounds=1, iterations=1)
+    for name, delay, area, gates, depth in sorted(rows, key=lambda r: r[1]):
+        table.add_row(name, round(delay, 3), round(area, 0), gates, depth)
+    report("baseline_adders.txt", table.render())
+
+    by_name = {r[0]: r for r in rows}
+    # Classical facts: ripple is the smallest and the slowest of the
+    # non-skip architectures (the skip adders' bypass is a false path
+    # that purely-topological STA cannot credit, so they report even
+    # slower); prefix adders are the fastest.
+    non_skip = [r for r in rows if "skip" not in r[0]]
+    assert by_name["ripple"][1] == max(r[1] for r in non_skip)
+    assert by_name["ripple"][2] == min(r[2] for r in rows)
+    assert by_name["kogge_stone"][4] <= by_name["brent_kung"][4]
+    assert min(r[1] for r in rows) < by_name["ripple"][1] / 10
+
+
+def test_designware_proxy_selection(report, benchmark):
+    results = benchmark.pedantic(evaluate_candidates, args=(512, UMC180),
+                                 rounds=1, iterations=1)
+    table = Table("DesignWare-proxy candidate ranking at 512 bits",
+                  ["rank", "architecture", "delay [ns]", "area"])
+    for i, r in enumerate(results, 1):
+        table.add_row(i, r.name, round(r.delay, 3), round(r.area, 0))
+    report("designware_ranking.txt", table.render())
+    assert results[0].delay <= results[-1].delay

@@ -1,0 +1,37 @@
+"""Experiment APP — Section 1's ciphertext-only attack, with exact vs
+speculative decryption arithmetic."""
+
+import pytest
+
+from repro import experiments as ex
+from repro.apps import ArxCipher, aca_adder, exact_adder, sample_corpus
+
+_PLAIN = sample_corpus(2048, seed=5)
+_CIPHER = ArxCipher(0x2B)
+_CT = _CIPHER.encrypt_bytes(_PLAIN)
+
+
+def test_decrypt_exact_kernel(benchmark):
+    plain = benchmark(_CIPHER.decrypt_bytes, _CT, exact_adder)
+    assert plain == _PLAIN
+
+
+def test_decrypt_aca_kernel(benchmark):
+    approx = aca_adder(12)
+    plain = benchmark(_CIPHER.decrypt_bytes, _CT, approx)
+    # Most blocks still decrypt correctly.
+    same = sum(plain[i:i + 8] == _PLAIN[i:i + 8]
+               for i in range(0, len(_PLAIN), 8))
+    assert same > (len(_PLAIN) // 8) * 0.8
+
+
+def test_attack_outcome(report, benchmark):
+    table = benchmark.pedantic(
+        ex.crypto_attack_experiment,
+        kwargs={"corpus_bytes": 4096, "key_bits": 8, "window": 8,
+                "seed": 7}, rounds=1, iterations=1)
+    report("crypto_attack.txt", table.render())
+    assert table.rows[0][1] == "1"  # exact recovers the key
+    assert table.rows[1][1] == "1"  # ACA recovers it too
+    assert int(table.rows[1][2]) > 0  # despite wrong blocks
+    assert float(table.rows[1][-1]) > 1.5  # at ~2x arithmetic speed

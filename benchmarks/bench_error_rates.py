@@ -1,0 +1,34 @@
+"""Experiment ERR — error probabilities: exact DP, detector bound,
+Monte Carlo cross-check (supports Sections 3.1/4.3)."""
+
+from conftest import env_widths
+from repro import experiments as ex
+from repro.analysis import aca_error_probability, choose_window
+from repro.mc import sample_error_rate
+
+WIDTHS = env_widths("REPRO_ERR_WIDTHS", (64, 128, 256, 512, 1024))
+
+
+def test_exact_dp_kernel(benchmark):
+    p = benchmark(aca_error_probability, 2048, 24)
+    assert 0 < p < 1e-4
+
+
+def test_monte_carlo_kernel(benchmark):
+    rate = benchmark(sample_error_rate, 64, 8, 2000, 0)
+    assert 0 <= rate < 0.2
+
+
+def test_error_rate_table(report, benchmark):
+    table = benchmark.pedantic(ex.error_rate_table,
+                               kwargs={"bitwidths": WIDTHS,
+                                       "samples": 20000},
+                               rounds=1, iterations=1)
+    report("error_rates.txt", table.render())
+    for row in table.rows:
+        n, w = int(row[0]), int(row[1])
+        assert w == choose_window(n)
+        p_err, p_flag = float(row[2]), float(row[3])
+        assert p_err <= p_flag <= 1e-4
+        latency = float(row[5])
+        assert latency < 1.0002  # the paper's average-latency claim

@@ -1,0 +1,25 @@
+"""Experiment FLT — stuck-at fault study: the VLSA error flag is not a
+manufacturing-fault detector (contrast with the Razor-style work the
+paper cites in Section 2)."""
+
+from repro import experiments as ex
+from repro.circuit import fault_coverage
+from repro.core import build_vlsa_datapath
+
+
+def test_fault_simulation_kernel(benchmark):
+    circuit = build_vlsa_datapath(8, 3)
+    report = benchmark(fault_coverage, circuit, 64)
+    assert 0.0 < report.coverage <= 1.0
+
+
+def test_fault_table(report, benchmark):
+    table = benchmark.pedantic(ex.fault_table,
+                               kwargs={"width": 12, "window": 4,
+                                       "vectors": 256},
+                               rounds=1, iterations=1)
+    report("fault_study.txt", table.render())
+    cov = {row[0]: float(row[3]) for row in table.rows}
+    assert cov["err flag only"] < cov["sum_exact only"]
+    assert cov["all outputs"] >= cov["sum_exact only"]
+    assert cov["all outputs"] > 0.9

@@ -1,0 +1,33 @@
+"""Experiment F3/F4 — the shared-strip construction versus naive
+per-window small adders: area and fanout (paper Section 3.2)."""
+
+from conftest import env_widths
+from repro import experiments as ex
+from repro.core import build_aca, naive_aca_window_products
+
+WIDTHS = env_widths("REPRO_FIG4_WIDTHS", (64, 128, 256, 512))
+
+
+def test_shared_construction_kernel(benchmark):
+    benchmark(build_aca, 512, 22)
+
+
+def test_naive_construction_kernel(benchmark):
+    benchmark(naive_aca_window_products, 512, 22)
+
+
+def test_sharing_ablation(report, benchmark):
+    table = benchmark.pedantic(ex.sharing_ablation,
+                               kwargs={"bitwidths": WIDTHS},
+                               rounds=1, iterations=1)
+    report("fig4_sharing.txt", table.render())
+    for row in table.rows:
+        n = int(row[0])
+        ratio = float(row[4])
+        naive_fanout = int(row[8])
+        shared_fanout = int(row[7])
+        assert ratio > 1.5, n       # sharing saves a lot of logic
+        assert shared_fanout <= naive_fanout
+    # The gap widens with bitwidth (naive is O(n*w), shared O(n log w)).
+    ratios = [float(r[4]) for r in table.rows]
+    assert ratios[-1] >= ratios[0]

@@ -1,0 +1,28 @@
+"""Experiment F6/F7 — the VLSA machine: timing diagram and the
+~1.0002-cycle average latency claim."""
+
+import random
+
+from repro import experiments as ex
+from repro.arch import VlsaMachine
+
+
+def test_fig7_machine_throughput(benchmark):
+    machine = VlsaMachine(64)
+    rng = random.Random(0)
+    pairs = [(rng.getrandbits(64), rng.getrandbits(64))
+             for _ in range(2000)]
+    trace = benchmark(machine.run, pairs)
+    assert trace.operations == 2000
+
+
+def test_fig7_average_latency(report, benchmark):
+    table, diagram = benchmark.pedantic(
+        ex.fig7_trace, kwargs={"width": 64, "operations": 200000,
+                               "seed": 0}, rounds=1, iterations=1)
+    report("fig7_vlsa.txt",
+           table.render() + "\n\nTiming diagram (first ops):\n" + diagram)
+    metrics = {row[0]: row[1] for row in table.rows}
+    avg = float(metrics["avg latency [cycles]"])
+    assert 1.0 <= avg < 1.001  # paper: ~1.0002
+    assert int(metrics["stalls"]) >= 1  # the scripted Fig. 7 stall

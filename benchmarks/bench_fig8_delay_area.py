@@ -1,0 +1,72 @@
+"""Experiment F8 — paper Fig. 8: delay and area of traditional adder,
+ACA, error detection and ACA+recovery over 64..2048 bits.
+
+The sweep builds and characterises every circuit once per session; the
+``benchmark`` entries time the representative kernels (construction and
+STA at 256 bits).  Set ``REPRO_FIG8_WIDTHS=64,128`` for a quick run.
+"""
+
+import pytest
+
+from conftest import env_widths
+from repro import experiments as ex
+from repro.circuit import UMC180, analyze_timing
+from repro.core import build_aca
+
+WIDTHS = env_widths("REPRO_FIG8_WIDTHS", ex.DEFAULT_BITWIDTHS)
+
+
+@pytest.fixture(scope="module")
+def fig8_rows():
+    return ex.fig8_rows(bitwidths=WIDTHS)
+
+
+def test_fig8_build_aca_kernel(benchmark):
+    benchmark(build_aca, 256, 21)
+
+
+def test_fig8_sta_kernel(benchmark):
+    circuit = build_aca(256, 21)
+    benchmark(analyze_timing, circuit, UMC180)
+
+
+def test_fig8_delay_and_area(fig8_rows, report, benchmark):
+    delay, area, chart_d, chart_a = benchmark.pedantic(
+        ex.fig8_tables, kwargs={"rows": fig8_rows}, rounds=1, iterations=1)
+    report("fig8_delay.txt", delay.render() + "\n\n" + chart_d)
+    report("fig8_area.txt", area.render() + "\n\n" + chart_a)
+
+    for r in fig8_rows:
+        # Paper claims (shape): ACA wins, detector ~2/3, recovery ~1x.
+        assert r.aca_speedup > 1.0, r.width
+        assert 0.4 <= r.detect_ratio <= 0.95, r.width
+        assert 0.9 <= r.recovery_ratio <= 1.6, r.width
+        # Area ordering: ripple < ACA < traditional-ish; recovery largest.
+        assert r.ripple_area < r.aca_area < r.recovery_area
+        assert r.aca_area < r.traditional_area
+    # Speedup grows with bitwidth toward the paper's 2.5x end.
+    speedups = [r.aca_speedup for r in fig8_rows]
+    assert speedups == sorted(speedups)
+    if len(WIDTHS) >= 4:
+        assert speedups[-1] > 1.5
+
+
+def test_fig8_vlsa_average_speedup(fig8_rows, report, benchmark):
+    """Section 5: on average the VLSA is ~1.5-2x a traditional adder."""
+    from repro.analysis import detector_flag_probability
+    from repro.reporting import Table
+
+    def build_table():
+        t = Table("VLSA average speedup (clock = max(ACA, detect) path)",
+                  ["bitwidth", "clock [ns]", "P(stall)", "avg speedup"])
+        for r in fig8_rows:
+            t.add_row(r.width, round(r.vlsa_clock, 3),
+                      f"{detector_flag_probability(r.width, r.window):.1e}",
+                      round(r.vlsa_avg_speedup, 2))
+        return t
+
+    t = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    report("fig8_vlsa_speedup.txt", t.render())
+    for r in fig8_rows:
+        if r.width >= 128:
+            assert r.vlsa_avg_speedup > 1.2

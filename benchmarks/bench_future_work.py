@@ -1,0 +1,38 @@
+"""Experiment FW — Section 6 future work: speculative multiplier and
+multi-operand adder, plus the Section 4.2 processor context."""
+
+from repro import experiments as ex
+from repro.core import build_multi_operand_adder, build_multiplier
+
+
+def test_multiplier_construction_kernel(benchmark):
+    benchmark(build_multiplier, 32, 18)
+
+
+def test_multiop_construction_kernel(benchmark):
+    benchmark(build_multi_operand_adder, 128, 4, 20)
+
+
+def test_future_work_table(report, benchmark):
+    table = benchmark.pedantic(ex.future_work_table,
+                               kwargs={"samples": 300},
+                               rounds=1, iterations=1)
+    report("future_work.txt", table.render())
+    # Speculative variants must be faster than their exact counterparts
+    # (rows alternate exact/speculative).
+    assert float(table.rows[1][2]) > 1.0   # multiplier speedup
+    assert float(table.rows[3][2]) > 1.0   # multi-op speedup
+    # Measured error rate stays guarded by the flag rate.
+    err = float(table.rows[1][4].split()[0])
+    flag = float(table.rows[1][5].split()[0])
+    assert 0 < err <= flag
+
+
+def test_processor_table(report, benchmark):
+    table = benchmark.pedantic(ex.processor_table,
+                               kwargs={"iterations": 300},
+                               rounds=1, iterations=1)
+    report("processor.txt", table.render())
+    exact_row, vlsa_row = table.rows
+    assert exact_row[1] == vlsa_row[1]          # same result
+    assert int(vlsa_row[3]) < int(exact_row[3])  # fewer cycles

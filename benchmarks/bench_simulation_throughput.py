@@ -1,0 +1,30 @@
+"""Substrate bench: gate-level bit-parallel simulation versus the fast
+functional model (sanity check that the Monte Carlo experiments use the
+right tool for volume)."""
+
+import numpy as np
+
+from repro.circuit import random_stimulus, simulate_words
+from repro.core import build_aca
+from repro.mc import AcaModel
+
+
+def test_gate_level_simulation_kernel(benchmark):
+    circuit = build_aca(64, 18)
+    stim = random_stimulus(circuit, num_vectors=512,
+                           rng=np.random.default_rng(0))
+    out = benchmark(simulate_words, circuit, stim, 512)
+    assert len(out["sum"]) == 64
+
+
+def test_functional_model_kernel(benchmark):
+    model = AcaModel(64, 18)
+    rng = np.random.default_rng(0)
+    pairs = [(int(rng.integers(0, 2**63)), int(rng.integers(0, 2**63)))
+             for _ in range(512)]
+
+    def run():
+        return [model.add(a, b) for a, b in pairs]
+
+    results = benchmark(run)
+    assert len(results) == 512

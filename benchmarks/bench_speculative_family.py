@@ -1,0 +1,87 @@
+"""Experiment family sweep — every speculative component side by side:
+adder, subtractor, incrementer, array multiplier, Booth multiplier
+(the full "new paradigm" of the paper's title and Section 6)."""
+
+import pytest
+
+from repro.analysis import choose_window
+from repro.circuit import UMC180, analyze_area, analyze_timing
+from repro.core import (
+    build_aca,
+    build_booth_multiplier,
+    build_multiplier,
+    build_speculative_incrementer,
+    build_speculative_subtractor,
+)
+from repro.core.incrementer import incrementer_error_probability
+from repro.analysis import aca_error_probability
+from repro.reporting import Table
+
+
+def test_incrementer_kernel(benchmark):
+    benchmark(build_speculative_incrementer, 64, 8)
+
+
+def test_booth_kernel(benchmark):
+    benchmark(build_booth_multiplier, 16, 9)
+
+
+def test_family_table(report, benchmark):
+    width = 64
+    w = choose_window(width)
+
+    def build_all():
+        rows = []
+        designs = [
+            ("ACA adder", build_aca(width, w),
+             aca_error_probability(width, w)),
+            ("subtractor", build_speculative_subtractor(width, w), None),
+            ("incrementer", build_speculative_incrementer(width, w),
+             incrementer_error_probability(width, w)),
+            ("array multiplier 32x32",
+             build_multiplier(32, choose_window(64)), None),
+            ("Booth multiplier 32x32",
+             build_booth_multiplier(32, choose_window(64)), None),
+        ]
+        for name, circuit, p_err in designs:
+            timing = analyze_timing(circuit, UMC180)
+            area = analyze_area(circuit, UMC180)
+            rows.append((name, timing.critical_delay, area.total,
+                         circuit.gate_count(), p_err))
+        return rows
+
+    rows = benchmark.pedantic(build_all, rounds=1, iterations=1)
+    table = Table(
+        f"The speculative family at the 99.99% window (width {width})",
+        ["design", "delay [ns]", "area", "gates", "P(error)"])
+    for name, delay, area, gates, p_err in rows:
+        table.add_row(name, round(delay, 3), round(area, 0), gates,
+                      f"{p_err:.1e}" if p_err is not None else "-")
+    report("speculative_family.txt", table.render())
+
+    by_name = {r[0]: r for r in rows}
+    # The incrementer is the cheapest family member by far.
+    assert by_name["incrementer"][2] < by_name["ACA adder"][2] / 2
+    # The incrementer is also the fastest (AND strips, no carry cells).
+    assert by_name["incrementer"][1] < by_name["ACA adder"][1]
+    # Multipliers dominate cost, as expected.
+    assert by_name["array multiplier 32x32"][2] > 5 * by_name["ACA adder"][2]
+
+
+def test_atpg_on_speculative_adder(report, benchmark):
+    """Production angle: a complete stuck-at test set for a small ACA."""
+    from repro.circuit import generate_tests
+
+    circuit = build_aca(8, 3)
+    result = benchmark.pedantic(generate_tests, args=(circuit,),
+                                kwargs={"random_vectors": 32, "seed": 0},
+                                rounds=1, iterations=1)
+    table = Table("ATPG on the 8-bit ACA (window 3)",
+                  ["metric", "value"])
+    table.add_row("faults", result.total_faults)
+    table.add_row("detected", result.detected)
+    table.add_row("proven untestable", len(result.untestable))
+    table.add_row("test vectors", len(result.vectors))
+    table.add_row("coverage of testable", round(result.coverage, 4))
+    report("atpg_aca.txt", table.render())
+    assert result.coverage == pytest.approx(1.0)

@@ -1,0 +1,26 @@
+"""Experiment T1 — paper Table 1: longest-run bounds per bitwidth.
+
+Regenerates the table with the exact big-integer recurrence and
+benchmarks the dominant kernel (the 99.99 % quantile at 4096 bits).
+"""
+
+from repro import experiments as ex
+from repro.analysis import quantile_longest_run
+from repro.analysis.runs import _counts_up_to
+
+
+def test_table1(benchmark, report):
+    def kernel():
+        # Fresh computation each round: bypass the lru_cache.
+        _counts_up_to.cache_clear()
+        return quantile_longest_run(4096, 0.9999)
+
+    bound = benchmark(kernel)
+    assert bound == 24
+    table = ex.table1()
+    report("table1.txt", table.render())
+    # Shape assertions from the paper.
+    bounds = {int(r[0]): (int(r[1]), int(r[2])) for r in table.rows}
+    assert bounds[1024][1] <= 24  # "under ~24 bits in 99.99% of cases"
+    for n, (b99, b9999) in bounds.items():
+        assert 5 <= b9999 - b99 <= 8  # the "+7 bits" observation

@@ -1,0 +1,24 @@
+"""Experiment TH1 — Theorem 1: E[flips to k heads] = 2^(k+1) - 2."""
+
+import numpy as np
+
+from repro import experiments as ex
+from repro.analysis import (
+    expected_flips_closed_form,
+    expected_flips_linear_solve,
+    expected_flips_monte_carlo,
+)
+
+
+def test_theorem1(benchmark, report):
+    solved = benchmark(expected_flips_linear_solve, 24)
+    assert solved == expected_flips_closed_form(24)
+    table = ex.theorem1(max_k=12, mc_trials=3000)
+    report("theorem1.txt", table.render())
+
+
+def test_theorem1_monte_carlo(benchmark):
+    rng = np.random.default_rng(0)
+    estimate = benchmark(expected_flips_monte_carlo, 6, 500, rng)
+    exact = expected_flips_closed_form(6)  # 126
+    assert abs(estimate - exact) / exact < 0.25

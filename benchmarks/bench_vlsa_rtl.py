@@ -1,0 +1,64 @@
+"""Experiment F6-RTL — the registered VLSA netlist: clock period versus
+the combinational paths, and protocol-level throughput."""
+
+import random
+
+import pytest
+
+from repro import experiments as ex
+from repro.circuit import (
+    SequentialSimulator,
+    UMC180,
+    min_clock_period,
+    sequential_timing,
+)
+from repro.circuit.simulate import int_to_bus
+from repro.core import build_vlsa_rtl
+from repro.reporting import Table
+
+
+def test_rtl_build_kernel(benchmark):
+    benchmark(build_vlsa_rtl, 64, 18)
+
+
+def test_rtl_simulation_kernel(benchmark):
+    circuit = build_vlsa_rtl(32, 8)
+    sim = SequentialSimulator(circuit)
+    rng = random.Random(0)
+    stims = [{"a": int_to_bus(rng.getrandbits(32), 32),
+              "b": int_to_bus(rng.getrandbits(32), 32)}
+             for _ in range(50)]
+
+    def run():
+        sim.reset()
+        for stim in stims:
+            sim.step(stim)
+        return sim.cycle
+
+    cycles = benchmark(run)
+    assert cycles == 50
+
+
+def test_rtl_clock_table(report, benchmark):
+    def sweep():
+        rows = []
+        for width in (32, 64, 128):
+            circuit = build_vlsa_rtl(width)
+            timing = sequential_timing(circuit, UMC180)
+            rows.append((width, circuit.attrs["window"],
+                         timing.min_clock_period, timing.worst_path_kind,
+                         circuit.gate_count(), len(circuit.dffs())))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = Table("Registered VLSA netlist (Fig. 6 with flip-flops)",
+                  ["bitwidth", "window", "min clock [ns]", "worst path",
+                   "gates", "flip-flops"])
+    for row in rows:
+        table.add_row(*row)
+    report("vlsa_rtl.txt", table.render())
+    for width, window, period, kind, gates, dffs in rows:
+        assert dffs == 2 * width + 1  # operand registers + controller
+        assert period > 0
+    periods = [r[2] for r in rows]
+    assert periods == sorted(periods)  # grows (slowly) with width

@@ -1,0 +1,33 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures.  The
+``report`` fixture prints the regenerated artefact with output capture
+disabled (so it is visible under plain ``pytest benchmarks/
+--benchmark-only``) and also writes it under ``results/``.
+"""
+
+import os
+
+import pytest
+
+from repro.reporting import save_artifact
+
+
+@pytest.fixture
+def report(capsys):
+    """Callable ``report(name, text)``: show and persist an artefact."""
+
+    def _report(name: str, text: str) -> None:
+        path = save_artifact(name, text)
+        with capsys.disabled():
+            print(f"\n{'=' * 72}\n{text}\n[saved to {path}]\n")
+
+    return _report
+
+
+def env_widths(var: str, default):
+    """Bitwidth list override via environment (e.g. quick CI runs)."""
+    spec = os.environ.get(var)
+    if not spec:
+        return tuple(default)
+    return tuple(int(tok) for tok in spec.split(",") if tok)

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Ciphertext-only attack with speculative arithmetic (paper Section 1).
+
+An attacker captures ECB ciphertext of English text, enumerates a pruned
+key space, and keeps the keys whose decryption has English-like letter
+frequencies.  Decryption arithmetic runs either on the exact adder or on
+the Almost Correct Adder: the ACA corrupts a handful of blocks but cannot
+shift corpus-level statistics, so the attack still recovers the key —
+at roughly half the arithmetic time.
+
+Run:  python examples/crypto_attack.py
+"""
+
+import random
+
+from repro.apps import (
+    ArxCipher,
+    aca_adder,
+    chi_squared_score,
+    exact_adder,
+    run_attack,
+    sample_corpus,
+)
+
+KEY_BITS = 10
+CORPUS_BYTES = 8192
+ACA_WINDOW = 8
+
+
+def main():
+    rng = random.Random(2024)
+    true_key = rng.getrandbits(KEY_BITS)
+    plaintext = sample_corpus(CORPUS_BYTES, seed=11)
+    ciphertext = ArxCipher(true_key).encrypt_bytes(plaintext)
+    candidates = list(range(1 << KEY_BITS))
+    print(f"captured {len(ciphertext)} ciphertext bytes, "
+          f"{len(candidates)} candidate keys, true key = {true_key:#x}\n")
+
+    for label, adder, latency in [
+            ("exact adder", exact_adder, 1.0),
+            (f"ACA (window {ACA_WINDOW})", aca_adder(ACA_WINDOW), 0.5)]:
+        result = run_attack(ciphertext, true_key, candidates,
+                            adder=adder, add_latency=latency)
+        top = result.ranking[:3]
+        print(f"--- decryption with {label} ---")
+        print(f"  true key rank : {result.rank_of_true_key()}")
+        print(f"  wrong blocks  : {result.wrong_blocks} / "
+              f"{len(ciphertext) // 8}")
+        print(f"  32-bit adds   : {result.adds_performed}")
+        print(f"  model time    : {result.arithmetic_time:.0f}")
+        print("  top 3 keys    : " +
+              ", ".join(f"{ks.key:#x} (score {ks.score:.3f})"
+                        for ks in top))
+        print()
+
+    # Show what the scores look like for the right and a wrong key.
+    good = ArxCipher(true_key).decrypt_bytes(ciphertext,
+                                             add=aca_adder(ACA_WINDOW))
+    bad = ArxCipher(true_key ^ 0x155).decrypt_bytes(ciphertext)
+    print(f"chi^2 with true key + ACA : {chi_squared_score(good):8.3f}")
+    print(f"chi^2 with wrong key      : {chi_squared_score(bad):8.3f}")
+    print(f"\nfirst bytes of ACA-decrypted text: "
+          f"{good[:60].decode('ascii', 'replace')!r}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Design-space tour: baselines vs speculative adders, plus RTL export.
+
+Characterises every baseline architecture and the three speculative
+circuits at one bitwidth, prints a ranked table, sweeps the speculation
+window to show the accuracy/delay trade-off, and exports the VLSA
+datapath to VHDL and Verilog (what the paper's C++ generator produced).
+
+Run:  python examples/design_space.py [bitwidth]
+"""
+
+import os
+import sys
+
+from repro.adders import ADDER_BUILDERS, build_adder
+from repro.analysis import aca_error_probability, choose_window
+from repro.circuit import (
+    UMC180,
+    analyze_area,
+    analyze_timing,
+    to_verilog,
+    to_vhdl,
+)
+from repro.core import build_aca, build_error_detector, build_vlsa_datapath
+from repro.reporting import Table
+
+
+def main():
+    width = int(sys.argv[1]) if len(sys.argv) > 1 else 128
+    window = choose_window(width)
+
+    table = Table(f"Design space at {width} bits (umc180 model)",
+                  ["design", "delay [ns]", "area", "gates", "P(error)"])
+    entries = []
+    for name in sorted(ADDER_BUILDERS):
+        c = build_adder(name, width)
+        entries.append((name, c, 0.0))
+    entries.append((f"ACA w={window}", build_aca(width, window),
+                    aca_error_probability(width, window)))
+    entries.append((f"error detector w={window}",
+                    build_error_detector(width, window), 0.0))
+
+    rows = []
+    for name, circuit, p_err in entries:
+        delay = analyze_timing(circuit, UMC180).critical_delay
+        area = analyze_area(circuit, UMC180).total
+        rows.append((delay, name, area, circuit.gate_count(), p_err))
+    for delay, name, area, gates, p_err in sorted(rows):
+        table.add_row(name, round(delay, 3), round(area, 0), gates,
+                      f"{p_err:.1e}" if p_err else "exact")
+    print(table.render())
+
+    # Window sweep: how the trade-off moves.
+    sweep = Table(f"\nSpeculation window sweep at {width} bits",
+                  ["window", "ACA delay [ns]", "P(error)"])
+    for w in sorted({2, 4, 8, window, 2 * window}):
+        aca = build_aca(width, w)
+        sweep.add_row(w,
+                      round(analyze_timing(aca, UMC180).critical_delay, 3),
+                      f"{aca_error_probability(width, w):.2e}")
+    print(sweep.render())
+
+    # RTL export, like the paper's VHDL generator.
+    vlsa = build_vlsa_datapath(width, window)
+    out_dir = os.path.dirname(__file__)
+    for ext, render in (("vhd", to_vhdl), ("v", to_verilog)):
+        path = os.path.join(out_dir, f"vlsa{width}.{ext}")
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(render(vlsa))
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Section 6 future work: a speculative Wallace-tree multiplier.
+
+Builds a 32x32 multiplier whose only carry-propagate step — the final
+addition of the two carry-save rows — is an ACA, compares delay and area
+against the exact version, multiplies a few numbers, and shows the error
+flag guarding the rare wrong products.
+
+Run:  python examples/speculative_multiplier.py
+"""
+
+import random
+
+from repro.analysis import choose_window
+from repro.circuit import UMC180, analyze_area, analyze_timing, simulate_bus_ints
+from repro.core import build_multiplier, multiplier_error_rate
+
+WIDTH = 32
+
+
+def main():
+    window = choose_window(2 * WIDTH)
+    exact = build_multiplier(WIDTH, None)
+    spec = build_multiplier(WIDTH, window)
+
+    d_e = analyze_timing(exact, UMC180).critical_delay
+    d_s = analyze_timing(spec, UMC180).critical_delay
+    a_e = analyze_area(exact, UMC180).total
+    a_s = analyze_area(spec, UMC180).total
+    print(f"{WIDTH}x{WIDTH} multiplier, final-adder window {window}")
+    print(f"  exact      : {d_e:.3f} ns, area {a_e:.0f}")
+    print(f"  speculative: {d_s:.3f} ns, area {a_s:.0f} "
+          f"({d_e / d_s:.2f}x faster overall; the exact carry-save tree "
+          f"dominates — Amdahl)")
+
+    rng = random.Random(3)
+    print("\nsample products:")
+    for _ in range(5):
+        a, b = rng.getrandbits(WIDTH), rng.getrandbits(WIDTH)
+        out = simulate_bus_ints(spec, {"a": a, "b": b})
+        mark = "ok " if out["product"] == a * b else "ERR"
+        print(f"  {mark} {a:5d} * {b:5d} = {out['product']:10d} "
+              f"(flag={out['err']})")
+
+    # A stressing pattern: operands that maximise carry chains.
+    a, b = (1 << WIDTH) - 1, (1 << WIDTH) - 1
+    out = simulate_bus_ints(spec, {"a": a, "b": b})
+    print(f"\nworst-ish case {a} * {b}: product={out['product']} "
+          f"exact={a * b} flag={out['err']}")
+
+    # Error rates at the design point are ~1e-5; demonstrate the guarded
+    # property on a deliberately small window instead.
+    err, flag = multiplier_error_rate(12, 5, samples=500, seed=1)
+    print(f"\nmeasured on 500 random 12-bit products with window 5: "
+          f"P(error)={err:.4f}, P(flag)={flag:.4f}")
+    print("every wrong product had its flag raised (asserted in the "
+          "measurement loop)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Baseline adder generators (the paper's "state of the art", Section 2).
+
+Every generator returns a :class:`repro.circuit.Circuit` with the standard
+interface: input buses ``a``/``b`` (LSB first), optional ``cin``, outputs
+``sum`` and ``cout``.  See :mod:`repro.adders.factory` for name-based
+construction and :mod:`repro.adders.designware` for the best-of-library
+"traditional adder" proxy the paper compares against.
+"""
+
+from .base import adder_ports, reference_add, reference_fn
+from .ripple import build_ripple_adder
+from .cla import build_cla_adder, lookahead_carries
+from .carry_skip import build_carry_skip_adder
+from .variable_skip import build_variable_skip_adder, variable_skip_blocks
+from .carry_select import build_carry_select_adder
+from .conditional_sum import build_conditional_sum_adder
+from .prefix import (
+    PrefixSchedule,
+    build_prefix_adder,
+    schedule_depth,
+    schedule_size,
+    validate_schedule,
+)
+from .sklansky import build_sklansky_adder, sklansky_schedule
+from .kogge_stone import build_kogge_stone_adder, kogge_stone_schedule
+from .brent_kung import build_brent_kung_adder, brent_kung_schedule
+from .han_carlson import build_han_carlson_adder, han_carlson_schedule
+from .ladner_fischer import build_ladner_fischer_adder, ladner_fischer_schedule
+from .knowles import build_knowles_adder, knowles_schedule
+from .designware import (
+    CandidateResult,
+    FAST_CANDIDATES,
+    build_best_traditional,
+    evaluate_candidates,
+)
+from .factory import ADDER_BUILDERS, adder_names, build_adder
+
+__all__ = [
+    "adder_ports", "reference_add", "reference_fn",
+    "build_ripple_adder",
+    "build_cla_adder", "lookahead_carries",
+    "build_carry_skip_adder",
+    "build_variable_skip_adder", "variable_skip_blocks",
+    "build_carry_select_adder",
+    "build_conditional_sum_adder",
+    "PrefixSchedule", "build_prefix_adder", "validate_schedule",
+    "schedule_depth", "schedule_size",
+    "build_sklansky_adder", "sklansky_schedule",
+    "build_kogge_stone_adder", "kogge_stone_schedule",
+    "build_brent_kung_adder", "brent_kung_schedule",
+    "build_han_carlson_adder", "han_carlson_schedule",
+    "build_ladner_fischer_adder", "ladner_fischer_schedule",
+    "build_knowles_adder", "knowles_schedule",
+    "CandidateResult", "FAST_CANDIDATES", "build_best_traditional",
+    "evaluate_candidates",
+    "ADDER_BUILDERS", "adder_names", "build_adder",
+]

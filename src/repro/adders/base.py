@@ -1,0 +1,57 @@
+"""Common interface shared by every adder generator.
+
+All generators in :mod:`repro.adders` (and the speculative adders in
+:mod:`repro.core`) produce a :class:`~repro.circuit.netlist.Circuit` with:
+
+* input buses ``a`` and ``b`` of *n* bits (LSB first),
+* an optional single-bit ``cin`` input,
+* output bus ``sum`` of *n* bits and single-bit output ``cout``.
+
+:func:`reference_add` provides the golden model used by the equivalence
+checkers, and :func:`adder_ports` builds the standard port interface.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..circuit import Circuit, CircuitError
+
+__all__ = ["adder_ports", "reference_add", "reference_fn"]
+
+
+def adder_ports(name: str, width: int, cin: bool
+                ) -> Tuple[Circuit, List[int], List[int], Optional[int]]:
+    """Create a circuit with the standard adder interface.
+
+    Args:
+        name: Circuit name.
+        width: Operand bitwidth (must be positive).
+        cin: Whether to create a carry-in port.
+
+    Returns:
+        ``(circuit, a_bits, b_bits, cin_net_or_None)``.
+    """
+    if width <= 0:
+        raise CircuitError("adder width must be positive")
+    circuit = Circuit(name)
+    a = circuit.add_input_bus("a", width)
+    b = circuit.add_input_bus("b", width)
+    cin_net = circuit.add_input("cin", pos=0.0) if cin else None
+    return circuit, a, b, cin_net
+
+
+def reference_add(width: int, a: int, b: int, cin: int = 0) -> Dict[str, int]:
+    """Golden model: exact *width*-bit addition with carry out."""
+    total = (a & ((1 << width) - 1)) + (b & ((1 << width) - 1)) + (cin & 1)
+    return {"sum": total & ((1 << width) - 1), "cout": total >> width}
+
+
+def reference_fn(width: int, cin: bool) -> Callable[..., Dict[str, int]]:
+    """Reference callable matching an adder circuit's input buses.
+
+    Suitable for :func:`repro.circuit.validate.assert_equivalent_random`.
+    """
+    if cin:
+        return lambda a, b, cin: reference_add(width, a, b, cin)
+    return lambda a, b: reference_add(width, a, b, 0)

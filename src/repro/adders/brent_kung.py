@@ -1,0 +1,41 @@
+"""Brent-Kung prefix adder.
+
+The sparsest classical prefix network: ``2n - log2 n - 2`` nodes, fanout 2,
+short wires, but depth ``2 log2 n - 1`` — cf. paper reference [1]
+(Brent & Kung 1982).
+"""
+
+from __future__ import annotations
+
+from ..circuit import Circuit
+from .prefix import PrefixSchedule, build_prefix_adder
+
+__all__ = ["brent_kung_schedule", "build_brent_kung_adder"]
+
+
+def brent_kung_schedule(width: int) -> PrefixSchedule:
+    """Combine schedule of the Brent-Kung topology for *width* bits."""
+    schedule: PrefixSchedule = []
+    # Up-sweep: build power-of-two aligned blocks.
+    step = 1
+    while step < width:
+        level = [(i, i - step)
+                 for i in range(2 * step - 1, width, 2 * step)]
+        if level:
+            schedule.append(level)
+        step *= 2
+    # Down-sweep: fill in the remaining prefixes.
+    step //= 2
+    while step >= 1:
+        level = [(i, i - step)
+                 for i in range(3 * step - 1, width, 2 * step)]
+        if level:
+            schedule.append(level)
+        step //= 2
+    return schedule
+
+
+def build_brent_kung_adder(width: int, cin: bool = False) -> Circuit:
+    """Generate a *width*-bit Brent-Kung prefix adder."""
+    return build_prefix_adder(width, brent_kung_schedule,
+                              f"brent_kung{width}", cin=cin)

@@ -1,0 +1,75 @@
+"""Conditional-sum adder (Sklansky 1960).
+
+Recursive doubling of the carry-select idea: every block of width
+``2^k`` keeps *both* conditional results (sum and carry for carry-in 0
+and 1), and each merge level resolves the upper half with a row of
+multiplexers driven by the lower half's conditional carries.  Depth is
+``O(log n)`` in multiplexers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..circuit import Circuit
+from .base import adder_ports
+
+__all__ = ["build_conditional_sum_adder"]
+
+_Block = Tuple[List[int], int, List[int], int]  # (sum0, cout0, sum1, cout1)
+
+
+def build_conditional_sum_adder(width: int, cin: bool = False) -> Circuit:
+    """Generate a *width*-bit conditional-sum adder."""
+    circuit, a, b, cin_net = adder_ports(f"cond_sum{width}", width, cin)
+
+    # Leaves: 1-bit conditional adders.
+    blocks: List[_Block] = []
+    for i in range(width):
+        pos = float(i)
+        p_i = circuit.add_gate("XOR", a[i], b[i], pos=pos)
+        g_i = circuit.add_gate("AND", a[i], b[i], pos=pos)
+        s0, c0 = p_i, g_i
+        s1 = circuit.add_gate("XNOR", a[i], b[i], pos=pos)
+        c1 = circuit.add_gate("OR", a[i], b[i], pos=pos)
+        blocks.append(([s0], c0, [s1], c1))
+
+    # Merge pairs of blocks until one remains.
+    while len(blocks) > 1:
+        merged: List[_Block] = []
+        for k in range(0, len(blocks) - 1, 2):
+            lo_blk, hi_blk = blocks[k], blocks[k + 1]
+            merged.append(_merge(circuit, lo_blk, hi_blk))
+        if len(blocks) % 2:
+            merged.append(blocks[-1])
+        blocks = merged
+
+    sum0, cout0, sum1, cout1 = blocks[0]
+    if cin_net is None:
+        circuit.set_output("sum", sum0)
+        circuit.set_output("cout", cout0)
+    else:
+        sums = [circuit.add_gate("MUX2", cin_net, s1, s0, pos=float(i))
+                for i, (s0, s1) in enumerate(zip(sum0, sum1))]
+        circuit.set_output("sum", sums)
+        circuit.set_output("cout",
+                           circuit.add_gate("MUX2", cin_net, cout1, cout0))
+    return circuit
+
+
+def _merge(circuit: Circuit, lo_blk: _Block, hi_blk: _Block) -> _Block:
+    """Merge two adjacent conditional blocks (lo holds the lower bits)."""
+    lo_s0, lo_c0, lo_s1, lo_c1 = lo_blk
+    hi_s0, hi_c0, hi_s1, hi_c1 = hi_blk
+    pos = float(len(lo_s0) + len(hi_s0))
+
+    # Case carry-in 0: lower half uses its 0-variant; its carry lo_c0
+    # selects the upper half's variant.
+    s0 = list(lo_s0) + [circuit.add_gate("MUX2", lo_c0, x1, x0, pos=pos)
+                        for x0, x1 in zip(hi_s0, hi_s1)]
+    c0 = circuit.add_gate("MUX2", lo_c0, hi_c1, hi_c0, pos=pos)
+    # Case carry-in 1.
+    s1 = list(lo_s1) + [circuit.add_gate("MUX2", lo_c1, x1, x0, pos=pos)
+                        for x0, x1 in zip(hi_s0, hi_s1)]
+    c1 = circuit.add_gate("MUX2", lo_c1, hi_c1, hi_c0, pos=pos)
+    return s0, c0, s1, c1

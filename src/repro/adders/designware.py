@@ -1,0 +1,90 @@
+"""DesignWare-proxy baseline: best-of-library "traditional adder".
+
+The paper compares the ACA/VLSA against the Synopsys DesignWare adder,
+which internally selects a near-optimal architecture for the target
+constraints.  As an open proxy we evaluate every fast architecture in
+:mod:`repro.adders` under the chosen technology library and return the one
+with minimum critical-path delay (ties broken by area) — the same
+"let the tool pick" semantics.
+
+Results are memoised per ``(width, cin, library)`` because the Fig. 8
+sweep re-queries the baseline many times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..circuit import Circuit, TechLibrary, UNIT, analyze_area, analyze_timing
+from .brent_kung import build_brent_kung_adder
+from .carry_select import build_carry_select_adder
+from .cla import build_cla_adder
+from .conditional_sum import build_conditional_sum_adder
+from .han_carlson import build_han_carlson_adder
+from .knowles import build_knowles_adder
+from .kogge_stone import build_kogge_stone_adder
+from .ladner_fischer import build_ladner_fischer_adder
+from .sklansky import build_sklansky_adder
+
+__all__ = ["CandidateResult", "evaluate_candidates", "build_best_traditional",
+           "FAST_CANDIDATES"]
+
+#: Architectures DesignWare-style selection considers "fast" candidates.
+FAST_CANDIDATES: Dict[str, Callable[[int, bool], Circuit]] = {
+    "sklansky": lambda n, cin: build_sklansky_adder(n, cin),
+    "kogge_stone": lambda n, cin: build_kogge_stone_adder(n, cin),
+    "brent_kung": lambda n, cin: build_brent_kung_adder(n, cin),
+    "han_carlson": lambda n, cin: build_han_carlson_adder(n, cin),
+    "han_carlson4": lambda n, cin: build_han_carlson_adder(n, cin, sparsity=4),
+    "ladner_fischer": lambda n, cin: build_ladner_fischer_adder(n, cin),
+    "knowles2": lambda n, cin: build_knowles_adder(n, cin, share=2),
+    "knowles4": lambda n, cin: build_knowles_adder(n, cin, share=4),
+    "cla": lambda n, cin: build_cla_adder(n, cin),
+    "conditional_sum": lambda n, cin: build_conditional_sum_adder(n, cin),
+    "carry_select": lambda n, cin: build_carry_select_adder(n, cin),
+}
+
+
+@dataclass
+class CandidateResult:
+    """Delay/area of one candidate architecture."""
+
+    name: str
+    delay: float
+    area: float
+    circuit: Circuit
+
+
+_cache: Dict[Tuple[int, bool, str], List[CandidateResult]] = {}
+
+
+def evaluate_candidates(width: int, library: TechLibrary = UNIT,
+                        cin: bool = False,
+                        names: Optional[List[str]] = None
+                        ) -> List[CandidateResult]:
+    """Build and time every candidate architecture at *width* bits.
+
+    Returns candidates sorted by (delay, area), best first.  Results for
+    the full candidate set are memoised per (width, cin, library).
+    """
+    key = (width, cin, library.name)
+    if names is None and key in _cache:
+        return _cache[key]
+    chosen = names or list(FAST_CANDIDATES)
+    results: List[CandidateResult] = []
+    for name in chosen:
+        circuit = FAST_CANDIDATES[name](width, cin)
+        delay = analyze_timing(circuit, library).critical_delay
+        area = analyze_area(circuit, library).total
+        results.append(CandidateResult(name, delay, area, circuit))
+    results.sort(key=lambda r: (r.delay, r.area))
+    if names is None:
+        _cache[key] = results
+    return results
+
+
+def build_best_traditional(width: int, library: TechLibrary = UNIT,
+                           cin: bool = False) -> CandidateResult:
+    """The DesignWare proxy: the minimum-delay candidate at *width* bits."""
+    return evaluate_candidates(width, library, cin)[0]

@@ -1,0 +1,59 @@
+"""Name-based adder factory.
+
+Central registry mapping architecture names to generator callables, used
+by the CLI, the benchmark harness, and parameterised tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..circuit import Circuit
+from .brent_kung import build_brent_kung_adder
+from .carry_select import build_carry_select_adder
+from .carry_skip import build_carry_skip_adder
+from .cla import build_cla_adder
+from .conditional_sum import build_conditional_sum_adder
+from .han_carlson import build_han_carlson_adder
+from .knowles import build_knowles_adder
+from .kogge_stone import build_kogge_stone_adder
+from .ladner_fischer import build_ladner_fischer_adder
+from .ripple import build_ripple_adder
+from .variable_skip import build_variable_skip_adder
+from .sklansky import build_sklansky_adder
+
+__all__ = ["ADDER_BUILDERS", "build_adder", "adder_names"]
+
+#: All registered baseline architectures: name -> builder(width, cin).
+ADDER_BUILDERS: Dict[str, Callable[[int, bool], Circuit]] = {
+    "ripple": lambda n, cin=False: build_ripple_adder(n, cin),
+    "cla": lambda n, cin=False: build_cla_adder(n, cin),
+    "carry_skip": lambda n, cin=False: build_carry_skip_adder(n, cin),
+    "variable_skip": lambda n, cin=False: build_variable_skip_adder(n, cin),
+    "carry_select": lambda n, cin=False: build_carry_select_adder(n, cin),
+    "conditional_sum": lambda n, cin=False: build_conditional_sum_adder(n, cin),
+    "sklansky": lambda n, cin=False: build_sklansky_adder(n, cin),
+    "kogge_stone": lambda n, cin=False: build_kogge_stone_adder(n, cin),
+    "brent_kung": lambda n, cin=False: build_brent_kung_adder(n, cin),
+    "han_carlson": lambda n, cin=False: build_han_carlson_adder(n, cin),
+    "han_carlson4": lambda n, cin=False: build_han_carlson_adder(
+        n, cin, sparsity=4),
+    "ladner_fischer": lambda n, cin=False: build_ladner_fischer_adder(n, cin),
+    "knowles2": lambda n, cin=False: build_knowles_adder(n, cin, share=2),
+    "knowles4": lambda n, cin=False: build_knowles_adder(n, cin, share=4),
+}
+
+
+def adder_names() -> List[str]:
+    """Sorted list of registered architecture names."""
+    return sorted(ADDER_BUILDERS)
+
+
+def build_adder(name: str, width: int, cin: bool = False) -> Circuit:
+    """Build the named adder architecture at the requested width."""
+    try:
+        builder = ADDER_BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown adder {name!r}; available: {adder_names()}") from None
+    return builder(width, cin)

@@ -1,0 +1,66 @@
+"""Han-Carlson prefix adders (sparsity-parameterised).
+
+A Han-Carlson network of sparsity ``s`` (a power of two) computes the
+prefix only at every ``s``-th "spine" position with a Kogge-Stone core,
+bracketed by Brent-Kung-style up/down sweeps of depth ``log2 s`` each.
+Sparsity 1 degenerates to pure Kogge-Stone; sparsity 2 is the classical
+Han-Carlson adder.  Higher sparsity trades one extra level of depth per
+factor of two for roughly half the wiring.
+"""
+
+from __future__ import annotations
+
+from ..circuit import Circuit, CircuitError
+from .prefix import PrefixSchedule, build_prefix_adder
+
+__all__ = ["han_carlson_schedule", "build_han_carlson_adder"]
+
+
+def _is_pow2(x: int) -> bool:
+    return x > 0 and (x & (x - 1)) == 0
+
+
+def han_carlson_schedule(width: int, sparsity: int = 2) -> PrefixSchedule:
+    """Combine schedule of the Han-Carlson topology.
+
+    Args:
+        width: Number of bits.
+        sparsity: Power-of-two spine spacing (1 = Kogge-Stone).
+    """
+    if not _is_pow2(sparsity):
+        raise CircuitError("sparsity must be a power of two")
+    schedule: PrefixSchedule = []
+
+    # Up-sweep: build s-bit blocks at spine positions (Brent-Kung style).
+    step = 1
+    while step < sparsity:
+        level = [(i, i - step) for i in range(2 * step - 1, width, 2 * step)]
+        if level:
+            schedule.append(level)
+        step *= 2
+
+    # Kogge-Stone core over spine positions i = s-1, 2s-1, ...
+    stride = sparsity
+    while stride < width:
+        level = [(i, i - stride)
+                 for i in range(sparsity - 1 + stride, width, sparsity)]
+        if level:
+            schedule.append(level)
+        stride *= 2
+
+    # Down-sweep: fill in non-spine prefixes (mirror of the up-sweep).
+    step = sparsity // 2
+    while step >= 1:
+        level = [(i, i - step) for i in range(3 * step - 1, width, 2 * step)]
+        if level:
+            schedule.append(level)
+        step //= 2
+    return schedule
+
+
+def build_han_carlson_adder(width: int, cin: bool = False,
+                            sparsity: int = 2) -> Circuit:
+    """Generate a *width*-bit Han-Carlson adder of the given sparsity."""
+    return build_prefix_adder(
+        width, lambda w: han_carlson_schedule(w, sparsity),
+        f"han_carlson{width}_s{sparsity}", cin=cin)

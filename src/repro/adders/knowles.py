@@ -1,0 +1,48 @@
+"""A Knowles-family prefix adder.
+
+Knowles (2001, paper reference [6]) described the family of minimum-depth
+prefix networks between Kogge-Stone (fanout 2 everywhere, maximum wiring)
+and Sklansky (minimum wiring, fanout up to n/2).  This module implements
+the member that shares final-level sources among groups of ``share``
+consecutive bits: ``share = 1`` is exactly Kogge-Stone, larger values
+trade final-level wiring for fanout, moving toward Sklansky.
+"""
+
+from __future__ import annotations
+
+from ..circuit import Circuit, CircuitError
+from .prefix import PrefixSchedule, build_prefix_adder
+
+__all__ = ["knowles_schedule", "build_knowles_adder"]
+
+
+def knowles_schedule(width: int, share: int = 2) -> PrefixSchedule:
+    """Combine schedule: Kogge-Stone levels with a shared final level.
+
+    Args:
+        width: Number of bits.
+        share: Power-of-two group size sharing one final-level source.
+    """
+    if share <= 0 or share & (share - 1):
+        raise CircuitError("share must be a power of two")
+    schedule: PrefixSchedule = []
+    step = 1
+    while step * 2 < width:
+        schedule.append([(i, i - step) for i in range(step, width)])
+        step *= 2
+    if step < width:
+        # Final level: groups of `share` positions use a common source.
+        level = []
+        for i in range(step, width):
+            j = min(step - 1, (i | (share - 1)) - step)
+            level.append((i, j))
+        schedule.append(level)
+    return schedule
+
+
+def build_knowles_adder(width: int, cin: bool = False,
+                        share: int = 2) -> Circuit:
+    """Generate a *width*-bit Knowles-family adder."""
+    return build_prefix_adder(
+        width, lambda w: knowles_schedule(w, share),
+        f"knowles{width}_f{share}", cin=cin)

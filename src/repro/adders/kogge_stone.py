@@ -1,0 +1,29 @@
+"""Kogge-Stone prefix adder.
+
+Minimum depth ``ceil(log2 n)`` with fanout bounded by 2, at the cost of
+``O(n log n)`` nodes and long wires at the upper levels (charged by the
+wire-span term of the timing model) — cf. paper reference [7].
+"""
+
+from __future__ import annotations
+
+from ..circuit import Circuit
+from .prefix import PrefixSchedule, build_prefix_adder
+
+__all__ = ["kogge_stone_schedule", "build_kogge_stone_adder"]
+
+
+def kogge_stone_schedule(width: int) -> PrefixSchedule:
+    """Combine schedule of the Kogge-Stone topology for *width* bits."""
+    schedule: PrefixSchedule = []
+    step = 1
+    while step < width:
+        schedule.append([(i, i - step) for i in range(step, width)])
+        step *= 2
+    return schedule
+
+
+def build_kogge_stone_adder(width: int, cin: bool = False) -> Circuit:
+    """Generate a *width*-bit Kogge-Stone prefix adder."""
+    return build_prefix_adder(width, kogge_stone_schedule,
+                              f"kogge_stone{width}", cin=cin)

@@ -1,0 +1,136 @@
+"""Generic parallel-prefix adder framework.
+
+A prefix adder computes, for every bit ``i``, the group generate/propagate
+``(G, P)`` of the range ``[0..i]`` using the associative carry operator
+
+    (g, p) o (g', p') = (g | (p & g'), p & p')
+
+A *topology* is a schedule of combine operations: a list of levels, each a
+list of ``(i, j)`` pairs meaning "combine position ``i``'s current range
+with position ``j``'s current range".  The framework tracks the range
+covered at every position and validates each combine (ranges must be
+adjacent or overlapping — the operator is idempotent across overlaps, the
+property Kogge-Stone-style topologies rely on), then stitches the carries
+into the standard pre/post-processing stages.
+
+Concrete topologies live in :mod:`repro.adders.sklansky`,
+:mod:`~repro.adders.kogge_stone`, :mod:`~repro.adders.brent_kung`,
+:mod:`~repro.adders.han_carlson`, :mod:`~repro.adders.ladner_fischer` and
+:mod:`~repro.adders.knowles`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+from ..circuit import (
+    Circuit,
+    CircuitError,
+    carry_combine,
+    pg_preprocess,
+    sum_postprocess,
+)
+from .base import adder_ports
+
+__all__ = [
+    "PrefixSchedule",
+    "validate_schedule",
+    "schedule_depth",
+    "schedule_size",
+    "build_prefix_adder",
+]
+
+#: Levels of (i, j) combine pairs; see module docstring.
+PrefixSchedule = List[List[Tuple[int, int]]]
+
+
+def validate_schedule(width: int, schedule: PrefixSchedule) -> None:
+    """Check that *schedule* computes all prefixes ``[0..i]`` for *width* bits.
+
+    Raises:
+        CircuitError: If a combine uses non-adjacent/non-overlapping ranges,
+            combines out-of-range positions, or the final ranges are not all
+            anchored at bit 0.
+    """
+    lo = list(range(width))  # position i currently covers [lo[i] .. i]
+    for level_idx, level in enumerate(schedule):
+        new_lo = list(lo)
+        for i, j in level:
+            if not (0 <= j < i < width):
+                raise CircuitError(
+                    f"level {level_idx}: combine ({i},{j}) out of range")
+            if lo[i] - 1 > j:
+                raise CircuitError(
+                    f"level {level_idx}: ranges [{lo[i]}..{i}] and "
+                    f"[{lo[j]}..{j}] are disjoint")
+            if lo[j] > lo[i]:
+                raise CircuitError(
+                    f"level {level_idx}: combine ({i},{j}) does not extend "
+                    f"range [{lo[i]}..{i}] (source covers [{lo[j]}..{j}])")
+            new_lo[i] = lo[j]
+        lo = new_lo
+    bad = [i for i in range(width) if lo[i] != 0]
+    if bad:
+        raise CircuitError(f"prefixes not complete at positions {bad}")
+
+
+def schedule_depth(schedule: PrefixSchedule) -> int:
+    """Number of combine levels (ignoring empty levels)."""
+    return sum(1 for level in schedule if level)
+
+
+def schedule_size(schedule: PrefixSchedule) -> int:
+    """Total number of combine nodes in the schedule."""
+    return sum(len(level) for level in schedule)
+
+
+def build_prefix_adder(width: int,
+                       topology: Callable[[int], PrefixSchedule],
+                       name: str,
+                       cin: bool = False,
+                       validate: bool = True) -> Circuit:
+    """Generate a prefix adder from a topology function.
+
+    Args:
+        width: Operand bitwidth.
+        topology: Maps a width to a :data:`PrefixSchedule`.
+        name: Circuit name.
+        cin: Include a carry-in port (folded in with one extra combine row).
+        validate: Check schedule validity before building.
+
+    Returns:
+        Adder circuit with the standard interface (see
+        :mod:`repro.adders.base`).
+    """
+    schedule = topology(width)
+    if validate:
+        validate_schedule(width, schedule)
+
+    circuit, a, b, cin_net = adder_ports(name, width, cin)
+    g, p = pg_preprocess(circuit, a, b)
+
+    cur_g = list(g)
+    cur_p = list(p)
+    for level in schedule:
+        # Read sources from the previous level snapshot so combines within a
+        # level are truly parallel.
+        src_g = list(cur_g)
+        src_p = list(cur_p)
+        for i, j in level:
+            cur_g[i], cur_p[i] = carry_combine(
+                circuit, src_g[i], src_p[i], src_g[j], src_p[j], pos=float(i))
+
+    if cin_net is not None:
+        # c_{i+1} = G[0..i] | (P[0..i] & cin)
+        prefix_c = [circuit.add_gate("AO21", cur_p[i], cin_net, cur_g[i],
+                                     pos=float(i)) for i in range(width)]
+        c0 = cin_net
+    else:
+        prefix_c = cur_g
+        c0 = circuit.const(0)
+
+    carries_in = [c0] + [prefix_c[i] for i in range(width - 1)]
+    sums = sum_postprocess(circuit, p, carries_in)
+    circuit.set_output("sum", sums)
+    circuit.set_output("cout", prefix_c[width - 1])
+    return circuit

@@ -1,0 +1,38 @@
+"""Ripple-carry adder — the minimum-area, linear-delay baseline.
+
+One full adder per bit: ``s_i = a_i ^ b_i ^ c_i`` and
+``c_{i+1} = MAJ3(a_i, b_i, c_i)``.  The paper uses this as the area lower
+bound that the ACA is compared against ("slightly larger than a ripple
+carry adder").
+"""
+
+from __future__ import annotations
+
+from ..circuit import Circuit
+from .base import adder_ports
+
+__all__ = ["build_ripple_adder"]
+
+
+def build_ripple_adder(width: int, cin: bool = False) -> Circuit:
+    """Generate a *width*-bit ripple-carry adder.
+
+    Args:
+        width: Operand bitwidth.
+        cin: Include a carry-in port.
+
+    Returns:
+        Circuit with buses ``a``, ``b`` (and ``cin``), outputs ``sum`` and
+        ``cout``.
+    """
+    circuit, a, b, cin_net = adder_ports(f"ripple{width}", width, cin)
+    carry = cin_net if cin_net is not None else circuit.const(0)
+    sums = []
+    for i in range(width):
+        pos = float(i)
+        axb = circuit.add_gate("XOR", a[i], b[i], pos=pos)
+        sums.append(circuit.add_gate("XOR", axb, carry, pos=pos))
+        carry = circuit.add_gate("MAJ3", a[i], b[i], carry, pos=pos)
+    circuit.set_output("sum", sums)
+    circuit.set_output("cout", carry)
+    return circuit

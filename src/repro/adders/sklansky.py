@@ -1,0 +1,35 @@
+"""Sklansky (divide-and-conquer / conditional-sum prefix) adder.
+
+Minimum logic depth ``ceil(log2 n)`` with the minimum node count among
+minimum-depth prefix networks, at the cost of fanout growing up to ``n/2``
+on the block-boundary nodes — which the load-aware timing model charges
+for (cf. paper reference [13], Sklansky 1960).
+"""
+
+from __future__ import annotations
+
+from ..circuit import Circuit
+from .prefix import PrefixSchedule, build_prefix_adder
+
+__all__ = ["sklansky_schedule", "build_sklansky_adder"]
+
+
+def sklansky_schedule(width: int) -> PrefixSchedule:
+    """Combine schedule of the Sklansky topology for *width* bits."""
+    schedule: PrefixSchedule = []
+    block = 1
+    while block < width:
+        level = []
+        for i in range(width):
+            if (i // block) % 2 == 1:
+                j = (i // (2 * block)) * (2 * block) + block - 1
+                level.append((i, j))
+        schedule.append(level)
+        block *= 2
+    return schedule
+
+
+def build_sklansky_adder(width: int, cin: bool = False) -> Circuit:
+    """Generate a *width*-bit Sklansky prefix adder."""
+    return build_prefix_adder(width, sklansky_schedule,
+                              f"sklansky{width}", cin=cin)

@@ -1,0 +1,80 @@
+"""Variable-block carry-skip adder.
+
+The classical refinement of the fixed-block skip adder: block sizes ramp
+up toward the middle of the operand and back down, balancing the
+ripple-into-block and skip-chain path lengths.  With the trapezoidal
+profile the worst path crosses O(sqrt n) stages like the fixed version
+but with a ~sqrt(2)x smaller constant.
+
+(Kept as a distinct module from :mod:`repro.adders.carry_skip` because
+the block-size schedule, not the cell structure, is the contribution.)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from ..circuit import Circuit, and_tree
+from .base import adder_ports
+
+__all__ = ["variable_skip_blocks", "build_variable_skip_adder"]
+
+
+def variable_skip_blocks(width: int) -> List[int]:
+    """Trapezoidal block-size schedule covering *width* bits.
+
+    Sizes ramp 1, 2, 3, ... up to a peak and back down; the tail is
+    adjusted so the sizes sum exactly to *width*.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    # Peak size m such that 2 * (1 + 2 + ... + m) ~ width.
+    m = max(1, int(math.sqrt(width)))
+    up = list(range(1, m + 1))
+    down = list(range(m, 0, -1))
+    sizes = up + down
+    total = sum(sizes)
+    while total < width:
+        sizes.insert(len(up), m)  # widen the plateau
+        total += m
+    # Trim overshoot from the end.
+    excess = total - width
+    trimmed: List[int] = []
+    for size in reversed(sizes):
+        if excess >= size:
+            excess -= size
+            continue
+        trimmed.append(size - excess)
+        excess = 0
+    trimmed.reverse()
+    sizes = [s for s in trimmed if s > 0]
+    assert sum(sizes) == width
+    return sizes
+
+
+def build_variable_skip_adder(width: int, cin: bool = False) -> Circuit:
+    """Generate a variable-block carry-skip adder."""
+    circuit, a, b, cin_net = adder_ports(f"var_skip{width}", width, cin)
+    carry = cin_net if cin_net is not None else circuit.const(0)
+
+    sums: List[int] = []
+    lo = 0
+    for block in variable_skip_blocks(width):
+        hi = min(lo + block, width)
+        block_cin = carry
+        props: List[int] = []
+        for i in range(lo, hi):
+            pos = float(i)
+            p_i = circuit.add_gate("XOR", a[i], b[i], pos=pos)
+            props.append(p_i)
+            sums.append(circuit.add_gate("XOR", p_i, carry, pos=pos))
+            carry = circuit.add_gate("MAJ3", a[i], b[i], carry, pos=pos)
+        p_blk = and_tree(circuit, props, pos=float(hi - 1))
+        carry = circuit.add_gate("MUX2", p_blk, block_cin, carry,
+                                 pos=float(hi - 1))
+        lo = hi
+
+    circuit.set_output("sum", sums)
+    circuit.set_output("cout", carry)
+    return circuit

@@ -1,0 +1,145 @@
+"""ACA error model under non-uniform operand distributions.
+
+The paper's analysis assumes uniform operands (propagate probability 1/2
+per bit).  Real workloads — counters, addresses, the crypto app's
+carry-save rows — are biased, which changes the stall rate.  This module
+generalises the exact Markov-chain error model to arbitrary per-bit
+(propagate, generate, kill) probabilities, and provides helpers to derive
+those from independent per-bit one-probabilities of the operands.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
+
+__all__ = [
+    "pg_probabilities",
+    "aca_error_probability_biased",
+    "run_at_least_probability_biased",
+]
+
+Triple = Tuple[float, float, float]  # (p_propagate, p_generate, p_kill)
+
+
+def pg_probabilities(alpha: float, beta: float) -> Triple:
+    """(propagate, generate, kill) for independent bits with
+    ``P(a=1)=alpha`` and ``P(b=1)=beta``."""
+    for x in (alpha, beta):
+        if not (0.0 <= x <= 1.0):
+            raise ValueError("bit probabilities must be in [0, 1]")
+    p = alpha * (1 - beta) + beta * (1 - alpha)
+    g = alpha * beta
+    k = (1 - alpha) * (1 - beta)
+    return p, g, k
+
+
+def _normalise(width: int,
+               probs: Union[Triple, Sequence[Triple]]) -> List[Triple]:
+    if isinstance(probs, tuple) and len(probs) == 3 and all(
+            isinstance(x, (int, float)) for x in probs):
+        per_bit = [probs] * width  # same triple everywhere
+    else:
+        per_bit = list(probs)  # type: ignore[arg-type]
+        if len(per_bit) != width:
+            raise ValueError(f"need {width} per-bit triples")
+    for p, g, k in per_bit:
+        if min(p, g, k) < -1e-12 or abs(p + g + k - 1.0) > 1e-9:
+            raise ValueError("each (p, g, k) must be a distribution")
+    return per_bit
+
+
+def aca_error_probability_biased(
+        width: int, window: int,
+        probs: Union[Triple, Sequence[Triple]] = (0.5, 0.25, 0.25),
+        cin_weight: float = 0.0) -> float:
+    """P(ACA wrong) when bit ``i`` is propagate/generate/kill with the
+    given probabilities (independently across positions).
+
+    Args:
+        width: Operand bitwidth.
+        window: Speculation window.
+        probs: One ``(p, g, k)`` triple applied to every bit, or a
+            sequence of per-bit triples (LSB first).
+        cin_weight: P(external carry-in = 1).
+
+    Returns:
+        The exact error probability under the bit model.
+    """
+    if width <= 0 or window <= 0:
+        raise ValueError("width and window must be positive")
+    if not (0.0 <= cin_weight <= 1.0):
+        raise ValueError("cin_weight must be in [0, 1]")
+    per_bit = _normalise(width, probs)
+    if window >= width:
+        return 0.0
+
+    init_cap = window + 1
+    # states: ("init", r) for the run touching bit 0 (fails at window+1
+    # when cin is 1) and ("run", r, c) for later runs (fail at window
+    # when c is 1).  cin enters as a mixture over the init branch.
+    states: Dict[Tuple, float] = {("init1", 0): cin_weight,
+                                  ("init0", 0): 1.0 - cin_weight}
+    error = 0.0
+
+    for p, g, k in per_bit:
+        nxt: Dict[Tuple, float] = {}
+
+        def bump(key, mass):
+            if mass:
+                nxt[key] = nxt.get(key, 0.0) + mass
+
+        for state, mass in states.items():
+            bump(("run", 0, 0), mass * k)
+            bump(("run", 0, 1), mass * g)
+            if state[0] == "init1":
+                r = state[1] + 1
+                if r >= init_cap:
+                    error += mass * p
+                else:
+                    bump(("init1", r), mass * p)
+            elif state[0] == "init0":
+                r = min(state[1] + 1, init_cap)
+                bump(("init0", r), mass * p)
+            else:
+                _, r, c = state
+                r += 1
+                if r >= window:
+                    if c:
+                        error += mass * p
+                    else:
+                        bump(("run", window, 0), mass * p)
+                else:
+                    bump(("run", r, c), mass * p)
+        states = nxt
+
+    return error
+
+
+def run_at_least_probability_biased(
+        width: int, run: int,
+        p_propagate: float) -> float:
+    """P(some propagate run of length >= *run*) for i.i.d. biased bits.
+
+    This is the biased detector-flag (stall) probability; computed with a
+    linear DP on the trailing-run length.
+    """
+    if not (0.0 <= p_propagate <= 1.0):
+        raise ValueError("p_propagate must be in [0, 1]")
+    if run <= 0:
+        return 1.0
+    if run > width:
+        return 0.0
+    q = 1.0 - p_propagate
+    # state r = current trailing run (< run); absorbing once run reached.
+    states = [0.0] * run
+    states[0] = 1.0
+    hit = 0.0
+    for _ in range(width):
+        nxt = [0.0] * run
+        total = sum(states)
+        nxt[0] = total * q
+        for r in range(run - 1):
+            nxt[r + 1] += states[r] * p_propagate
+        hit += states[run - 1] * p_propagate
+        states = nxt
+    return hit

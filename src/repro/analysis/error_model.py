@@ -1,0 +1,162 @@
+"""Exact error model of the Almost Correct Adder.
+
+An ACA with window ``w`` computes the carry into each bit from the ``w``
+preceding bit positions, assuming zero carry into that window.  Its sum is
+wrong exactly when some length-``w`` window is all-propagate *and* the true
+carry entering the window is 1.  For uniform operands each bit position is
+independently propagate with probability 1/2, generate with 1/4 and kill
+with 1/4, so the error event is a function of a small Markov chain over
+(trailing propagate-run length, carry entering the run).
+
+``aca_error_probability`` evaluates that chain exactly (float or Fraction
+arithmetic); the Monte Carlo cross-check lives in :mod:`repro.mc.fastsim`.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Tuple, Union
+
+from .runs import prob_max_run_at_least, quantile_longest_run
+
+__all__ = [
+    "aca_error_probability",
+    "detector_flag_probability",
+    "choose_window",
+    "expected_latency_cycles",
+    "average_speedup",
+]
+
+Number = Union[float, Fraction]
+
+
+def aca_error_probability(width: int, window: int, cin: int = 0,
+                          exact: bool = False) -> Number:
+    """P(ACA sum wrong) for uniform operands.
+
+    The ACA is wrong iff some all-propagate window of length ``w``
+    starting at a position ``j >= 1`` receives an incoming carry (the
+    window starting at bit 0 is anchored and absorbs the real carry-in).
+    For a run that starts above bit 0 the incoming carry is set locally by
+    the generate/kill bit right below the run; the run touching bit 0 is
+    special: its carry is the external ``cin``, and its first unanchored
+    window starts at bit 1, so it needs length ``w + 1`` to fail.
+
+    Args:
+        width: Operand bitwidth ``n``.
+        window: Speculation window ``w`` (the carry into bit ``i`` sees bits
+            ``i-w .. i-1``).  The adder is exact when ``w >= n``.
+        cin: External carry-in (0 or 1); a one raises the error probability
+            slightly via the bit-0 run.
+        exact: Use ``Fraction`` arithmetic for an exact rational result.
+
+    Returns:
+        The error probability (float, or Fraction when ``exact``).
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    if window <= 0:
+        raise ValueError("window must be positive")
+    if cin not in (0, 1):
+        raise ValueError("cin must be 0 or 1")
+    if window >= width:
+        # No unanchored window fits inside the operand: always exact.
+        return Fraction(0) if exact else 0.0
+
+    one = Fraction(1) if exact else 1.0
+    half = one / 2
+    quarter = one / 4
+
+    # States:
+    #   ("init", r)     — still inside the run touching bit 0 (length r,
+    #                     capped at window + 1); fails at r == window + 1
+    #                     when cin is 1.
+    #   ("run", r, c)   — inside a later run of length r (capped at
+    #                     window) whose entering carry is c; fails at
+    #                     r == window when c is 1.
+    # Error is absorbing.
+    init_cap = window + 1
+    states: Dict[Tuple, Number] = {("init", 0): one}
+    error = one * 0
+
+    for _ in range(width):
+        nxt: Dict[Tuple, Number] = {}
+
+        def bump(key, mass):
+            if mass:
+                nxt[key] = nxt.get(key, one * 0) + mass
+
+        for state, mass in states.items():
+            # kill (1/4): next run starts with carry 0;
+            # generate (1/4): next run starts with carry 1.
+            bump(("run", 0, 0), mass * quarter)
+            bump(("run", 0, 1), mass * quarter)
+            # propagate (1/2): the current run extends.
+            if state[0] == "init":
+                r = state[1] + 1
+                if cin and r >= init_cap:
+                    error += mass * half
+                else:
+                    bump(("init", min(r, init_cap)), mass * half)
+            else:
+                _, r, c = state
+                r += 1
+                if r >= window:
+                    if c:
+                        error += mass * half
+                    else:
+                        bump(("run", window, 0), mass * half)
+                else:
+                    bump(("run", r, c), mass * half)
+        states = nxt
+
+    return error
+
+
+def detector_flag_probability(width: int, window: int) -> float:
+    """P(error detector fires) = P(some propagate run reaches *window*).
+
+    The detector is conservative: it also fires on runs whose entering
+    carry is 0, so this is an upper bound on
+    :func:`aca_error_probability`.
+    """
+    return prob_max_run_at_least(width, window)
+
+
+def choose_window(width: int, accuracy: float = 0.9999) -> int:
+    """Smallest window whose *detector* stays silent with P >= accuracy.
+
+    This matches the paper's construction: pick the longest-run bound that
+    holds with the target probability (Table 1) and speculate one bit
+    beyond it, so that a run equal to the bound never triggers the
+    detector, let alone an error.
+    """
+    return quantile_longest_run(width, accuracy) + 1
+
+
+def expected_latency_cycles(error_probability: float,
+                            recovery_cycles: int = 1) -> float:
+    """Average VLSA latency: 1 cycle plus the recovery penalty when wrong.
+
+    Paper Section 4.3: with error probability below 1e-4 the average is
+    ~1.0001-1.0002 cycles.
+    """
+    if not (0 <= error_probability <= 1):
+        raise ValueError("error probability must be in [0, 1]")
+    if recovery_cycles < 0:
+        raise ValueError("recovery cycles must be non-negative")
+    return 1.0 + error_probability * recovery_cycles
+
+
+def average_speedup(traditional_delay: float, vlsa_clock: float,
+                    error_probability: float,
+                    recovery_cycles: int = 1) -> float:
+    """Average-time speedup of the VLSA over a traditional adder.
+
+    The VLSA clock period is set by ``max(ACA delay, detector delay)``;
+    the average time per add is that period times the expected latency in
+    cycles.
+    """
+    avg_time = vlsa_clock * expected_latency_cycles(error_probability,
+                                                    recovery_cycles)
+    return traditional_delay / avg_time

@@ -1,0 +1,166 @@
+"""Exact combinatorics of the longest run of ones (paper Section 3.1).
+
+The longest sequence of propagate signals in an addition ``A + B`` equals
+the longest run of ones in ``A XOR B``, which is uniform over n-bit strings
+for uniform operands.  The paper's recurrence (attributed to a computer
+program) counts the strings whose longest 1-run is at most ``x``::
+
+    A_n(x) = 2^n                                 if n <= x
+    A_n(x) = sum_{j=0}^{x} A_{n-1-j}(x)          otherwise
+
+(the sum conditions on the position of the first 0: ``j`` leading ones
+followed by a 0 and any valid suffix).  Everything here is exact
+big-integer arithmetic; probabilities are formed as integer ratios and
+only converted to float at the end, so they stay meaningful at n = 4096.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from functools import lru_cache
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = [
+    "count_max_run_at_most",
+    "prob_max_run_at_most",
+    "prob_max_run_at_least",
+    "longest_run_distribution",
+    "quantile_longest_run",
+    "expected_longest_run",
+    "variance_longest_run",
+    "longest_run_of_ones",
+    "table1_rows",
+]
+
+
+@lru_cache(maxsize=None)
+def _counts_up_to(n: int, x: int) -> Tuple[int, ...]:
+    """``(A_0(x), ..., A_n(x))`` computed with a sliding-window sum."""
+    if x < 0:
+        return tuple([1] + [0] * n)  # only the empty string has no 1-run > -1
+    counts: List[int] = []
+    window_sum = 0  # sum of the last (x+1) entries of `counts`
+    for m in range(n + 1):
+        if m <= x:
+            a_m = 1 << m
+        else:
+            a_m = window_sum
+        counts.append(a_m)
+        window_sum += a_m
+        if len(counts) > x + 1:
+            window_sum -= counts[-(x + 2)]
+    return tuple(counts)
+
+
+def count_max_run_at_most(n: int, x: int) -> int:
+    """Number of n-bit strings whose longest run of ones is <= x (exact)."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    return _counts_up_to(n, x)[n]
+
+
+def prob_max_run_at_most(n: int, x: int) -> float:
+    """P(longest 1-run of a uniform n-bit string <= x)."""
+    return float(Fraction(count_max_run_at_most(n, x), 1 << n))
+
+
+def prob_max_run_at_least(n: int, x: int) -> float:
+    """P(longest 1-run >= x)."""
+    if x <= 0:
+        return 1.0
+    return float(1 - Fraction(count_max_run_at_most(n, x - 1), 1 << n))
+
+
+def longest_run_distribution(n: int, tail_cutoff: float = 1e-18
+                             ) -> Dict[int, float]:
+    """Probability mass function of the longest 1-run length.
+
+    Args:
+        n: String length.
+        tail_cutoff: Stop once the remaining upper tail is below this.
+
+    Returns:
+        Mapping run length -> probability (lengths with negligible mass in
+        the upper tail are omitted; the omitted mass is < *tail_cutoff*).
+    """
+    pmf: Dict[int, float] = {}
+    prev = Fraction(0)
+    denom = 1 << n
+    for x in range(n + 1):
+        cur = Fraction(count_max_run_at_most(n, x), denom)
+        mass = cur - prev
+        if mass > 0:
+            pmf[x] = float(mass)
+        prev = cur
+        if 1 - cur < tail_cutoff:
+            break
+    return pmf
+
+
+def quantile_longest_run(n: int, probability: float) -> int:
+    """Smallest ``x`` with P(longest run <= x) >= *probability*.
+
+    This regenerates the paper's Table 1: e.g. the bound that holds with
+    99 % or 99.99 % probability per bitwidth.
+    """
+    if not (0 < probability < 1):
+        raise ValueError("probability must be in (0, 1)")
+    target = Fraction(probability).limit_denominator(10**15)
+    denom = 1 << n
+    for x in range(n + 1):
+        if Fraction(count_max_run_at_most(n, x), denom) >= target:
+            return x
+    return n
+
+
+def expected_longest_run(n: int) -> float:
+    """Exact E[longest 1-run] via ``E = sum_x P(L > x)``."""
+    denom = 1 << n
+    total = Fraction(0)
+    for x in range(n + 1):
+        p_le = Fraction(count_max_run_at_most(n, x), denom)
+        tail = 1 - p_le
+        if tail == 0:
+            break
+        total += tail
+        if float(tail) < 1e-18:
+            break
+    return float(total)
+
+
+def variance_longest_run(n: int) -> float:
+    """Exact Var[longest 1-run] (Schilling reports ~1.873 asymptotically)."""
+    pmf = longest_run_distribution(n)
+    mean = sum(x * p for x, p in pmf.items())
+    return sum(p * (x - mean) ** 2 for x, p in pmf.items())
+
+
+def longest_run_of_ones(value: int) -> int:
+    """Longest run of ones in the binary representation of *value*.
+
+    Uses the doubling trick: repeatedly AND with a shifted copy; each step
+    of size ``s`` certifies runs of length ``current + s``.
+    """
+    if value < 0:
+        raise ValueError("value must be non-negative")
+    length = 0
+    while value:
+        # One step of x & (x >> 1) reduces every run length by one.
+        value &= value >> 1
+        length += 1
+    return length
+
+
+def table1_rows(bitwidths: Sequence[int],
+                probabilities: Sequence[float] = (0.99, 0.9999)
+                ) -> List[Tuple[int, Tuple[int, ...]]]:
+    """Rows of the paper's Table 1: per bitwidth, the run bound per target.
+
+    Returns:
+        List of ``(bitwidth, (bound_for_p0, bound_for_p1, ...))``.
+    """
+    rows = []
+    for n in bitwidths:
+        bounds = tuple(quantile_longest_run(n, p) for p in probabilities)
+        rows.append((n, bounds))
+    return rows

@@ -1,0 +1,29 @@
+"""Application substrate: the ciphertext-only attack of paper Section 1."""
+
+from .blockcipher import AdderFn, ArxCipher, aca_adder, exact_adder
+from .frequency import (
+    ENGLISH_LETTER_FREQ,
+    chi_squared_score,
+    letter_histogram,
+    looks_like_english,
+    sample_corpus,
+)
+from .attack import AttackResult, CountingAdder, KeyScore, run_attack
+from .dsp import (
+    VlsaFirStats,
+    fir_filter,
+    moving_average_taps,
+    quantize,
+    snr_db,
+    synth_signal,
+    vlsa_fir_filter,
+)
+
+__all__ = [
+    "AdderFn", "ArxCipher", "aca_adder", "exact_adder",
+    "ENGLISH_LETTER_FREQ", "chi_squared_score", "letter_histogram",
+    "looks_like_english", "sample_corpus",
+    "AttackResult", "CountingAdder", "KeyScore", "run_attack",
+    "fir_filter", "vlsa_fir_filter", "VlsaFirStats",
+    "moving_average_taps", "quantize", "snr_db", "synth_signal",
+]

@@ -1,0 +1,110 @@
+"""English-letter frequency analysis (the attack's statistical test).
+
+The paper's ciphertext-only attack keeps a candidate key when the
+decrypted text's character frequencies look like natural language ("e"
+at ~12.7 %, "x" at ~0.15 %, ...).  This module provides the reference
+frequency table, a chi-squared goodness-of-fit score, and a small
+public-domain corpus generator for the experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, Optional
+
+__all__ = [
+    "ENGLISH_LETTER_FREQ",
+    "letter_histogram",
+    "chi_squared_score",
+    "looks_like_english",
+    "sample_corpus",
+]
+
+#: Relative letter frequencies of English text (per cent), the standard
+#: table the paper alludes to ("e occurs with 12.7% frequency, x with
+#: 0.15%").
+ENGLISH_LETTER_FREQ: Dict[str, float] = {
+    "a": 8.167, "b": 1.492, "c": 2.782, "d": 4.253, "e": 12.702,
+    "f": 2.228, "g": 2.015, "h": 6.094, "i": 6.966, "j": 0.153,
+    "k": 0.772, "l": 4.025, "m": 2.406, "n": 6.749, "o": 7.507,
+    "p": 1.929, "q": 0.095, "r": 5.987, "s": 6.327, "t": 9.056,
+    "u": 2.758, "v": 0.978, "w": 2.360, "x": 0.150, "y": 1.974,
+    "z": 0.074,
+}
+
+_BASE_TEXT = (
+    "adders are one of the key components in arithmetic circuits and "
+    "enhancing their performance can significantly improve the quality of "
+    "arithmetic designs this is the reason why the theoretical lower "
+    "bounds on the delay and area of an adder have been analysed and "
+    "circuits with performance close to these bounds have been designed "
+    "binary addition is one of the most frequently used arithmetic "
+    "operations it is a vital component in more complex arithmetic "
+    "operations such as multiplication and division the attacker deduces "
+    "a key by first pruning the set of potential keys and then "
+    "exhaustively enumerates the decryption procedure using each of the "
+    "potential keys any key for which the deciphered text has a frequency "
+    "of characters that is similar to what is expected is considered to "
+    "be valid and is then analysed using more sophisticated methods "
+)
+
+
+def letter_histogram(data: bytes) -> Dict[str, int]:
+    """Count ASCII letters (case-folded) in *data*."""
+    hist: Dict[str, int] = {}
+    for byte in data:
+        ch = chr(byte).lower()
+        if "a" <= ch <= "z":
+            hist[ch] = hist.get(ch, 0) + 1
+    return hist
+
+
+def chi_squared_score(data: bytes) -> float:
+    """Chi-squared distance between *data*'s letters and English.
+
+    Lower is more English-like.  Non-letter bytes contribute a fixed
+    penalty so that binary garbage (what a wrong key produces) scores far
+    worse than text.
+    """
+    if not data:
+        return float("inf")
+    hist = letter_histogram(data)
+    letters = sum(hist.values())
+    non_letters = sum(1 for byte in data
+                      if not ("a" <= chr(byte).lower() <= "z")
+                      and chr(byte) not in " \n\t.,;:'\"!?-")
+    if letters == 0:
+        return float("inf")
+    score = 0.0
+    for ch, expected_pct in ENGLISH_LETTER_FREQ.items():
+        expected = letters * expected_pct / 100.0
+        observed = hist.get(ch, 0)
+        if expected > 0:
+            score += (observed - expected) ** 2 / expected
+    # Each suspicious byte is strong evidence against natural language.
+    score += 20.0 * non_letters
+    return score / len(data)
+
+
+def looks_like_english(data: bytes, threshold: float = 1.0) -> bool:
+    """Cheap accept/reject test used for key pruning."""
+    return chi_squared_score(data) < threshold
+
+
+def sample_corpus(num_bytes: int, seed: Optional[int] = 0) -> bytes:
+    """A deterministic English-like corpus of roughly *num_bytes* bytes.
+
+    Stitches shuffled sentences of a built-in passage (public-domain
+    phrasing from the paper's own abstract/introduction) until the length
+    target is met, so character statistics match natural English.
+    """
+    rng = random.Random(seed)
+    words = _BASE_TEXT.split()
+    chunks = []
+    size = 0
+    while size < num_bytes:
+        start = rng.randrange(0, max(1, len(words) - 12))
+        sentence = " ".join(words[start:start + rng.randint(6, 12)]) + " "
+        chunks.append(sentence)
+        size += len(sentence)
+    return ("".join(chunks))[:num_bytes].encode("ascii")

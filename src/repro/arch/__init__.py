@@ -1,0 +1,10 @@
+"""Sequential substrate: clocking, the VLSA machine (Fig. 6/7), VCD export."""
+
+from .clocking import ClockDomain, Register
+from .vcd import VcdWriter
+from .vlsa_machine import VlsaMachine, VlsaOpResult, VlsaTrace
+from .processor import CpuResult, Instruction, TinyCpu, assemble
+
+__all__ = ["ClockDomain", "Register", "VcdWriter",
+           "VlsaMachine", "VlsaOpResult", "VlsaTrace",
+           "CpuResult", "Instruction", "TinyCpu", "assemble"]

@@ -1,0 +1,100 @@
+"""Minimal cycle-based sequential simulation substrate.
+
+The VLSA is a synchronous design (paper Fig. 6): registers, a clock whose
+period is set by the error-detection path, and a VALID/STALL handshake.
+This module provides just enough RTL-style machinery to model it cycle by
+cycle: :class:`Register` state elements updated by a two-phase
+:class:`ClockDomain` (compute next values combinationally, then commit on
+the clock edge), so feedback loops behave like real flip-flops.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generic, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["Register", "ClockDomain"]
+
+
+class Register(Generic[T]):
+    """An edge-triggered state element.
+
+    Args:
+        init: Reset value.
+        name: Optional name for traces.
+
+    Combinational code reads :attr:`q` (the current state) and schedules
+    the next state with :meth:`set_next`; the clock domain commits all
+    registers simultaneously, so evaluation order within a cycle does not
+    matter.
+    """
+
+    def __init__(self, init: T, name: str = ""):
+        self.name = name
+        self._reset = init
+        self.q: T = init
+        self._next: T = init
+        self._pending = False
+
+    def set_next(self, value: T) -> None:
+        """Schedule *value* to be latched at the next clock edge."""
+        self._next = value
+        self._pending = True
+
+    def hold(self) -> None:
+        """Keep the current value through the next edge (explicit enable=0)."""
+        self._pending = False
+
+    def _tick(self) -> None:
+        if self._pending:
+            self.q = self._next
+            self._pending = False
+
+    def reset(self) -> None:
+        """Return to the reset value immediately."""
+        self.q = self._reset
+        self._pending = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Register({self.name or id(self):x}, q={self.q!r})"
+
+
+class ClockDomain:
+    """A set of registers advanced together by :meth:`tick`.
+
+    Attributes:
+        cycle: Number of completed clock cycles since reset.
+        period: Clock period in time units (ns); :attr:`now` is
+            ``cycle * period``.
+    """
+
+    def __init__(self, period: float = 1.0):
+        if period <= 0:
+            raise ValueError("clock period must be positive")
+        self.period = period
+        self.cycle = 0
+        self._registers: List[Register] = []
+
+    def register(self, init: T, name: str = "") -> Register:
+        """Create a :class:`Register` owned by this domain."""
+        reg = Register(init, name)
+        self._registers.append(reg)
+        return reg
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (completed cycles x period)."""
+        return self.cycle * self.period
+
+    def tick(self) -> None:
+        """Commit all scheduled register updates (one rising clock edge)."""
+        for reg in self._registers:
+            reg._tick()
+        self.cycle += 1
+
+    def reset(self) -> None:
+        """Reset every register and the cycle counter."""
+        for reg in self._registers:
+            reg.reset()
+        self.cycle = 0

@@ -1,0 +1,83 @@
+"""Value Change Dump (VCD) writer for waveform inspection.
+
+Traces produced by the VLSA machine (and anything else cycle-based) can be
+exported to the standard VCD format and opened in GTKWave & co.  Only the
+subset of VCD needed for synchronous traces is implemented: scalar and
+vector wires, one timescale, value changes on integer timestamps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["VcdWriter"]
+
+_ID_CHARS = "".join(chr(c) for c in range(33, 127))
+
+
+class VcdWriter:
+    """Accumulates signal declarations and changes, then renders VCD text.
+
+    Example::
+
+        vcd = VcdWriter(timescale="1 ns")
+        clk = vcd.add_signal("clk", 1)
+        data = vcd.add_signal("data", 8)
+        vcd.change(clk, 0, 1)
+        vcd.change(data, 0, 0xAB)
+        print(vcd.render())
+    """
+
+    def __init__(self, timescale: str = "1 ns", module: str = "top"):
+        self.timescale = timescale
+        self.module = module
+        self._signals: List[Tuple[str, int, str]] = []  # (name, width, id)
+        self._changes: Dict[int, List[Tuple[str, int, int]]] = {}
+
+    def add_signal(self, name: str, width: int = 1) -> str:
+        """Declare a signal; returns the handle used by :meth:`change`."""
+        if width <= 0:
+            raise ValueError("signal width must be positive")
+        ident = self._make_id(len(self._signals))
+        self._signals.append((name, width, ident))
+        return ident
+
+    @staticmethod
+    def _make_id(index: int) -> str:
+        base = len(_ID_CHARS)
+        out = ""
+        index += 1
+        while index:
+            index, rem = divmod(index - 1, base)
+            out = _ID_CHARS[rem] + out
+        return out
+
+    def change(self, ident: str, time: int, value: int) -> None:
+        """Record that signal *ident* takes *value* at *time*."""
+        width = next(w for (_, w, i) in self._signals if i == ident)
+        self._changes.setdefault(time, []).append((ident, width, value))
+
+    def render(self) -> str:
+        """Produce the complete VCD file contents."""
+        lines = [
+            f"$timescale {self.timescale} $end",
+            f"$scope module {self.module} $end",
+        ]
+        for name, width, ident in self._signals:
+            lines.append(f"$var wire {width} {ident} {name} $end")
+        lines.append("$upscope $end")
+        lines.append("$enddefinitions $end")
+        for time in sorted(self._changes):
+            lines.append(f"#{time}")
+            for ident, width, value in self._changes[time]:
+                if width == 1:
+                    lines.append(f"{value & 1}{ident}")
+                else:
+                    bits = format(value & ((1 << width) - 1), "b")
+                    lines.append(f"b{bits} {ident}")
+        return "\n".join(lines) + "\n"
+
+    def save(self, path: str) -> None:
+        """Write the VCD file to *path*."""
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(self.render())

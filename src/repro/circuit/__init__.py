@@ -1,0 +1,99 @@
+"""Gate-level netlist substrate: construction, simulation, timing, area.
+
+This package is the "synthesis + STA" stand-in for the paper's VHDL +
+standard-cell flow (see DESIGN.md for the substitution rationale).
+
+Quick tour::
+
+    from repro.circuit import Circuit, simulate_bus_ints, analyze_timing, UMC180
+
+    c = Circuit("half_adder")
+    a = c.add_input("a")
+    b = c.add_input("b")
+    c.set_output("sum", c.add_gate("XOR", a, b))
+    c.set_output("carry", c.add_gate("AND", a, b))
+    simulate_bus_ints(c, {"a": 1, "b": 1})   # {'sum': 0, 'carry': 1}
+    analyze_timing(c, UMC180).critical_delay
+"""
+
+from .netlist import Circuit, CircuitError, Net
+from .gates import GATE_SPECS, GateSpec, gate_spec, is_input_op, is_state_op
+from .builder import (
+    and_tree,
+    carry_combine,
+    carry_combine_g,
+    or_tree,
+    pg_preprocess,
+    reduce_tree,
+    sum_postprocess,
+    xor_tree,
+)
+from .simulate import (
+    bus_to_int,
+    int_to_bus,
+    random_stimulus,
+    simulate,
+    simulate_bus_ints,
+    simulate_words,
+)
+from .timing import TimingReport, analyze_timing, critical_path_delay, output_arrivals
+from .area import AreaReport, analyze_area, total_area
+from .techlib import LIBRARIES, UMC180, UNIT, TechLibrary, get_library
+from .validate import (
+    assert_equivalent_exhaustive,
+    assert_equivalent_random,
+    check_structure,
+)
+from .opt import OptStats, rebuild, sweep_dead_logic
+from .faults import (
+    FaultReport,
+    StuckAtFault,
+    enumerate_faults,
+    fault_coverage,
+    simulate_with_fault,
+)
+from .buffering import BufferStats, insert_buffers
+from .atpg import AtpgResult, fault_bdd_test, generate_tests
+from .sequential import (
+    SequentialSimulator,
+    SequentialTiming,
+    min_clock_period,
+    sequential_timing,
+)
+from .stats import CircuitStats, collect_stats, format_stats
+from .bdd import (
+    Bdd,
+    build_output_bdds,
+    count_satisfying,
+    interleaved_order,
+    prove_equivalent,
+)
+from .export_vhdl import to_vhdl
+from .export_verilog import to_verilog
+from .export_dot import to_dot
+from . import serialize
+
+__all__ = [
+    "Circuit", "CircuitError", "Net",
+    "GATE_SPECS", "GateSpec", "gate_spec", "is_input_op", "is_state_op",
+    "and_tree", "or_tree", "xor_tree", "reduce_tree",
+    "pg_preprocess", "carry_combine", "carry_combine_g", "sum_postprocess",
+    "simulate", "simulate_words", "simulate_bus_ints",
+    "bus_to_int", "int_to_bus", "random_stimulus",
+    "TimingReport", "analyze_timing", "critical_path_delay", "output_arrivals",
+    "AreaReport", "analyze_area", "total_area",
+    "TechLibrary", "UNIT", "UMC180", "LIBRARIES", "get_library",
+    "check_structure", "assert_equivalent_exhaustive",
+    "assert_equivalent_random",
+    "OptStats", "sweep_dead_logic", "rebuild",
+    "StuckAtFault", "FaultReport", "enumerate_faults", "fault_coverage",
+    "simulate_with_fault",
+    "BufferStats", "insert_buffers",
+    "AtpgResult", "fault_bdd_test", "generate_tests",
+    "SequentialSimulator", "SequentialTiming", "min_clock_period",
+    "sequential_timing",
+    "CircuitStats", "collect_stats", "format_stats",
+    "Bdd", "build_output_bdds", "count_satisfying", "interleaved_order",
+    "prove_equivalent",
+    "to_vhdl", "to_verilog", "to_dot", "serialize",
+]

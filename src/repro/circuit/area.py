@@ -1,0 +1,64 @@
+"""Cell-area accounting for gate-level netlists.
+
+Area is the sum of cell areas over gates reachable from the registered
+outputs (dead logic is not charged — synthesis would sweep it).  A per-op
+breakdown supports the Fig. 8 area comparison and the sharing ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .gates import is_input_op
+from .netlist import Circuit
+from .techlib import TechLibrary, UNIT
+
+__all__ = ["AreaReport", "analyze_area", "total_area"]
+
+
+@dataclass
+class AreaReport:
+    """Result of an area analysis.
+
+    Attributes:
+        circuit_name: Name of the analysed circuit.
+        library_name: Name of the area model used.
+        total: Total cell area of live logic.
+        by_op: Area per operation type.
+        gate_count: Number of live logic gates.
+    """
+
+    circuit_name: str
+    library_name: str
+    total: float
+    by_op: Dict[str, float]
+    gate_count: int
+
+    def normalized_to(self, reference: "AreaReport") -> float:
+        """This circuit's area divided by *reference*'s total."""
+        if reference.total <= 0:
+            raise ValueError("reference area must be positive")
+        return self.total / reference.total
+
+
+def analyze_area(circuit: Circuit, library: TechLibrary = UNIT) -> AreaReport:
+    """Compute total and per-op area of the live logic in *circuit*."""
+    live = circuit.reachable_from_outputs() if circuit.outputs else (
+        [True] * len(circuit.nets))
+    total = 0.0
+    by_op: Dict[str, float] = {}
+    count = 0
+    for net in circuit.nets:
+        if not live[net.nid] or is_input_op(net.op):
+            continue
+        a = library.gate_area(net.op, len(net.fanins))
+        total += a
+        by_op[net.op] = by_op.get(net.op, 0.0) + a
+        count += 1
+    return AreaReport(circuit.name, library.name, total, by_op, count)
+
+
+def total_area(circuit: Circuit, library: TechLibrary = UNIT) -> float:
+    """Convenience wrapper returning only the total live area."""
+    return analyze_area(circuit, library).total

@@ -1,0 +1,226 @@
+"""Deterministic test-pattern generation (ATPG) for stuck-at faults.
+
+Random patterns (see :func:`repro.circuit.faults.fault_coverage`) catch
+most faults cheaply but leave a tail and prove nothing about the misses.
+This module closes the loop with a symbolic step: for each fault, the
+XOR *miter* between the good circuit and the faulty circuit is built as
+a BDD — any satisfying assignment is a test vector, and an unsatisfiable
+miter *proves* the fault untestable (redundant logic).
+
+The generator runs in two phases like production ATPG: random patterns
+with fault dropping first, then BDD-based generation for the survivors,
+followed by greedy compaction of the final test set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .bdd import Bdd, build_output_bdds, interleaved_order
+from .faults import StuckAtFault, enumerate_faults, simulate_with_fault
+from .netlist import Circuit
+from .simulate import simulate_words
+
+__all__ = ["AtpgResult", "generate_tests", "fault_bdd_test"]
+
+
+def _faulty_bdds(circuit: Circuit, manager: Bdd, order: Dict[int, int],
+                 fault: StuckAtFault) -> Dict[str, List[int]]:
+    """Output BDDs of the circuit with *fault* injected."""
+    values: List[Optional[int]] = [None] * len(circuit.nets)
+    for name, bus in circuit.inputs.items():
+        for nid in bus:
+            values[nid] = manager.var(order[nid])
+
+    from .gates import GATE_SPECS  # noqa: F401  (documented dependency)
+
+    for net in circuit.topological_nets():
+        if net.op == "INPUT":
+            pass
+        elif net.op == "CONST0":
+            values[net.nid] = Bdd.FALSE
+        elif net.op == "CONST1":
+            values[net.nid] = Bdd.TRUE
+        else:
+            args = [values[f] for f in net.fanins]
+            values[net.nid] = _apply(manager, net.op, args)
+        if net.nid == fault.nid:
+            values[net.nid] = Bdd.TRUE if fault.value else Bdd.FALSE
+
+    return {name: [values[nid] for nid in bus]
+            for name, bus in circuit.outputs.items()}
+
+
+def _apply(manager: Bdd, op: str, args: List[int]) -> int:
+    if op == "NOT":
+        return manager.apply_not(args[0])
+    if op == "BUF":
+        return args[0]
+    if op in ("AND", "NAND", "OR", "NOR", "XOR", "XNOR"):
+        fold = {"AND": manager.apply_and, "NAND": manager.apply_and,
+                "OR": manager.apply_or, "NOR": manager.apply_or,
+                "XOR": manager.apply_xor, "XNOR": manager.apply_xor}[op]
+        out = args[0]
+        for x in args[1:]:
+            out = fold(out, x)
+        if op in ("NAND", "NOR", "XNOR"):
+            out = manager.apply_not(out)
+        return out
+    if op == "AO21":
+        return manager.apply_or(manager.apply_and(args[0], args[1]),
+                                args[2])
+    if op == "OA21":
+        return manager.apply_and(manager.apply_or(args[0], args[1]),
+                                 args[2])
+    if op == "MUX2":
+        return manager.ite(args[0], args[1], args[2])
+    if op == "MAJ3":
+        a, b, c = args
+        return manager.apply_or(
+            manager.apply_or(manager.apply_and(a, b),
+                             manager.apply_and(a, c)),
+            manager.apply_and(b, c))
+    raise ValueError(f"cannot translate op {op!r}")
+
+
+def fault_bdd_test(circuit: Circuit,
+                   fault: StuckAtFault) -> Optional[Dict[str, int]]:
+    """A test vector detecting *fault*, or None if it is untestable.
+
+    Builds the good/faulty miter symbolically; the BDD makes the
+    untestable verdict a proof, not a sampling failure.
+    """
+    order = interleaved_order(circuit)
+    manager = Bdd(len(order))
+    good = build_output_bdds(circuit, manager, order)
+    bad = _faulty_bdds(circuit, manager, order, fault)
+
+    miter = Bdd.FALSE
+    for name in circuit.outputs:
+        for fg, fb in zip(good[name], bad[name]):
+            miter = manager.apply_or(miter, manager.apply_xor(fg, fb))
+    assignment = manager.any_sat(miter)
+    if assignment is None:
+        return None
+    vector: Dict[str, int] = {}
+    for name, bus in circuit.inputs.items():
+        value = 0
+        for bit, nid in enumerate(bus):
+            value |= assignment[order[nid]] << bit
+        vector[name] = value
+    return vector
+
+
+@dataclass
+class AtpgResult:
+    """Outcome of test generation."""
+
+    vectors: List[Dict[str, int]]
+    detected: int
+    untestable: List[StuckAtFault]
+    total_faults: int
+
+    @property
+    def coverage(self) -> float:
+        """Detected / testable faults (untestable ones excluded)."""
+        testable = self.total_faults - len(self.untestable)
+        return self.detected / testable if testable else 1.0
+
+
+def _detects(circuit: Circuit, vectors: List[Dict[str, int]],
+             faults: List[StuckAtFault]) -> List[bool]:
+    """Which *faults* are detected by *vectors* (bit-parallel)."""
+    if not vectors:
+        return [False] * len(faults)
+    count = len(vectors)
+    stim: Dict[str, List[int]] = {}
+    for name, bus in circuit.inputs.items():
+        words = []
+        for bit in range(len(bus)):
+            word = 0
+            for j, vec in enumerate(vectors):
+                word |= ((vec[name] >> bit) & 1) << j
+            words.append(word)
+        stim[name] = words
+    golden = simulate_words(circuit, stim, count)
+    hits = []
+    for fault in faults:
+        out = simulate_with_fault(circuit, fault, stim, count)
+        hits.append(any(out[n][b] != golden[n][b]
+                        for n in circuit.outputs
+                        for b in range(len(golden[n]))))
+    return hits
+
+
+def generate_tests(circuit: Circuit, random_vectors: int = 64,
+                   seed: Optional[int] = 0,
+                   compact: bool = True) -> AtpgResult:
+    """Generate a complete stuck-at test set for *circuit*.
+
+    Phase 1 applies random patterns with fault dropping; phase 2 targets
+    each surviving fault with a BDD miter (proving untestability where no
+    vector exists); an optional greedy pass drops vectors that detect no
+    otherwise-undetected fault.
+    """
+    faults = enumerate_faults(circuit)
+    rng = np.random.default_rng(seed)
+
+    vectors: List[Dict[str, int]] = []
+    for _ in range(random_vectors):
+        vec = {}
+        for name, bus in circuit.inputs.items():
+            value = 0
+            for chunk in range((len(bus) + 61) // 62):
+                take = min(62, len(bus) - chunk * 62)
+                value |= int(rng.integers(0, 1 << take)) << (chunk * 62)
+            vec[name] = value
+        vectors.append(vec)
+
+    hits = _detects(circuit, vectors, faults)
+    remaining = [f for f, hit in zip(faults, hits) if not hit]
+
+    untestable: List[StuckAtFault] = []
+    for fault in remaining:
+        vec = fault_bdd_test(circuit, fault)
+        if vec is None:
+            untestable.append(fault)
+        else:
+            vectors.append(vec)
+
+    if compact:
+        vectors = _compact(circuit, vectors, faults, untestable)
+
+    final_hits = _detects(circuit, vectors, faults)
+    detected = sum(final_hits)
+    return AtpgResult(vectors, detected, untestable, len(faults))
+
+
+def _compact(circuit: Circuit, vectors: List[Dict[str, int]],
+             faults: List[StuckAtFault],
+             untestable: List[StuckAtFault]) -> List[Dict[str, int]]:
+    """Greedy reverse-order compaction: drop vectors whose faults are
+    all covered by the kept set."""
+    testable = [f for f in faults if f not in set(untestable)]
+    per_vector = [
+        set(i for i, hit in enumerate(_detects(circuit, [vec], testable))
+            if hit)
+        for vec in vectors
+    ]
+    kept: List[int] = []
+    covered: set = set()
+    # Greedy largest-gain selection.
+    remaining = set(range(len(vectors)))
+    target = set()
+    for s in per_vector:
+        target |= s
+    while covered != target and remaining:
+        best = max(remaining, key=lambda i: len(per_vector[i] - covered))
+        if not (per_vector[best] - covered):
+            break
+        kept.append(best)
+        covered |= per_vector[best]
+        remaining.discard(best)
+    return [vectors[i] for i in sorted(kept)]

@@ -1,0 +1,311 @@
+"""A small reduced-ordered BDD engine and formal equivalence checking.
+
+Random simulation (see :mod:`repro.circuit.validate`) catches most bugs;
+this module provides the complementary *formal* check: build ROBDDs for
+two circuits' outputs under a shared variable order and compare node
+pointers — equal pointers prove equivalence over the full input space.
+
+Adders have linear-size BDDs when operand bits are interleaved
+(``a0, b0, a1, b1, ...``), which :func:`interleaved_order` produces, so
+checking a 64-bit speculative adder against the exact one takes
+milliseconds.  The engine is deliberately minimal: unique table,
+memoised ITE, complement-free nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .gates import is_input_op
+from .netlist import Circuit, CircuitError
+
+__all__ = ["Bdd", "interleaved_order", "build_output_bdds",
+           "prove_equivalent", "count_satisfying"]
+
+
+class Bdd:
+    """A reduced-ordered BDD manager.
+
+    Nodes are integers: 0 and 1 are the terminals, larger ids index the
+    node table ``(level, low, high)``.  Variables are identified by their
+    *level* (position in the variable order, smaller = closer to root).
+    """
+
+    FALSE = 0
+    TRUE = 1
+
+    def __init__(self, num_vars: int):
+        if num_vars < 0:
+            raise CircuitError("num_vars must be non-negative")
+        self.num_vars = num_vars
+        # node id -> (level, low, high); terminals use level = num_vars.
+        self._nodes: List[Tuple[int, int, int]] = [
+            (num_vars, 0, 0), (num_vars, 1, 1)]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    def var(self, level: int) -> int:
+        """BDD for the single variable at *level*."""
+        if not (0 <= level < self.num_vars):
+            raise CircuitError(f"variable level {level} out of range")
+        return self._mk(level, self.FALSE, self.TRUE)
+
+    def _mk(self, level: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (level, low, high)
+        hit = self._unique.get(key)
+        if hit is not None:
+            return hit
+        nid = len(self._nodes)
+        self._nodes.append(key)
+        self._unique[key] = nid
+        return nid
+
+    def _level(self, nid: int) -> int:
+        return self._nodes[nid][0]
+
+    def _cofactors(self, nid: int, level: int) -> Tuple[int, int]:
+        node_level, low, high = self._nodes[nid]
+        if node_level == level:
+            return low, high
+        return nid, nid
+
+    # ------------------------------------------------------------------
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: ``f ? g : h`` — the universal BDD operation."""
+        if f == self.TRUE:
+            return g
+        if f == self.FALSE:
+            return h
+        if g == h:
+            return g
+        if g == self.TRUE and h == self.FALSE:
+            return f
+        key = (f, g, h)
+        hit = self._ite_cache.get(key)
+        if hit is not None:
+            return hit
+        level = min(self._level(f), self._level(g), self._level(h))
+        f0, f1 = self._cofactors(f, level)
+        g0, g1 = self._cofactors(g, level)
+        h0, h1 = self._cofactors(h, level)
+        result = self._mk(level,
+                          self.ite(f0, g0, h0),
+                          self.ite(f1, g1, h1))
+        self._ite_cache[key] = result
+        return result
+
+    def apply_not(self, f: int) -> int:
+        return self.ite(f, self.FALSE, self.TRUE)
+
+    def apply_and(self, f: int, g: int) -> int:
+        return self.ite(f, g, self.FALSE)
+
+    def apply_or(self, f: int, g: int) -> int:
+        return self.ite(f, self.TRUE, g)
+
+    def apply_xor(self, f: int, g: int) -> int:
+        return self.ite(f, self.apply_not(g), g)
+
+    # ------------------------------------------------------------------
+    def evaluate(self, f: int, assignment: Sequence[int]) -> int:
+        """Evaluate node *f* under per-level variable values."""
+        while f > 1:
+            level, low, high = self._nodes[f]
+            f = high if assignment[level] else low
+        return f
+
+    def count_sat(self, f: int) -> int:
+        """Number of satisfying assignments over all variables."""
+        memo: Dict[int, int] = {}
+
+        def walk(nid: int) -> int:
+            if nid == self.FALSE:
+                return 0
+            if nid == self.TRUE:
+                return 1 << 0  # scaled below by level gaps
+            if nid in memo:
+                return memo[nid]
+            level, low, high = self._nodes[nid]
+            lo_level = self._level(low)
+            hi_level = self._level(high)
+            total = (walk(low) << (lo_level - level - 1)) + (
+                walk(high) << (hi_level - level - 1))
+            memo[nid] = total
+            return total
+
+        top_level = self._level(f)
+        if f <= 1:
+            return (1 << self.num_vars) if f == self.TRUE else 0
+        return walk(f) << top_level
+
+    def any_sat(self, f: int) -> Optional[List[int]]:
+        """One satisfying assignment of *f* (per-level values), or None.
+
+        Unconstrained variables are set to 0.
+        """
+        if f == self.FALSE:
+            return None
+        assignment = [0] * self.num_vars
+        while f > 1:
+            level, low, high = self._nodes[f]
+            if low != self.FALSE:
+                assignment[level] = 0
+                f = low
+            else:
+                assignment[level] = 1
+                f = high
+        return assignment
+
+    def size(self) -> int:
+        """Total nodes allocated in the manager."""
+        return len(self._nodes)
+
+
+def interleaved_order(circuit: Circuit) -> Dict[int, int]:
+    """Variable order interleaving same-index bits of all input buses.
+
+    ``a0, b0, a1, b1, ...`` keeps adder BDDs linear in the bitwidth.
+
+    Returns:
+        Mapping input net id -> variable level.
+    """
+    buses = list(circuit.inputs.values())
+    max_width = max((len(b) for b in buses), default=0)
+    order: Dict[int, int] = {}
+    level = 0
+    for bit in range(max_width):
+        for bus in buses:
+            if bit < len(bus):
+                order[bus[bit]] = level
+                level += 1
+    return order
+
+
+def build_output_bdds(circuit: Circuit, manager: Bdd,
+                      order: Dict[int, int]) -> Dict[str, List[int]]:
+    """Symbolically simulate *circuit*, returning BDDs per output bit.
+
+    Args:
+        circuit: Circuit to translate.
+        manager: Shared BDD manager (use one manager for both circuits
+            in an equivalence check).
+        order: Input net id -> variable level (see
+            :func:`interleaved_order`); both circuits must map
+            corresponding inputs to the same levels.
+    """
+    if circuit.is_sequential():
+        raise CircuitError("BDD translation handles combinational "
+                           "circuits only")
+    values: List[Optional[int]] = [None] * len(circuit.nets)
+    for name, bus in circuit.inputs.items():
+        for nid in bus:
+            if nid not in order:
+                raise CircuitError(f"input net {nid} missing from order")
+            values[nid] = manager.var(order[nid])
+
+    for net in circuit.topological_nets():
+        if net.op == "INPUT":
+            continue
+        if net.op == "CONST0":
+            values[net.nid] = Bdd.FALSE
+            continue
+        if net.op == "CONST1":
+            values[net.nid] = Bdd.TRUE
+            continue
+        args = [values[f] for f in net.fanins]
+        if net.op == "NOT":
+            out = manager.apply_not(args[0])
+        elif net.op == "BUF":
+            out = args[0]
+        elif net.op in ("AND", "NAND"):
+            out = args[0]
+            for x in args[1:]:
+                out = manager.apply_and(out, x)
+            if net.op == "NAND":
+                out = manager.apply_not(out)
+        elif net.op in ("OR", "NOR"):
+            out = args[0]
+            for x in args[1:]:
+                out = manager.apply_or(out, x)
+            if net.op == "NOR":
+                out = manager.apply_not(out)
+        elif net.op in ("XOR", "XNOR"):
+            out = args[0]
+            for x in args[1:]:
+                out = manager.apply_xor(out, x)
+            if net.op == "XNOR":
+                out = manager.apply_not(out)
+        elif net.op == "AO21":
+            out = manager.apply_or(manager.apply_and(args[0], args[1]),
+                                   args[2])
+        elif net.op == "OA21":
+            out = manager.apply_and(manager.apply_or(args[0], args[1]),
+                                    args[2])
+        elif net.op == "MUX2":
+            out = manager.ite(args[0], args[1], args[2])
+        elif net.op == "MAJ3":
+            a, b, c = args
+            out = manager.apply_or(
+                manager.apply_or(manager.apply_and(a, b),
+                                 manager.apply_and(a, c)),
+                manager.apply_and(b, c))
+        else:  # pragma: no cover - all ops handled above
+            raise CircuitError(f"cannot translate op {net.op!r}")
+        values[net.nid] = out
+
+    return {name: [values[nid] for nid in bus]
+            for name, bus in circuit.outputs.items()}
+
+
+def prove_equivalent(circuit_a: Circuit, circuit_b: Circuit,
+                     outputs: Optional[Sequence[str]] = None
+                     ) -> Tuple[bool, Optional[str]]:
+    """Formally prove two circuits equal on the named outputs.
+
+    The circuits must have identical input buses (names and widths).
+
+    Returns:
+        ``(True, None)`` on success, else ``(False, reason)`` naming the
+        first differing output bit.
+    """
+    if {k: len(v) for k, v in circuit_a.inputs.items()} != (
+            {k: len(v) for k, v in circuit_b.inputs.items()}):
+        return False, "input interfaces differ"
+
+    order_a = interleaved_order(circuit_a)
+    manager = Bdd(len(order_a))
+    # Map circuit_b's inputs to the same levels by bus name/bit.
+    order_b: Dict[int, int] = {}
+    for name, bus_a in circuit_a.inputs.items():
+        bus_b = circuit_b.inputs[name]
+        for nid_a, nid_b in zip(bus_a, bus_b):
+            order_b[nid_b] = order_a[nid_a]
+
+    bdds_a = build_output_bdds(circuit_a, manager, order_a)
+    bdds_b = build_output_bdds(circuit_b, manager, order_b)
+
+    names = outputs or sorted(set(bdds_a) & set(bdds_b))
+    for name in names:
+        if name not in bdds_a or name not in bdds_b:
+            return False, f"output {name!r} missing from one circuit"
+        if len(bdds_a[name]) != len(bdds_b[name]):
+            return False, f"output {name!r} widths differ"
+        for bit, (fa, fb) in enumerate(zip(bdds_a[name], bdds_b[name])):
+            if fa != fb:
+                return False, f"output {name}[{bit}] differs"
+    return True, None
+
+
+def count_satisfying(circuit: Circuit, output: str, bit: int = 0) -> int:
+    """Number of input assignments that set ``output[bit]`` to 1.
+
+    Useful for exact probability computations on small circuits (e.g.
+    the exact count of inputs that raise the error flag).
+    """
+    order = interleaved_order(circuit)
+    manager = Bdd(len(order))
+    bdds = build_output_bdds(circuit, manager, order)
+    return manager.count_sat(bdds[output][bit])

@@ -1,0 +1,125 @@
+"""Buffer-tree insertion for high-fanout nets.
+
+The timing model charges ``fanout_delay * log2(fanout)`` per gate, which
+assumes the synthesis tool buffers big nets.  This pass makes that
+assumption explicit: nets whose fanout exceeds a threshold get a balanced
+tree of BUF cells, bounding every net's fanout at the cost of buffer area
+and one buffer delay per tree level — the classical trade a designer can
+now measure instead of assume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .gates import is_input_op
+from .netlist import Circuit
+
+__all__ = ["BufferStats", "insert_buffers"]
+
+
+@dataclass
+class BufferStats:
+    """Summary of a buffering pass."""
+
+    buffers_added: int
+    nets_buffered: int
+    max_fanout_before: int
+    max_fanout_after: int
+
+
+def insert_buffers(circuit: Circuit, max_fanout: int = 4
+                   ) -> "tuple[Circuit, BufferStats]":
+    """Return a copy of *circuit* with no net driving more than
+    *max_fanout* sinks (outputs excluded — they are not gate loads).
+
+    Sinks are distributed over a balanced tree of BUF cells.  Buses and
+    attributes are preserved; net ids change.
+    """
+    if max_fanout < 2:
+        raise ValueError("max_fanout must be >= 2")
+    if circuit.is_sequential():
+        raise ValueError("insert_buffers handles combinational circuits "
+                         "only")
+    before = circuit.max_fanout()
+
+    new = Circuit(circuit.name, use_strash=False, fold_constants=False)
+    remap: Dict[int, int] = {}
+    for name, bus in circuit.inputs.items():
+        if len(bus) == 1 and circuit.nets[bus[0]].name == name:
+            remap[bus[0]] = new.add_input(name, pos=circuit.nets[bus[0]].pos)
+        else:
+            fresh = new.add_input_bus(name, len(bus))
+            for old, nid in zip(bus, fresh):
+                remap[old] = nid
+
+    # Count gate sinks per net in the original circuit.
+    fanouts = circuit.fanout_counts()
+
+    # For each buffered net we hand out leaves round-robin.
+    taps: Dict[int, List[int]] = {}
+    served: Dict[int, int] = {}
+    buffers_added = 0
+    nets_buffered = 0
+
+    def leaf_for(old_nid: int) -> int:
+        """The net a consumer of *old_nid* should connect to."""
+        if old_nid not in taps:
+            return remap[old_nid]
+        idx = served[old_nid]
+        served[old_nid] = idx + 1
+        leaves = taps[old_nid]
+        return leaves[idx % len(leaves)]
+
+    def build_taps(old_nid: int) -> None:
+        nonlocal buffers_added, nets_buffered
+        count = fanouts[old_nid]
+        if count <= max_fanout:
+            return
+        import math
+
+        num_leaves = math.ceil(count / max_fanout)
+        nets_buffered += 1
+        src = remap[old_nid]
+        pos = circuit.nets[old_nid].pos
+        # Build levels of buffers until enough leaves exist, each level
+        # fanning out at most max_fanout from the previous.
+        level = [src]
+        while len(level) < num_leaves:
+            nxt: List[int] = []
+            for drv in level:
+                if len(nxt) >= num_leaves:
+                    break
+                for _ in range(max_fanout):
+                    if len(nxt) >= num_leaves:
+                        break
+                    nxt.append(new.add_gate("BUF", drv, pos=pos))
+                    buffers_added += 1
+            level = nxt
+        taps[old_nid] = level
+        served[old_nid] = 0
+
+    for net in circuit.topological_nets():
+        if net.nid in remap:
+            build_taps(net.nid)
+            continue
+        if net.op == "CONST0":
+            remap[net.nid] = new.const(0)
+        elif net.op == "CONST1":
+            remap[net.nid] = new.const(1)
+        elif net.op == "INPUT":
+            remap[net.nid] = new.add_input(net.name or f"in{net.nid}",
+                                           pos=net.pos)
+        else:
+            new_fanins = [leaf_for(f) for f in net.fanins]
+            remap[net.nid] = new._new_net(net.op, tuple(new_fanins),
+                                          name=net.name, pos=net.pos)
+        build_taps(net.nid)
+
+    for name, bus in circuit.outputs.items():
+        new.set_output(name, [remap[nid] for nid in bus])
+    new.attrs.update(circuit.attrs)
+
+    return new, BufferStats(buffers_added, nets_buffered, before,
+                            new.max_fanout())

@@ -1,0 +1,128 @@
+"""Word-level construction helpers layered on top of :class:`Circuit`.
+
+These helpers keep adder generators terse: balanced AND/OR/XOR trees with a
+configurable maximum gate arity, propagate/generate preprocessing, and the
+carry-operator combine used by every prefix-style adder in the repository.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .netlist import Circuit, CircuitError
+
+__all__ = [
+    "reduce_tree",
+    "and_tree",
+    "or_tree",
+    "xor_tree",
+    "pg_preprocess",
+    "carry_combine",
+    "carry_combine_g",
+    "sum_postprocess",
+]
+
+
+def reduce_tree(circuit: Circuit, op: str, nets: Sequence[int],
+                max_arity: int = 2, pos: Optional[float] = None) -> int:
+    """Reduce *nets* with a balanced tree of *op* gates.
+
+    Args:
+        circuit: Target circuit.
+        op: A variadic associative operation (``AND``/``OR``/``XOR``/...).
+        nets: Net ids to reduce; must be non-empty.
+        max_arity: Maximum number of fanins per gate (e.g. 4 to use
+            four-input cells).
+        pos: Optional position stamped on the created gates.
+
+    Returns:
+        Net id of the tree root.
+    """
+    if not nets:
+        raise CircuitError("cannot reduce an empty net list")
+    if max_arity < 2:
+        raise CircuitError("max_arity must be >= 2")
+    level = list(nets)
+    while len(level) > 1:
+        nxt: List[int] = []
+        for i in range(0, len(level), max_arity):
+            group = level[i:i + max_arity]
+            if len(group) == 1:
+                nxt.append(group[0])
+            else:
+                nxt.append(circuit.add_gate(op, *group, pos=pos))
+        level = nxt
+    return level[0]
+
+
+def and_tree(circuit: Circuit, nets: Sequence[int], max_arity: int = 2,
+             pos: Optional[float] = None) -> int:
+    """Balanced AND reduction of *nets*."""
+    return reduce_tree(circuit, "AND", nets, max_arity=max_arity, pos=pos)
+
+
+def or_tree(circuit: Circuit, nets: Sequence[int], max_arity: int = 2,
+            pos: Optional[float] = None) -> int:
+    """Balanced OR reduction of *nets*."""
+    return reduce_tree(circuit, "OR", nets, max_arity=max_arity, pos=pos)
+
+
+def xor_tree(circuit: Circuit, nets: Sequence[int], max_arity: int = 2,
+             pos: Optional[float] = None) -> int:
+    """Balanced XOR reduction of *nets*."""
+    return reduce_tree(circuit, "XOR", nets, max_arity=max_arity, pos=pos)
+
+
+def pg_preprocess(circuit: Circuit, a: Sequence[int],
+                  b: Sequence[int]) -> Tuple[List[int], List[int]]:
+    """Per-bit generate/propagate signals ``g_i = a_i & b_i``, ``p_i = a_i ^ b_i``.
+
+    Positions are stamped with the bit index so wire-delay accounting knows
+    which column each signal lives in.
+
+    Returns:
+        ``(g, p)`` lists of net ids, LSB first.
+    """
+    if len(a) != len(b):
+        raise CircuitError("operand widths differ")
+    g = [circuit.add_gate("AND", ai, bi, pos=float(i))
+         for i, (ai, bi) in enumerate(zip(a, b))]
+    p = [circuit.add_gate("XOR", ai, bi, pos=float(i))
+         for i, (ai, bi) in enumerate(zip(a, b))]
+    return g, p
+
+
+def carry_combine(circuit: Circuit, g_hi: int, p_hi: int, g_lo: int,
+                  p_lo: int, pos: Optional[float] = None) -> Tuple[int, int]:
+    """The associative carry operator ``(g,p) = (g_hi + p_hi*g_lo, p_hi*p_lo)``.
+
+    The generate part maps to a single AO21 cell, the propagate part to an
+    AND — exactly the cells a prefix-adder node synthesises to.
+    """
+    g = circuit.add_gate("AO21", p_hi, g_lo, g_hi, pos=pos)
+    p = circuit.add_gate("AND", p_hi, p_lo, pos=pos)
+    return g, p
+
+
+def carry_combine_g(circuit: Circuit, g_hi: int, p_hi: int, g_lo: int,
+                    pos: Optional[float] = None) -> int:
+    """Generate-only combine (used when the propagate output is not needed)."""
+    return circuit.add_gate("AO21", p_hi, g_lo, g_hi, pos=pos)
+
+
+def sum_postprocess(circuit: Circuit, p: Sequence[int],
+                    carries: Sequence[int]) -> List[int]:
+    """Final sum bits ``s_i = p_i ^ c_{i-1}``.
+
+    Args:
+        p: Per-bit propagate signals, LSB first.
+        carries: ``carries[i]`` is the carry *into* bit ``i`` (so
+            ``carries[0]`` is the external carry-in or constant 0).
+
+    Returns:
+        Sum net ids, LSB first.
+    """
+    if len(carries) != len(p):
+        raise CircuitError("need one incoming carry per sum bit")
+    return [circuit.add_gate("XOR", pi, ci, pos=float(i))
+            for i, (pi, ci) in enumerate(zip(p, carries))]

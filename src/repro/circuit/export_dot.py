@@ -1,0 +1,58 @@
+"""Graphviz DOT export for visual inspection of small circuits."""
+
+from __future__ import annotations
+
+from .gates import is_input_op
+from .netlist import Circuit
+
+__all__ = ["to_dot"]
+
+_SHAPES = {
+    "INPUT": ("box", "lightblue"),
+    "CONST0": ("box", "gray90"),
+    "CONST1": ("box", "gray90"),
+    "AND": ("ellipse", "white"),
+    "OR": ("ellipse", "white"),
+    "XOR": ("ellipse", "lightyellow"),
+    "AO21": ("hexagon", "lightpink"),
+    "OA21": ("hexagon", "lightpink"),
+    "MUX2": ("trapezium", "lightgreen"),
+}
+
+
+def to_dot(circuit: Circuit, live_only: bool = True) -> str:
+    """Render *circuit* in Graphviz DOT format.
+
+    Args:
+        circuit: Circuit to render.
+        live_only: Only include logic reachable from registered outputs.
+
+    Returns:
+        DOT source text.
+    """
+    live = (circuit.reachable_from_outputs()
+            if live_only and circuit.outputs else [True] * len(circuit.nets))
+    out_names = {}
+    for name, bus in circuit.outputs.items():
+        for i, nid in enumerate(bus):
+            label = name if len(bus) == 1 else f"{name}[{i}]"
+            out_names.setdefault(nid, []).append(label)
+
+    lines = [f'digraph "{circuit.name}" {{', "  rankdir=BT;"]
+    for net in circuit.nets:
+        if not live[net.nid]:
+            continue
+        shape, fill = _SHAPES.get(net.op, ("ellipse", "white"))
+        label = net.name if net.name else net.op
+        if net.nid in out_names:
+            label += "\\n-> " + ",".join(out_names[net.nid])
+        lines.append(
+            f'  n{net.nid} [label="{label}", shape={shape}, '
+            f'style=filled, fillcolor={fill}];')
+    for net in circuit.nets:
+        if not live[net.nid]:
+            continue
+        for f in net.fanins:
+            lines.append(f"  n{f} -> n{net.nid};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

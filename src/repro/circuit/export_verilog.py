@@ -1,0 +1,140 @@
+"""Structural Verilog export (continuous assignments, Verilog-2001)."""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from .gates import is_input_op
+from .netlist import Circuit
+
+__all__ = ["to_verilog"]
+
+
+def _sanitize(name: str) -> str:
+    """Turn an arbitrary name into a legal Verilog identifier."""
+    out = re.sub(r"[^a-zA-Z0-9_$]", "_", name)
+    out = re.sub(r"_+", "_", out).strip("_")
+    if not out or not (out[0].isalpha() or out[0] == "_"):
+        out = "n_" + out
+    return out
+
+
+def _expr(op: str, args: List[str]) -> str:
+    if op == "NOT":
+        return f"~{args[0]}"
+    if op == "BUF":
+        return args[0]
+    if op == "AND":
+        return " & ".join(args)
+    if op == "OR":
+        return " | ".join(args)
+    if op == "XOR":
+        return " ^ ".join(args)
+    if op == "NAND":
+        return f"~({' & '.join(args)})"
+    if op == "NOR":
+        return f"~({' | '.join(args)})"
+    if op == "XNOR":
+        return f"~({' ^ '.join(args)})"
+    if op == "AO21":
+        a, b, c = args
+        return f"({a} & {b}) | {c}"
+    if op == "OA21":
+        a, b, c = args
+        return f"({a} | {b}) & {c}"
+    if op == "MUX2":
+        s, a, b = args
+        return f"{s} ? {a} : {b}"
+    if op == "MAJ3":
+        a, b, c = args
+        return f"({a} & {b}) | ({a} & {c}) | ({b} & {c})"
+    raise ValueError(f"cannot export op {op!r} to Verilog")
+
+
+def to_verilog(circuit: Circuit, module_name: str = None) -> str:
+    """Render *circuit* as a structural Verilog module.
+
+    Args:
+        circuit: Circuit to export (must have registered outputs).
+        module_name: Override for the module name.
+
+    Returns:
+        Verilog source text.
+    """
+    module = _sanitize(module_name or circuit.name)
+    live = circuit.reachable_from_outputs()
+    sequential = circuit.is_sequential()
+
+    ports: List[str] = []
+    decls: List[str] = []
+    if sequential:
+        ports.append("clk")
+        decls.append("  input  clk;")
+    for name, bus in circuit.inputs.items():
+        pname = _sanitize(name)
+        ports.append(pname)
+        rng = "" if len(bus) == 1 else f"[{len(bus) - 1}:0] "
+        decls.append(f"  input  {rng}{pname};")
+    for name, bus in circuit.outputs.items():
+        pname = _sanitize(name)
+        ports.append(pname)
+        rng = "" if len(bus) == 1 else f"[{len(bus) - 1}:0] "
+        decls.append(f"  output {rng}{pname};")
+
+    sig: Dict[int, str] = {}
+    for name, bus in circuit.inputs.items():
+        pname = _sanitize(name)
+        for i, nid in enumerate(bus):
+            sig[nid] = pname if len(bus) == 1 else f"{pname}[{i}]"
+
+    wires: List[str] = []
+    body: List[str] = []
+    seq_body: List[str] = []
+    # Flip-flop outputs must be named before any consumer (their data
+    # input may be a forward reference).
+    for nid in circuit.dffs():
+        if live[nid]:
+            wires.append(f"  reg r{nid} = 1'b"
+                         f"{circuit.dff_init.get(nid, 0)};")
+            sig[nid] = f"r{nid}"
+    for net in circuit.topological_nets():
+        if net.nid in sig or not live[net.nid]:
+            continue
+        if net.op == "CONST0":
+            sig[net.nid] = "1'b0"
+            continue
+        if net.op == "CONST1":
+            sig[net.nid] = "1'b1"
+            continue
+        if is_input_op(net.op):
+            continue
+        wire = f"w{net.nid}"
+        wires.append(f"  wire {wire};")
+        args = [sig[f] for f in net.fanins]
+        body.append(f"  assign {wire} = {_expr(net.op, args)};")
+        sig[net.nid] = wire
+    for nid in circuit.dffs():
+        if live[nid]:
+            src = circuit.nets[nid].fanins[0]
+            seq_body.append(f"    r{nid} <= {sig[src]};")
+    if seq_body:
+        body.append("  always @(posedge clk) begin")
+        body.extend(seq_body)
+        body.append("  end")
+
+    for name, bus in circuit.outputs.items():
+        pname = _sanitize(name)
+        for i, nid in enumerate(bus):
+            target = pname if len(bus) == 1 else f"{pname}[{i}]"
+            body.append(f"  assign {target} = {sig[nid]};")
+
+    lines = [
+        f"module {module} ({', '.join(ports)});",
+        *decls,
+        *wires,
+        *body,
+        "endmodule",
+        "",
+    ]
+    return "\n".join(lines)

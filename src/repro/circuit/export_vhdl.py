@@ -1,0 +1,159 @@
+"""Structural VHDL export.
+
+The paper's authors wrote a C++ program that emits VHDL for the ACA, error
+detector and recovery circuits; this module plays the same role for every
+circuit in the repository.  Output is plain VHDL-93 with dataflow
+assignments (one per net), suitable for any synthesis front-end.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from .gates import is_input_op
+from .netlist import Circuit
+
+__all__ = ["to_vhdl"]
+
+_VHDL_ID = re.compile(r"^[a-zA-Z][a-zA-Z0-9_]*$")
+
+
+def _sanitize(name: str) -> str:
+    """Turn an arbitrary net name into a legal VHDL identifier."""
+    out = re.sub(r"[^a-zA-Z0-9_]", "_", name)
+    out = re.sub(r"_+", "_", out).strip("_")
+    if not out or not out[0].isalpha():
+        out = "n_" + out
+    return out.lower()
+
+
+def _expr(op: str, args: List[str]) -> str:
+    if op == "NOT":
+        return f"not {args[0]}"
+    if op == "BUF":
+        return args[0]
+    if op == "AND":
+        return " and ".join(args)
+    if op == "OR":
+        return " or ".join(args)
+    if op == "XOR":
+        return " xor ".join(args)
+    if op == "NAND":
+        return f"not ({' and '.join(args)})"
+    if op == "NOR":
+        return f"not ({' or '.join(args)})"
+    if op == "XNOR":
+        return f"not ({' xor '.join(args)})"
+    if op == "AO21":
+        a, b, c = args
+        return f"({a} and {b}) or {c}"
+    if op == "OA21":
+        a, b, c = args
+        return f"({a} or {b}) and {c}"
+    if op == "MUX2":
+        s, a, b = args
+        return f"({a} and {s}) or ({b} and not {s})"
+    if op == "MAJ3":
+        a, b, c = args
+        return f"({a} and {b}) or ({a} and {c}) or ({b} and {c})"
+    raise ValueError(f"cannot export op {op!r} to VHDL")
+
+
+def to_vhdl(circuit: Circuit, entity_name: str = None) -> str:
+    """Render *circuit* as a structural VHDL-93 entity/architecture pair.
+
+    Args:
+        circuit: Circuit to export (must have registered outputs).
+        entity_name: Override for the entity name (defaults to a sanitised
+            version of the circuit name).
+
+    Returns:
+        VHDL source text.
+    """
+    entity = _sanitize(entity_name or circuit.name)
+    live = circuit.reachable_from_outputs()
+    sequential = circuit.is_sequential()
+
+    ports = []
+    if sequential:
+        ports.append("    clk : in  std_logic")
+    for name, bus in circuit.inputs.items():
+        pname = _sanitize(name)
+        if len(bus) == 1:
+            ports.append(f"    {pname} : in  std_logic")
+        else:
+            ports.append(
+                f"    {pname} : in  std_logic_vector({len(bus) - 1} downto 0)")
+    for name, bus in circuit.outputs.items():
+        pname = _sanitize(name)
+        if len(bus) == 1:
+            ports.append(f"    {pname} : out std_logic")
+        else:
+            ports.append(
+                f"    {pname} : out std_logic_vector({len(bus) - 1} downto 0)")
+
+    # Name every live net.
+    sig: Dict[int, str] = {}
+    for name, bus in circuit.inputs.items():
+        pname = _sanitize(name)
+        for i, nid in enumerate(bus):
+            sig[nid] = pname if len(bus) == 1 else f"{pname}({i})"
+
+    decls: List[str] = []
+    body: List[str] = []
+    for nid in circuit.dffs():
+        if live[nid]:
+            init = circuit.dff_init.get(nid, 0)
+            decls.append(f"  signal r{nid} : std_logic := '{init}';")
+            sig[nid] = f"r{nid}"
+    for net in circuit.topological_nets():
+        if net.nid in sig or not live[net.nid]:
+            continue
+        if net.op == "CONST0":
+            sig[net.nid] = "'0'"
+            continue
+        if net.op == "CONST1":
+            sig[net.nid] = "'1'"
+            continue
+        if is_input_op(net.op):
+            continue
+        wire = f"w{net.nid}"
+        decls.append(f"  signal {wire} : std_logic;")
+        args = [sig[f] for f in net.fanins]
+        body.append(f"  {wire} <= {_expr(net.op, args)};")
+        sig[net.nid] = wire
+    seq_assigns = [f"      r{nid} <= {sig[circuit.nets[nid].fanins[0]]};"
+                   for nid in circuit.dffs() if live[nid]]
+    if seq_assigns:
+        body.append("  registers : process (clk)")
+        body.append("  begin")
+        body.append("    if rising_edge(clk) then")
+        body.extend(seq_assigns)
+        body.append("    end if;")
+        body.append("  end process;")
+
+    for name, bus in circuit.outputs.items():
+        pname = _sanitize(name)
+        for i, nid in enumerate(bus):
+            target = pname if len(bus) == 1 else f"{pname}({i})"
+            body.append(f"  {target} <= {sig[nid]};")
+
+    lines = [
+        "library ieee;",
+        "use ieee.std_logic_1164.all;",
+        "",
+        f"entity {entity} is",
+        "  port (",
+        ";\n".join(ports),
+        "  );",
+        f"end entity {entity};",
+        "",
+        f"architecture structural of {entity} is",
+        *decls,
+        "begin",
+        *body,
+        f"end architecture structural;",
+        "",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,444 @@
+"""Combinational gate-level netlist with structural hashing.
+
+The central class is :class:`Circuit`, a DAG of :class:`Net` objects.  Nets
+are created strictly bottom-up (fanins must already exist), so the net list
+itself is always a valid topological order — simulation and timing analysis
+never need to re-sort.
+
+Structural hashing (common-subexpression elimination) and local constant
+folding are applied on the fly by :meth:`Circuit.add_gate`, mirroring what a
+synthesis front-end would do.  Generators can therefore instantiate logic
+redundantly — e.g. the error detector re-deriving the ACA's propagate strips
+— and automatically share gates, which is exactly the sharing the paper's
+Fig. 4 describes.
+
+Each net optionally carries a *position* (``pos``), the bit column it
+belongs to in a datapath layout.  The timing model uses positions to charge
+wire delay proportional to the bit span of a connection (a lightweight
+"relative placement" model in the spirit of datapath generators).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .gates import gate_spec, is_input_op
+
+__all__ = ["Net", "Circuit", "CircuitError"]
+
+
+class CircuitError(ValueError):
+    """Raised for malformed circuit construction or queries."""
+
+
+@dataclass
+class Net:
+    """One wire in the netlist, identified by its driving gate.
+
+    Attributes:
+        nid: Dense integer id, index into ``Circuit.nets``.
+        op: Operation name from :mod:`repro.circuit.gates`.
+        fanins: Ids of the nets feeding this gate (empty for sources).
+        name: Optional human-readable name (inputs and named outputs).
+        pos: Optional bit-column position used by the wire-delay model.
+    """
+
+    nid: int
+    op: str
+    fanins: Tuple[int, ...]
+    name: Optional[str] = None
+    pos: Optional[float] = None
+
+
+@dataclass
+class _Buses:
+    inputs: Dict[str, List[int]] = field(default_factory=dict)
+    outputs: Dict[str, List[int]] = field(default_factory=dict)
+
+
+class Circuit:
+    """A combinational circuit as a structurally hashed DAG.
+
+    Args:
+        name: Circuit name (used in exports).
+        use_strash: Enable structural hashing (CSE) for new gates.
+        fold_constants: Enable local constant folding for new gates.
+    """
+
+    def __init__(self, name: str = "circuit", use_strash: bool = True,
+                 fold_constants: bool = True):
+        self.name = name
+        self.nets: List[Net] = []
+        self.use_strash = use_strash
+        self.fold_constants = fold_constants
+        self._strash: Dict[Tuple, int] = {}
+        self._buses = _Buses()
+        self._const_cache: Dict[str, int] = {}
+        self.attrs: Dict[str, object] = {}
+        #: Reset value per DFF net id (see :meth:`add_dff`).
+        self.dff_init: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_input(self, name: str, pos: Optional[float] = None) -> int:
+        """Create a single-bit primary input and return its net id."""
+        if name in self._buses.inputs:
+            raise CircuitError(f"duplicate input name {name!r}")
+        nid = self._new_net("INPUT", (), name=name, pos=pos)
+        self._buses.inputs[name] = [nid]
+        return nid
+
+    def add_input_bus(self, name: str, width: int) -> List[int]:
+        """Create a *width*-bit input bus; bit ``i`` is named ``name[i]``.
+
+        Bit positions are set to the bit index so the wire model can reason
+        about operand bit columns.
+        """
+        if width <= 0:
+            raise CircuitError("bus width must be positive")
+        if name in self._buses.inputs:
+            raise CircuitError(f"duplicate input name {name!r}")
+        nids = [
+            self._new_net("INPUT", (), name=f"{name}[{i}]", pos=float(i))
+            for i in range(width)
+        ]
+        self._buses.inputs[name] = nids
+        return nids
+
+    # -- sequential state elements ---------------------------------------
+    def add_dff(self, name: Optional[str] = None, init: int = 0,
+                pos: Optional[float] = None) -> int:
+        """Create a D flip-flop whose input is connected later.
+
+        The DFF's *output* behaves as a source for combinational logic
+        (it may feed gates created before its input exists), enabling
+        feedback.  Connect the data input with :meth:`connect_dff` before
+        simulating.  ``init`` is the reset value used by the sequential
+        simulator.
+        """
+        if init not in (0, 1):
+            raise CircuitError("DFF init must be 0 or 1")
+        nid = self._new_net("DFF", (), name=name, pos=pos)
+        self.dff_init[nid] = init
+        return nid
+
+    def connect_dff(self, dff: int, src: int) -> None:
+        """Set the data input of a DFF created with :meth:`add_dff`."""
+        if not (0 <= dff < len(self.nets)) or self.nets[dff].op != "DFF":
+            raise CircuitError(f"net {dff} is not a DFF")
+        if not (0 <= src < len(self.nets)):
+            raise CircuitError(f"source net {src} does not exist")
+        if self.nets[dff].fanins:
+            raise CircuitError(f"DFF {dff} is already connected")
+        self.nets[dff] = Net(dff, "DFF", (src,),
+                             name=self.nets[dff].name,
+                             pos=self.nets[dff].pos)
+
+    def dffs(self) -> List[int]:
+        """Net ids of all flip-flops, in creation order."""
+        return [n.nid for n in self.nets if n.op == "DFF"]
+
+    def is_sequential(self) -> bool:
+        """Whether the circuit contains any state elements."""
+        return bool(self.dff_init)
+
+    def const(self, value: int) -> int:
+        """Return the net id of constant 0 or 1 (created on first use)."""
+        if value not in (0, 1):
+            raise CircuitError("constant must be 0 or 1")
+        op = "CONST1" if value else "CONST0"
+        if op not in self._const_cache:
+            self._const_cache[op] = self._new_net(op, ())
+        return self._const_cache[op]
+
+    def add_gate(self, op: str, *fanins: int, name: Optional[str] = None,
+                 pos: Optional[float] = None) -> int:
+        """Create a gate (or reuse an equivalent one) and return its net id.
+
+        Applies local constant folding and structural hashing unless
+        disabled on the circuit.  Variadic gates (AND/OR/XOR/...) accept two
+        or more fanins.
+        """
+        spec = gate_spec(op)
+        if is_input_op(op):
+            raise CircuitError(f"use add_input()/const() for {op}")
+        if op == "DFF":
+            raise CircuitError("use add_dff()/connect_dff() for state")
+        if spec.arity >= 0 and len(fanins) != spec.arity:
+            raise CircuitError(
+                f"{op} expects {spec.arity} fanins, got {len(fanins)}")
+        if spec.arity < 0 and len(fanins) < 1:
+            raise CircuitError(f"{op} expects at least 1 fanin")
+        for f in fanins:
+            if not (0 <= f < len(self.nets)):
+                raise CircuitError(f"fanin {f} does not exist yet")
+
+        if spec.arity < 0 and len(fanins) == 1:
+            # Degenerate variadic gate: AND(x) == x etc.
+            return fanins[0]
+
+        if self.fold_constants:
+            folded = self._fold(op, fanins)
+            if folded is not None:
+                return folded
+
+        key_fanins = tuple(sorted(fanins)) if spec.commutative else tuple(fanins)
+        key = (op, key_fanins)
+        if self.use_strash:
+            hit = self._strash.get(key)
+            if hit is not None:
+                return hit
+        nid = self._new_net(op, tuple(fanins), name=name, pos=pos)
+        if self.use_strash:
+            self._strash[key] = nid
+        return nid
+
+    def _new_net(self, op: str, fanins: Tuple[int, ...],
+                 name: Optional[str] = None, pos: Optional[float] = None) -> int:
+        nid = len(self.nets)
+        if pos is None and fanins:
+            # Forward references (DFF data inputs during deserialisation)
+            # cannot contribute a position yet.
+            known = [self.nets[f].pos for f in fanins
+                     if f < len(self.nets) and self.nets[f].pos is not None]
+            if known:
+                pos = max(known)
+        self.nets.append(Net(nid, op, fanins, name=name, pos=pos))
+        return nid
+
+    # -- local constant folding -----------------------------------------
+    def _is_const(self, nid: int) -> Optional[int]:
+        op = self.nets[nid].op
+        if op == "CONST0":
+            return 0
+        if op == "CONST1":
+            return 1
+        return None
+
+    def _fold(self, op: str, fanins: Tuple[int, ...]) -> Optional[int]:
+        consts = [self._is_const(f) for f in fanins]
+        if op == "NOT":
+            (c,) = consts
+            if c is not None:
+                return self.const(1 - c)
+            inner = self.nets[fanins[0]]
+            if inner.op == "NOT":
+                return inner.fanins[0]
+            return None
+        if op == "BUF":
+            return fanins[0]
+        if op in ("AND", "NAND"):
+            if 0 in consts:
+                return self.const(0 if op == "AND" else 1)
+            keep = [f for f, c in zip(fanins, consts) if c != 1]
+            return self._refold(op, keep, fanins, identity=1)
+        if op in ("OR", "NOR"):
+            if 1 in consts:
+                return self.const(1 if op == "OR" else 0)
+            keep = [f for f, c in zip(fanins, consts) if c != 0]
+            return self._refold(op, keep, fanins, identity=0)
+        if op in ("XOR", "XNOR"):
+            parity = sum(c for c in consts if c is not None) & 1
+            keep = [f for f, c in zip(fanins, consts) if c is None]
+            if not keep:
+                bit = parity if op == "XOR" else 1 - parity
+                return self.const(bit)
+            if len(keep) < len(fanins):
+                base = keep[0] if len(keep) == 1 else self.add_gate("XOR", *keep)
+                flip = parity if op == "XOR" else 1 - parity
+                return self.add_gate("NOT", base) if flip else base
+            return None
+        if op == "AO21":
+            a, b, c = fanins
+            ca, cb, cc = consts
+            if cc == 1:
+                return self.const(1)
+            if cc == 0:
+                return self.add_gate("AND", a, b)
+            if ca == 0 or cb == 0:
+                return c
+            if ca == 1:
+                return self.add_gate("OR", b, c)
+            if cb == 1:
+                return self.add_gate("OR", a, c)
+            return None
+        if op == "OA21":
+            a, b, c = fanins
+            ca, cb, cc = consts
+            if cc == 0:
+                return self.const(0)
+            if cc == 1:
+                return self.add_gate("OR", a, b)
+            if ca == 1 or cb == 1:
+                return c
+            if ca == 0:
+                return self.add_gate("AND", b, c)
+            if cb == 0:
+                return self.add_gate("AND", a, c)
+            return None
+        if op == "MUX2":
+            s, a, b = fanins
+            cs, ca, cb = consts
+            if cs == 1:
+                return a
+            if cs == 0:
+                return b
+            if a == b:
+                return a
+            if ca == 1 and cb == 0:
+                return s
+            if ca == 0 and cb == 1:
+                return self.add_gate("NOT", s)
+            return None
+        if op == "MAJ3":
+            known = [(f, c) for f, c in zip(fanins, consts) if c is not None]
+            if len(known) >= 2:
+                vals = [c for _, c in known]
+                if vals.count(1) >= 2:
+                    return self.const(1)
+                if vals.count(0) >= 2:
+                    return self.const(0)
+            if len(known) == 1:
+                others = [f for f, c in zip(fanins, consts) if c is None]
+                c = known[0][1]
+                if c == 1:
+                    return self.add_gate("OR", *others)
+                return self.add_gate("AND", *others)
+            return None
+        return None
+
+    def _refold(self, op: str, keep: List[int], fanins: Tuple[int, ...],
+                identity: int) -> Optional[int]:
+        if not keep:
+            bit = identity
+            if op in ("NAND", "NOR"):
+                bit = 1 - bit
+            return self.const(bit)
+        if len(keep) == len(fanins):
+            if len(set(keep)) < len(keep) and op in ("AND", "OR"):
+                uniq = list(dict.fromkeys(keep))
+                if len(uniq) == 1:
+                    return uniq[0]
+                return self.add_gate(op, *uniq)
+            return None
+        if op in ("NAND", "NOR"):
+            base = "AND" if op == "NAND" else "OR"
+            inner = keep[0] if len(keep) == 1 else self.add_gate(base, *keep)
+            return self.add_gate("NOT", inner)
+        if len(keep) == 1:
+            return keep[0]
+        return self.add_gate(op, *keep)
+
+    # ------------------------------------------------------------------
+    # outputs and buses
+    # ------------------------------------------------------------------
+    def set_output(self, name: str, nid_or_bus) -> None:
+        """Register an output bit (int) or bus (sequence of ids)."""
+        if isinstance(nid_or_bus, int):
+            bus = [nid_or_bus]
+        else:
+            bus = list(nid_or_bus)
+        for nid in bus:
+            if not (0 <= nid < len(self.nets)):
+                raise CircuitError(f"output net {nid} does not exist")
+        self._buses.outputs[name] = bus
+
+    @property
+    def inputs(self) -> Dict[str, List[int]]:
+        """Mapping input bus name -> list of net ids (LSB first)."""
+        return self._buses.inputs
+
+    @property
+    def outputs(self) -> Dict[str, List[int]]:
+        """Mapping output bus name -> list of net ids (LSB first)."""
+        return self._buses.outputs
+
+    def input_width(self, name: str) -> int:
+        return len(self._buses.inputs[name])
+
+    def output_width(self, name: str) -> int:
+        return len(self._buses.outputs[name])
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.nets)
+
+    def gate_count(self) -> int:
+        """Number of logic gates (excludes inputs and constants)."""
+        return sum(1 for n in self.nets if not is_input_op(n.op))
+
+    def op_histogram(self) -> Dict[str, int]:
+        """Count of nets per operation type."""
+        hist: Dict[str, int] = {}
+        for n in self.nets:
+            hist[n.op] = hist.get(n.op, 0) + 1
+        return hist
+
+    def fanout_counts(self) -> List[int]:
+        """Fanout (number of gate sinks) of every net.
+
+        Output-only connections are not counted as load; this matches how
+        the timing model charges gate loading.
+        """
+        counts = [0] * len(self.nets)
+        for n in self.nets:
+            for f in n.fanins:
+                counts[f] += 1
+        return counts
+
+    def max_fanout(self) -> int:
+        counts = self.fanout_counts()
+        return max(counts) if counts else 0
+
+    def reachable_from_outputs(self) -> List[bool]:
+        """Mark nets in the transitive fanin of any registered output."""
+        mark = [False] * len(self.nets)
+        stack: List[int] = []
+        for bus in self._buses.outputs.values():
+            for nid in bus:
+                if not mark[nid]:
+                    mark[nid] = True
+                    stack.append(nid)
+        while stack:
+            nid = stack.pop()
+            for f in self.nets[nid].fanins:
+                if not mark[f]:
+                    mark[f] = True
+                    stack.append(f)
+        return mark
+
+    def logic_depth(self) -> int:
+        """Maximum number of logic gates on any source-to-output path.
+
+        Flip-flop outputs count as sources (their fanins may be forward
+        references through the feedback path).
+        """
+        depth = [0] * len(self.nets)
+        for n in self.nets:
+            if is_input_op(n.op) or n.op == "DFF":
+                depth[n.nid] = 0
+            else:
+                depth[n.nid] = 1 + max((depth[f] for f in n.fanins), default=0)
+        best = 0
+        for bus in self._buses.outputs.values():
+            for nid in bus:
+                best = max(best, depth[nid])
+        return best
+
+    def topological_nets(self) -> Iterable[Net]:
+        """Nets in topological order (construction order by invariant)."""
+        return iter(self.nets)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (f"Circuit {self.name!r}: {self.gate_count()} gates, "
+                f"{sum(len(b) for b in self.inputs.values())} input bits, "
+                f"{sum(len(b) for b in self.outputs.values())} output bits, "
+                f"depth {self.logic_depth()}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.summary()}>"

@@ -1,0 +1,122 @@
+"""Netlist clean-up passes.
+
+Structural hashing and constant folding already run during construction
+(:meth:`Circuit.add_gate`), so the passes here handle what those cannot:
+sweeping logic that no registered output depends on, and compacting net ids
+after a sweep.  ``rebuild`` re-runs folding/hashing over an existing circuit,
+which also canonicalises circuits that were built with those features off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .gates import is_input_op
+from .netlist import Circuit, CircuitError
+
+__all__ = ["OptStats", "sweep_dead_logic", "rebuild"]
+
+
+@dataclass
+class OptStats:
+    """Before/after gate counts of an optimisation pass."""
+
+    gates_before: int
+    gates_after: int
+
+    @property
+    def removed(self) -> int:
+        return self.gates_before - self.gates_after
+
+
+def sweep_dead_logic(circuit: Circuit) -> "tuple[Circuit, OptStats]":
+    """Return a copy of *circuit* without logic unreachable from outputs.
+
+    Primary inputs are always kept (ports are part of the interface even if
+    a bit is unused).  Net ids are compacted; bus registrations are
+    remapped.  Sequential circuits are not supported.
+    """
+    if circuit.is_sequential():
+        raise CircuitError("sweep_dead_logic handles combinational "
+                           "circuits only")
+    before = circuit.gate_count()
+    live = circuit.reachable_from_outputs()
+    new = Circuit(circuit.name, use_strash=circuit.use_strash,
+                  fold_constants=False)
+    remap: Dict[int, int] = {}
+
+    for name, bus in circuit.inputs.items():
+        if len(bus) == 1 and circuit.nets[bus[0]].name == name:
+            remap[bus[0]] = new.add_input(name, pos=circuit.nets[bus[0]].pos)
+        else:
+            new_bus = new.add_input_bus(name, len(bus))
+            for old, fresh in zip(bus, new_bus):
+                remap[old] = fresh
+
+    for net in circuit.topological_nets():
+        if net.nid in remap or not live[net.nid]:
+            continue
+        if net.op == "CONST0":
+            remap[net.nid] = new.const(0)
+        elif net.op == "CONST1":
+            remap[net.nid] = new.const(1)
+        elif net.op == "INPUT":
+            # Unreachable-but-registered inputs were handled above; a loose
+            # INPUT not in any bus should not exist, but keep it for safety.
+            remap[net.nid] = new.add_input(net.name or f"in{net.nid}",
+                                           pos=net.pos)
+        else:
+            remap[net.nid] = new.add_gate(
+                net.op, *[remap[f] for f in net.fanins], name=net.name,
+                pos=net.pos)
+
+    for name, bus in circuit.outputs.items():
+        new.set_output(name, [remap[nid] for nid in bus])
+    new.attrs.update(circuit.attrs)
+    return new, OptStats(before, new.gate_count())
+
+
+def rebuild(circuit: Circuit, use_strash: bool = True,
+            fold_constants: bool = True) -> "tuple[Circuit, OptStats]":
+    """Re-run structural hashing and constant folding over *circuit*.
+
+    Useful to canonicalise circuits deserialised from JSON or built with
+    hashing disabled.  Also drops dead logic as a side effect (only nets in
+    the output cone are re-created).  Sequential circuits are not
+    supported.
+    """
+    if circuit.is_sequential():
+        raise CircuitError("rebuild handles combinational circuits only")
+    before = circuit.gate_count()
+    live = circuit.reachable_from_outputs()
+    new = Circuit(circuit.name, use_strash=use_strash,
+                  fold_constants=fold_constants)
+    remap: Dict[int, int] = {}
+
+    for name, bus in circuit.inputs.items():
+        if len(bus) == 1 and circuit.nets[bus[0]].name == name:
+            remap[bus[0]] = new.add_input(name, pos=circuit.nets[bus[0]].pos)
+        else:
+            new_bus = new.add_input_bus(name, len(bus))
+            for old, fresh in zip(bus, new_bus):
+                remap[old] = fresh
+
+    for net in circuit.topological_nets():
+        if net.nid in remap or not live[net.nid]:
+            continue
+        if net.op == "CONST0":
+            remap[net.nid] = new.const(0)
+        elif net.op == "CONST1":
+            remap[net.nid] = new.const(1)
+        elif net.op == "INPUT":
+            remap[net.nid] = new.add_input(net.name or f"in{net.nid}",
+                                           pos=net.pos)
+        else:
+            remap[net.nid] = new.add_gate(
+                net.op, *[remap[f] for f in net.fanins], pos=net.pos)
+
+    for name, bus in circuit.outputs.items():
+        new.set_output(name, [remap[nid] for nid in bus])
+    new.attrs.update(circuit.attrs)
+    return new, OptStats(before, new.gate_count())

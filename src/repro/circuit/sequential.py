@@ -1,0 +1,180 @@
+"""Cycle-accurate simulation and timing of sequential netlists.
+
+Circuits gain state through :meth:`Circuit.add_dff` /
+:meth:`~Circuit.connect_dff`; this module provides what the purely
+combinational machinery cannot:
+
+* :class:`SequentialSimulator` — two-phase clocked evaluation (all
+  combinational logic settles with register outputs held, then every
+  register captures its data input simultaneously), bit-parallel like
+  the combinational simulator.
+* :func:`min_clock_period` — register-aware static timing: the longest
+  input/register-to-register/output combinational path, i.e. the clock
+  period the netlist sustains (clk-to-q folded in via the library's DFF
+  delay entry).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .gates import GATE_SPECS, is_input_op
+from .netlist import Circuit, CircuitError
+from .techlib import TechLibrary, UNIT
+
+__all__ = ["SequentialSimulator", "SequentialTiming", "min_clock_period",
+           "sequential_timing"]
+
+
+class SequentialSimulator:
+    """Clocked bit-parallel simulator for circuits with DFFs.
+
+    Args:
+        circuit: Sequential (or purely combinational) circuit.
+        num_vectors: Number of independent streams packed per word.
+
+    Each :meth:`step` consumes one set of input words, returns the output
+    words for the cycle (combinational view after settling), and then
+    advances all registers.
+    """
+
+    def __init__(self, circuit: Circuit, num_vectors: int = 1):
+        if num_vectors <= 0:
+            raise CircuitError("num_vectors must be positive")
+        for nid in circuit.dffs():
+            if not circuit.nets[nid].fanins:
+                raise CircuitError(f"DFF {nid} is not connected")
+        self.circuit = circuit
+        self.num_vectors = num_vectors
+        self._mask = (1 << num_vectors) - 1
+        self.cycle = 0
+        self._state: Dict[int, int] = {
+            nid: (self._mask if circuit.dff_init.get(nid, 0) else 0)
+            for nid in circuit.dffs()}
+
+    def reset(self) -> None:
+        """Return all registers to their init values."""
+        self.cycle = 0
+        for nid in self._state:
+            self._state[nid] = (self._mask
+                                if self.circuit.dff_init.get(nid, 0) else 0)
+
+    def peek_state(self, dff: int) -> int:
+        """Current value word of one register."""
+        return self._state[dff]
+
+    def step(self, stimulus: Mapping[str, Sequence[int]]
+             ) -> Dict[str, List[int]]:
+        """Advance one clock cycle.
+
+        Args:
+            stimulus: Input bus name -> per-bit words (as in
+                :func:`repro.circuit.simulate.simulate_words`).
+
+        Returns:
+            Output bus name -> per-bit words, sampled before the edge
+            (i.e. what downstream logic/registers capture this cycle).
+        """
+        c = self.circuit
+        mask = self._mask
+        values: List[Optional[int]] = [None] * len(c.nets)
+
+        for name, bus in c.inputs.items():
+            if name not in stimulus:
+                raise CircuitError(f"missing stimulus for input {name!r}")
+            words = stimulus[name]
+            if len(words) != len(bus):
+                raise CircuitError(
+                    f"input {name!r} expects {len(bus)} bit-words")
+            for nid, word in zip(bus, words):
+                values[nid] = word & mask
+
+        for net in c.topological_nets():
+            if net.op == "INPUT":
+                continue
+            if net.op == "DFF":
+                values[net.nid] = self._state[net.nid]
+                continue
+            if net.op == "CONST0":
+                values[net.nid] = 0
+                continue
+            if net.op == "CONST1":
+                values[net.nid] = mask
+                continue
+            spec = GATE_SPECS[net.op]
+            values[net.nid] = spec.evaluate(
+                mask, *[values[f] for f in net.fanins])
+
+        outputs = {name: [values[nid] for nid in bus]
+                   for name, bus in c.outputs.items()}
+
+        # Rising edge: all registers capture simultaneously.
+        for nid in self._state:
+            src = c.nets[nid].fanins[0]
+            self._state[nid] = values[src] & mask
+        self.cycle += 1
+        return outputs
+
+    def run(self, stream: Iterable[Mapping[str, Sequence[int]]]
+            ) -> List[Dict[str, List[int]]]:
+        """Step once per stimulus item; returns the output per cycle."""
+        return [self.step(stim) for stim in stream]
+
+
+@dataclass
+class SequentialTiming:
+    """Register-aware timing summary."""
+
+    min_clock_period: float
+    worst_path_kind: str   # "reg->reg", "in->reg", "reg->out", "in->out"
+    combinational_depth: int
+
+    def max_frequency_ghz(self) -> float:
+        if self.min_clock_period <= 0:
+            return float("inf")
+        return 1.0 / self.min_clock_period
+
+
+def sequential_timing(circuit: Circuit,
+                      library: TechLibrary = UNIT) -> SequentialTiming:
+    """Longest combinational path between timing endpoints.
+
+    Launch points are primary inputs (arrival 0) and register outputs
+    (arrival = the library's DFF clk-to-q delay); capture points are
+    register data inputs and primary outputs.  The worst such path is the
+    minimum clock period (setup folded into the DFF delay entry).
+    """
+    from .timing import analyze_timing
+
+    clk_to_q = library.cell("DFF", 1).delay
+    overrides = {nid: clk_to_q for nid in circuit.dffs()}
+    report = analyze_timing(circuit, library, input_arrivals=overrides)
+    arrivals = report.arrivals
+
+    def is_launch_reg(path_start_arrival: float) -> bool:
+        return path_start_arrival >= clk_to_q
+
+    worst = 0.0
+    kind = "in->out"
+    # Capture at register inputs.
+    for nid in circuit.dffs():
+        src = circuit.nets[nid].fanins[0]
+        t = arrivals[src]
+        if t > worst:
+            worst = t
+            kind = "reg->reg" if t >= clk_to_q else "in->reg"
+    # Capture at primary outputs.
+    for bus in circuit.outputs.values():
+        for nid in bus:
+            t = arrivals[nid]
+            if t > worst:
+                worst = t
+                kind = "reg->out" if t >= clk_to_q else "in->out"
+    return SequentialTiming(worst, kind, circuit.logic_depth())
+
+
+def min_clock_period(circuit: Circuit,
+                     library: TechLibrary = UNIT) -> float:
+    """Convenience wrapper returning only the minimum clock period."""
+    return sequential_timing(circuit, library).min_clock_period

@@ -1,0 +1,89 @@
+"""JSON (de)serialisation of circuits.
+
+The on-disk format is a plain dictionary: net records in topological order
+plus bus registrations.  Round-tripping through JSON preserves semantics
+exactly (net ids may shift if the reader re-enables structural hashing; use
+``use_strash=False`` when byte-identical reconstruction matters).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from .netlist import Circuit, CircuitError
+
+__all__ = ["circuit_to_dict", "circuit_from_dict", "dumps", "loads",
+           "save", "load"]
+
+_FORMAT_VERSION = 1
+
+
+def circuit_to_dict(circuit: Circuit) -> Dict[str, Any]:
+    """Serialise *circuit* into a JSON-compatible dictionary."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "name": circuit.name,
+        "nets": [
+            {
+                "op": n.op,
+                "fanins": list(n.fanins),
+                "name": n.name,
+                "pos": n.pos,
+            }
+            for n in circuit.nets
+        ],
+        "inputs": {k: list(v) for k, v in circuit.inputs.items()},
+        "outputs": {k: list(v) for k, v in circuit.outputs.items()},
+        "attrs": dict(circuit.attrs),
+        "dff_init": {str(k): v for k, v in circuit.dff_init.items()},
+    }
+
+
+def circuit_from_dict(data: Dict[str, Any]) -> Circuit:
+    """Reconstruct a circuit from :func:`circuit_to_dict` output.
+
+    Hashing and folding are disabled during reconstruction so net ids match
+    the serialised form one-to-one.
+    """
+    if data.get("format_version") != _FORMAT_VERSION:
+        raise CircuitError(
+            f"unsupported circuit format version {data.get('format_version')}")
+    circuit = Circuit(data["name"], use_strash=False, fold_constants=False)
+    for rec in data["nets"]:
+        circuit._new_net(rec["op"], tuple(rec["fanins"]), name=rec["name"],
+                         pos=rec["pos"])
+    circuit._buses.inputs.update(
+        {k: list(v) for k, v in data["inputs"].items()})
+    for name, bus in data["outputs"].items():
+        circuit.set_output(name, bus)
+    circuit.attrs.update(data.get("attrs", {}))
+    circuit.dff_init.update(
+        {int(k): v for k, v in data.get("dff_init", {}).items()})
+    # Restore constant cache so const() keeps working after load.
+    for net in circuit.nets:
+        if net.op in ("CONST0", "CONST1"):
+            circuit._const_cache.setdefault(net.op, net.nid)
+    return circuit
+
+
+def dumps(circuit: Circuit, indent: int = None) -> str:
+    """Serialise *circuit* to a JSON string."""
+    return json.dumps(circuit_to_dict(circuit), indent=indent)
+
+
+def loads(text: str) -> Circuit:
+    """Deserialise a circuit from a JSON string."""
+    return circuit_from_dict(json.loads(text))
+
+
+def save(circuit: Circuit, path: str) -> None:
+    """Write *circuit* to *path* as JSON."""
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(dumps(circuit))
+
+
+def load(path: str) -> Circuit:
+    """Read a circuit from a JSON file at *path*."""
+    with open(path, "r", encoding="utf-8") as f:
+        return loads(f.read())

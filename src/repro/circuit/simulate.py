@@ -1,0 +1,181 @@
+"""Levelized bit-parallel simulation of combinational circuits.
+
+Two evaluation modes share the same code path:
+
+* **Scalar words** — each input value is a Python ``int`` whose bit ``j``
+  carries the stimulus of test vector ``j``.  With 64 vectors per word this
+  already gives a 64x speedup over naive per-vector evaluation, and Python's
+  big integers allow arbitrarily many vectors per call.
+* **NumPy vectors** — inputs are ``numpy.ndarray`` of an unsigned dtype; all
+  gate evaluations become element-wise array ops.
+
+Because nets are stored in topological order, simulation is a single linear
+pass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from .gates import GATE_SPECS, is_input_op
+from .netlist import Circuit, CircuitError
+
+__all__ = [
+    "simulate",
+    "simulate_words",
+    "simulate_bus_ints",
+    "bus_to_int",
+    "int_to_bus",
+    "random_stimulus",
+]
+
+Word = Union[int, np.ndarray]
+
+
+def int_to_bus(value: int, width: int) -> List[int]:
+    """Split *value* into *width* single-bit words, LSB first."""
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def bus_to_int(bits: Sequence[int]) -> int:
+    """Assemble single-bit words (LSB first) into one integer."""
+    out = 0
+    for i, b in enumerate(bits):
+        out |= (b & 1) << i
+    return out
+
+
+def simulate(circuit: Circuit, stimulus: Mapping[str, Sequence[Word]],
+             num_vectors: Optional[int] = None) -> Dict[str, List[Word]]:
+    """Simulate *circuit* on bit-parallel stimulus.
+
+    Args:
+        circuit: Circuit to evaluate.
+        stimulus: Mapping from input bus name to a list of per-bit words
+            (LSB first).  Each word packs one bit of every test vector.
+        num_vectors: Number of packed test vectors.  Required for Python-int
+            words (it defines the negation mask); inferred from the dtype
+            for NumPy words.
+
+    Returns:
+        Mapping from output bus name to per-bit words, LSB first.
+    """
+    values: List[Optional[Word]] = [None] * len(circuit.nets)
+    mask: Optional[Word] = None
+
+    for name, bus in circuit.inputs.items():
+        if name not in stimulus:
+            raise CircuitError(f"missing stimulus for input {name!r}")
+        words = stimulus[name]
+        if len(words) != len(bus):
+            raise CircuitError(
+                f"input {name!r} expects {len(bus)} bit-words, got {len(words)}")
+        for nid, word in zip(bus, words):
+            values[nid] = word
+            if mask is None:
+                mask = _mask_for(word, num_vectors)
+    if mask is None:
+        mask = _mask_for(0, num_vectors)
+
+    for net in circuit.topological_nets():
+        op = net.op
+        if op == "INPUT":
+            if values[net.nid] is None:
+                raise CircuitError(
+                    f"input net {net.name!r} received no stimulus")
+            continue
+        if op == "CONST0":
+            values[net.nid] = _zeros_like(mask)
+            continue
+        if op == "CONST1":
+            values[net.nid] = _copy(mask)
+            continue
+        spec = GATE_SPECS[op]
+        operands = [values[f] for f in net.fanins]
+        values[net.nid] = spec.evaluate(mask, *operands)
+
+    return {
+        name: [values[nid] for nid in bus]
+        for name, bus in circuit.outputs.items()
+    }
+
+
+def _mask_for(sample: Word, num_vectors: Optional[int]) -> Word:
+    if isinstance(sample, np.ndarray):
+        info = np.iinfo(sample.dtype)
+        return np.full(sample.shape, info.max, dtype=sample.dtype)
+    if num_vectors is None:
+        raise CircuitError("num_vectors is required for Python-int stimulus")
+    if num_vectors <= 0:
+        raise CircuitError("num_vectors must be positive")
+    return (1 << num_vectors) - 1
+
+
+def _zeros_like(mask: Word) -> Word:
+    if isinstance(mask, np.ndarray):
+        return np.zeros_like(mask)
+    return 0
+
+
+def _copy(mask: Word) -> Word:
+    if isinstance(mask, np.ndarray):
+        return mask.copy()
+    return mask
+
+
+def simulate_words(circuit: Circuit, stimulus: Mapping[str, Sequence[int]],
+                   num_vectors: int) -> Dict[str, List[int]]:
+    """Alias of :func:`simulate` for Python-int words (explicit vector count)."""
+    return simulate(circuit, stimulus, num_vectors=num_vectors)
+
+
+def simulate_bus_ints(circuit: Circuit,
+                      values: Mapping[str, int]) -> Dict[str, int]:
+    """Single-vector convenience wrapper: integers in, integers out.
+
+    Args:
+        circuit: Circuit to evaluate.
+        values: Mapping from input bus name to its integer value (bit ``i``
+            of the integer drives bus bit ``i``).
+
+    Returns:
+        Mapping from output bus name to its integer value.
+    """
+    stimulus = {
+        name: int_to_bus(values[name], len(bus))
+        for name, bus in circuit.inputs.items()
+    }
+    out = simulate(circuit, stimulus, num_vectors=1)
+    return {name: bus_to_int(bits) for name, bits in out.items()}
+
+
+def random_stimulus(circuit: Circuit, num_vectors: int,
+                    rng: Optional[np.random.Generator] = None
+                    ) -> Dict[str, List[int]]:
+    """Uniform random bit-parallel stimulus for every input bus.
+
+    Args:
+        circuit: Circuit whose inputs are to be driven.
+        num_vectors: Number of packed random test vectors.
+        rng: Optional NumPy generator for reproducibility.
+
+    Returns:
+        Stimulus mapping suitable for :func:`simulate_words`.
+    """
+    rng = rng or np.random.default_rng()
+    stim: Dict[str, List[int]] = {}
+    for name, bus in circuit.inputs.items():
+        words = []
+        for _ in bus:
+            word = 0
+            # Draw 62-bit chunks to stay clear of signed-int pitfalls.
+            remaining = num_vectors
+            while remaining > 0:
+                take = min(62, remaining)
+                word = (word << take) | int(rng.integers(0, 1 << take))
+                remaining -= take
+            words.append(word)
+        stim[name] = words
+    return stim

@@ -1,0 +1,70 @@
+"""Human-readable circuit reports: gates, depth, fanout, timing, area."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .area import analyze_area
+from .netlist import Circuit
+from .techlib import TechLibrary, UMC180
+from .timing import analyze_timing
+
+__all__ = ["CircuitStats", "collect_stats", "format_stats"]
+
+
+@dataclass
+class CircuitStats:
+    """Summary metrics of one circuit under one library."""
+
+    name: str
+    library: str
+    inputs: int
+    outputs: int
+    gates: int
+    depth: int
+    max_fanout: int
+    critical_delay: float
+    area: float
+    op_histogram: Dict[str, int]
+    critical_path_ops: List[str]
+
+
+def collect_stats(circuit: Circuit,
+                  library: TechLibrary = UMC180) -> CircuitStats:
+    """Gather every headline metric for *circuit* in one pass."""
+    timing = analyze_timing(circuit, library)
+    area = analyze_area(circuit, library)
+    hist = {op: n for op, n in sorted(circuit.op_histogram().items())
+            if op not in ("INPUT", "CONST0", "CONST1")}
+    return CircuitStats(
+        name=circuit.name,
+        library=library.name,
+        inputs=sum(len(b) for b in circuit.inputs.values()),
+        outputs=sum(len(b) for b in circuit.outputs.values()),
+        gates=circuit.gate_count(),
+        depth=circuit.logic_depth(),
+        max_fanout=circuit.max_fanout(),
+        critical_delay=timing.critical_delay,
+        area=area.total,
+        op_histogram=hist,
+        critical_path_ops=timing.path_ops(circuit),
+    )
+
+
+def format_stats(stats: CircuitStats) -> str:
+    """Render a :class:`CircuitStats` as an aligned text block."""
+    lines = [
+        f"circuit        : {stats.name}",
+        f"library        : {stats.library}",
+        f"ports          : {stats.inputs} in / {stats.outputs} out",
+        f"gates          : {stats.gates}",
+        f"logic depth    : {stats.depth}",
+        f"max fanout     : {stats.max_fanout}",
+        f"critical delay : {stats.critical_delay:.3f}",
+        f"area           : {stats.area:.1f}",
+        "gate histogram : " + ", ".join(
+            f"{op}x{n}" for op, n in stats.op_histogram.items()),
+        "critical path  : " + " -> ".join(stats.critical_path_ops),
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,138 @@
+"""Static timing analysis over gate-level netlists.
+
+A single topological pass computes the arrival time of every net:
+
+``arrival(net) = max over fanins f of (arrival(f)) + gate_delay``
+
+with ``gate_delay`` supplied by a :class:`~repro.circuit.techlib.TechLibrary`
+(intrinsic + fanout load + wire span; see that module for the model).  The
+critical path is recovered by walking back through the argmax fanins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .gates import is_input_op
+from .netlist import Circuit
+from .techlib import TechLibrary, UNIT
+
+__all__ = ["TimingReport", "analyze_timing", "critical_path_delay",
+           "output_arrivals"]
+
+
+@dataclass
+class TimingReport:
+    """Result of a static timing analysis.
+
+    Attributes:
+        circuit_name: Name of the analysed circuit.
+        library_name: Name of the delay model used.
+        arrivals: Arrival time of every net (indexed by net id).
+        critical_delay: Worst arrival over all registered outputs.
+        critical_output: ``(bus name, bit index)`` of the worst output.
+        critical_path: Net ids from a primary input to the worst output.
+    """
+
+    circuit_name: str
+    library_name: str
+    arrivals: List[float]
+    critical_delay: float
+    critical_output: Tuple[str, int]
+    critical_path: List[int]
+
+    def path_ops(self, circuit: Circuit) -> List[str]:
+        """Operation names along the critical path (for reports/tests)."""
+        return [circuit.nets[nid].op for nid in self.critical_path]
+
+    def depth(self) -> int:
+        """Number of logic gates on the critical path."""
+        return len(self.critical_path)
+
+
+def analyze_timing(circuit: Circuit, library: TechLibrary = UNIT,
+                   input_arrivals: Optional[Dict[int, float]] = None
+                   ) -> TimingReport:
+    """Run STA and return a :class:`TimingReport`.
+
+    Args:
+        circuit: Circuit to analyse (must have registered outputs).
+        library: Delay model.
+        input_arrivals: Optional per-input-net arrival-time overrides
+            (net id -> time); defaults to 0 for every source.
+
+    Returns:
+        The timing report, including the reconstructed critical path.
+    """
+    n = len(circuit.nets)
+    arrivals = [0.0] * n
+    worst_fanin: List[int] = [-1] * n
+    fanouts = circuit.fanout_counts()
+    overrides = input_arrivals or {}
+
+    for net in circuit.topological_nets():
+        if is_input_op(net.op) or net.op == "DFF":
+            # Register outputs launch at the clock edge (clk-to-q folded
+            # into the optional override); their data fanin is a capture
+            # path handled by sequential timing, not this pass.
+            arrivals[net.nid] = overrides.get(net.nid, 0.0)
+            continue
+        best_t = 0.0
+        best_f = -1
+        span = 0.0
+        for f in net.fanins:
+            t = arrivals[f]
+            if best_f < 0 or t > best_t:
+                best_t, best_f = t, f
+            fp, np_ = circuit.nets[f].pos, net.pos
+            if fp is not None and np_ is not None:
+                span = max(span, abs(np_ - fp))
+        delay = library.gate_delay(net.op, len(net.fanins), fanouts[net.nid],
+                                   span)
+        arrivals[net.nid] = best_t + delay
+        worst_fanin[net.nid] = best_f
+
+    if not circuit.outputs:
+        raise ValueError("circuit has no registered outputs to time")
+
+    critical_delay = -1.0
+    critical_output = ("", -1)
+    critical_end = -1
+    for name, bus in circuit.outputs.items():
+        for bit, nid in enumerate(bus):
+            if arrivals[nid] > critical_delay:
+                critical_delay = arrivals[nid]
+                critical_output = (name, bit)
+                critical_end = nid
+
+    path: List[int] = []
+    nid = critical_end
+    while nid >= 0 and not is_input_op(circuit.nets[nid].op):
+        path.append(nid)
+        nid = worst_fanin[nid]
+    path.reverse()
+
+    return TimingReport(
+        circuit_name=circuit.name,
+        library_name=library.name,
+        arrivals=arrivals,
+        critical_delay=critical_delay,
+        critical_output=critical_output,
+        critical_path=path,
+    )
+
+
+def critical_path_delay(circuit: Circuit, library: TechLibrary = UNIT) -> float:
+    """Convenience wrapper returning only the worst-case delay."""
+    return analyze_timing(circuit, library).critical_delay
+
+
+def output_arrivals(circuit: Circuit, library: TechLibrary = UNIT
+                    ) -> Dict[str, List[float]]:
+    """Arrival time of every output bit, keyed by bus name."""
+    report = analyze_timing(circuit, library)
+    return {
+        name: [report.arrivals[nid] for nid in bus]
+        for name, bus in circuit.outputs.items()
+    }

@@ -1,0 +1,165 @@
+"""Structural and functional validation of netlists.
+
+``check_structure`` enforces the invariants every generator must maintain;
+``equivalence`` utilities compare a circuit against a Python reference
+function, either exhaustively (small operand widths) or on random vectors.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional
+
+import numpy as np
+
+from .gates import gate_spec, is_input_op
+from .netlist import Circuit, CircuitError
+from .simulate import bus_to_int, int_to_bus, simulate_words
+
+__all__ = [
+    "check_structure",
+    "assert_equivalent_exhaustive",
+    "assert_equivalent_random",
+]
+
+
+def check_structure(circuit: Circuit) -> None:
+    """Validate structural invariants, raising :class:`CircuitError` on failure.
+
+    Checks: fanins precede their gate (acyclicity by construction), arities
+    match the gate specs, input nets really are INPUT ops, and every
+    registered output id is in range.
+    """
+    for net in circuit.nets:
+        spec = gate_spec(net.op)
+        if net.op == "DFF":
+            if len(net.fanins) != 1:
+                raise CircuitError(
+                    f"DFF {net.nid} is not connected (use connect_dff)")
+            if not (0 <= net.fanins[0] < len(circuit.nets)):
+                raise CircuitError(
+                    f"DFF {net.nid} has missing fanin {net.fanins[0]}")
+            continue  # feedback through a register is legal
+        if spec.arity >= 0 and len(net.fanins) != spec.arity:
+            raise CircuitError(
+                f"net {net.nid} ({net.op}) has {len(net.fanins)} fanins, "
+                f"expected {spec.arity}")
+        if spec.arity < 0 and len(net.fanins) < 2:
+            raise CircuitError(
+                f"variadic net {net.nid} ({net.op}) has <2 fanins")
+        for f in net.fanins:
+            if not (0 <= f < net.nid):
+                raise CircuitError(
+                    f"net {net.nid} has non-topological fanin {f}")
+    for name, bus in circuit.inputs.items():
+        for nid in bus:
+            if circuit.nets[nid].op != "INPUT":
+                raise CircuitError(
+                    f"input bus {name!r} contains non-INPUT net {nid}")
+    for name, bus in circuit.outputs.items():
+        for nid in bus:
+            if not (0 <= nid < len(circuit.nets)):
+                raise CircuitError(
+                    f"output bus {name!r} references missing net {nid}")
+
+
+def _run_vectors(circuit: Circuit, vectors: Mapping[str, np.ndarray],
+                 count: int) -> Dict[str, np.ndarray]:
+    """Pack integer vectors into words, simulate, unpack output integers."""
+    stim: Dict[str, list] = {}
+    for name, bus in circuit.inputs.items():
+        vals = vectors[name]
+        words = []
+        for bit in range(len(bus)):
+            word = 0
+            for j in range(count):
+                word |= ((int(vals[j]) >> bit) & 1) << j
+            words.append(word)
+        stim[name] = words
+    out_words = simulate_words(circuit, stim, num_vectors=count)
+    outs: Dict[str, np.ndarray] = {}
+    for name, words in out_words.items():
+        vals = np.zeros(count, dtype=object)
+        for bit, word in enumerate(words):
+            for j in range(count):
+                if (word >> j) & 1:
+                    vals[j] = int(vals[j]) | (1 << bit)
+        outs[name] = vals
+    return outs
+
+
+def assert_equivalent_exhaustive(
+        circuit: Circuit,
+        reference: Callable[..., Dict[str, int]],
+        max_bits: int = 14) -> None:
+    """Exhaustively compare *circuit* against *reference*.
+
+    Args:
+        circuit: Circuit under test.
+        reference: Callable receiving keyword integers (one per input bus)
+            and returning the expected output mapping.
+        max_bits: Safety cap on total input bits to enumerate.
+    """
+    names = list(circuit.inputs)
+    widths = [len(circuit.inputs[n]) for n in names]
+    total = sum(widths)
+    if total > max_bits:
+        raise CircuitError(
+            f"{total} input bits exceeds exhaustive cap of {max_bits}")
+    count = 1 << total
+    vectors = {n: np.zeros(count, dtype=object) for n in names}
+    for idx in range(count):
+        rest = idx
+        for n, w in zip(names, widths):
+            vectors[n][idx] = rest & ((1 << w) - 1)
+            rest >>= w
+    outs = _run_vectors(circuit, vectors, count)
+    for idx in range(count):
+        expected = reference(**{n: int(vectors[n][idx]) for n in names})
+        for oname, oval in expected.items():
+            got = int(outs[oname][idx])
+            if got != oval:
+                stim_desc = {n: int(vectors[n][idx]) for n in names}
+                raise AssertionError(
+                    f"{circuit.name}: output {oname!r} mismatch on "
+                    f"{stim_desc}: got {got}, expected {oval}")
+
+
+def assert_equivalent_random(
+        circuit: Circuit,
+        reference: Callable[..., Dict[str, int]],
+        num_vectors: int = 256,
+        seed: Optional[int] = 0) -> None:
+    """Compare *circuit* against *reference* on random vectors.
+
+    Args:
+        circuit: Circuit under test.
+        reference: Callable receiving keyword integers (one per input bus)
+            and returning the expected output mapping.
+        num_vectors: How many random vectors to check.
+        seed: RNG seed (None for nondeterministic).
+    """
+    rng = np.random.default_rng(seed)
+    names = list(circuit.inputs)
+    vectors: Dict[str, np.ndarray] = {}
+    for n in names:
+        w = len(circuit.inputs[n])
+        vals = np.zeros(num_vectors, dtype=object)
+        for j in range(num_vectors):
+            v = 0
+            remaining = w
+            while remaining > 0:
+                take = min(62, remaining)
+                v = (v << take) | int(rng.integers(0, 1 << take))
+                remaining -= take
+            vals[j] = v
+        vectors[n] = vals
+    outs = _run_vectors(circuit, vectors, num_vectors)
+    for idx in range(num_vectors):
+        expected = reference(**{n: int(vectors[n][idx]) for n in names})
+        for oname, oval in expected.items():
+            got = int(outs[oname][idx])
+            if got != oval:
+                stim_desc = {n: int(vectors[n][idx]) for n in names}
+                raise AssertionError(
+                    f"{circuit.name}: output {oname!r} mismatch on "
+                    f"{stim_desc}: got {got}, expected {oval}")

@@ -1,0 +1,171 @@
+"""Command-line interface: regenerate any paper table or figure.
+
+Usage::
+
+    python -m repro table1
+    python -m repro fig8 --widths 64,128,256
+    python -m repro fig7 --ops 200000
+    python -m repro all
+
+Results are printed and also written under ``results/`` (or
+``$REPRO_RESULTS_DIR``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from . import experiments as ex
+from .reporting import save_artifact
+
+__all__ = ["main"]
+
+
+def _parse_widths(spec: Optional[str], default) -> List[int]:
+    if not spec:
+        return list(default)
+    return [int(tok) for tok in spec.split(",") if tok]
+
+
+def _cmd_table1(args) -> str:
+    return ex.table1(_parse_widths(args.widths,
+                                   (16, 32, 64, 128, 256, 512, 1024,
+                                    2048, 4096))).render()
+
+
+def _cmd_theorem1(args) -> str:
+    return ex.theorem1(max_k=args.max_k).render()
+
+
+def _cmd_schilling(args) -> str:
+    return ex.schilling_table().render()
+
+
+def _cmd_fig8(args) -> str:
+    widths = _parse_widths(args.widths, ex.DEFAULT_BITWIDTHS)
+    delay, area, chart_d, chart_a = ex.fig8_tables(bitwidths=widths)
+    return "\n\n".join([delay.render(), area.render(), chart_d, chart_a])
+
+
+def _cmd_fig7(args) -> str:
+    table, diagram = ex.fig7_trace(width=args.width, operations=args.ops)
+    return table.render() + "\n\nTiming diagram (first ops):\n" + diagram
+
+
+def _cmd_errors(args) -> str:
+    widths = _parse_widths(args.widths, (64, 128, 256, 512, 1024))
+    return ex.error_rate_table(widths, samples=args.samples).render()
+
+
+def _cmd_sharing(args) -> str:
+    widths = _parse_widths(args.widths, (64, 128, 256, 512))
+    return ex.sharing_ablation(widths).render()
+
+
+def _cmd_window(args) -> str:
+    return ex.window_sweep(width=args.width).render()
+
+
+def _cmd_attack(args) -> str:
+    return ex.crypto_attack_experiment(
+        corpus_bytes=args.corpus, key_bits=args.key_bits).render()
+
+
+def _cmd_futurework(args) -> str:
+    return ex.future_work_table().render()
+
+
+def _cmd_faults(args) -> str:
+    return ex.fault_table(width=min(args.width, 16)).render()
+
+
+def _cmd_cpu(args) -> str:
+    return ex.processor_table(width=args.width).render()
+
+
+def _cmd_dsp(args) -> str:
+    return ex.dsp_table().render()
+
+
+_COMMANDS: Dict[str, Callable] = {
+    "table1": _cmd_table1,
+    "theorem1": _cmd_theorem1,
+    "schilling": _cmd_schilling,
+    "fig8": _cmd_fig8,
+    "fig7": _cmd_fig7,
+    "errors": _cmd_errors,
+    "sharing": _cmd_sharing,
+    "window": _cmd_window,
+    "attack": _cmd_attack,
+    "futurework": _cmd_futurework,
+    "faults": _cmd_faults,
+    "cpu": _cmd_cpu,
+    "dsp": _cmd_dsp,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="vlsa-repro",
+        description="Regenerate tables/figures of the VLSA paper (DATE'08).")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name in _COMMANDS:
+        p = sub.add_parser(name)
+        p.add_argument("--widths", help="comma-separated bitwidths")
+        p.add_argument("--width", type=int, default=64)
+        p.add_argument("--ops", type=int, default=100000)
+        p.add_argument("--samples", type=int, default=20000)
+        p.add_argument("--max-k", dest="max_k", type=int, default=12)
+        p.add_argument("--corpus", type=int, default=4096)
+        p.add_argument("--key-bits", dest="key_bits", type=int, default=8)
+        p.add_argument("--no-save", action="store_true",
+                       help="print only, skip writing results/")
+    all_p = sub.add_parser("all", help="run every experiment")
+    all_p.add_argument("--no-save", action="store_true")
+
+    exp = sub.add_parser(
+        "export", help="generate RTL for a design (the paper's tool)")
+    exp.add_argument("kind", help="design kind, e.g. aca, vlsa, detector, "
+                                  "recovery, multiplier, or any adder name")
+    exp.add_argument("--width", type=int, default=64)
+    exp.add_argument("--window", type=int, default=None)
+    exp.add_argument("--out", default="rtl_out")
+    exp.add_argument("--library", default="umc180")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "export":
+        from .generator import export_design
+
+        written = export_design(args.kind, args.width, args.out,
+                                window=args.window, library=args.library)
+        for path in written:
+            print(path)
+        return 0
+
+    if args.command == "all":
+        chunks = []
+        defaults = parser.parse_args(["table1"])
+        for name, fn in _COMMANDS.items():
+            defaults.command = name
+            text = fn(defaults)
+            chunks.append(f"==== {name} ====\n{text}")
+            if not args.no_save:
+                save_artifact(f"{name}.txt", text)
+        print("\n\n".join(chunks))
+        return 0
+
+    text = _COMMANDS[args.command](args)
+    print(text)
+    if not getattr(args, "no_save", False):
+        path = save_artifact(f"{args.command}.txt", text)
+        print(f"\n[saved to {path}]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""The paper's contribution: ACA, error detection/recovery, VLSA datapath.
+
+* :func:`build_aca` — the Almost Correct Adder (Section 3).
+* :func:`build_error_detector` / :func:`attach_error_detector` — the
+  propagate-run detector (Section 4.1).
+* :func:`build_recovery_adder` / :func:`attach_error_recovery` — block
+  lookahead recovery reusing ACA products (Section 4.2, Fig. 5).
+* :func:`build_vlsa_datapath` — all three with shared logic (Fig. 6).
+"""
+
+from .aca import AcaBuilder, build_aca, naive_aca_window_products
+from .error_detect import attach_error_detector, build_error_detector
+from .error_recovery import attach_error_recovery, build_recovery_adder
+from .vlsa import VlsaTiming, build_vlsa_datapath, characterize_vlsa
+from .vlsa_rtl import build_vlsa_rtl
+from .multiop import build_multi_operand_adder, reduce_carry_save
+from .multiplier import build_multiplier, multiplier_error_rate
+from .subtract import build_speculative_subtractor
+from .booth import booth_digits, build_booth_multiplier
+from .signed import build_signed_adder, to_signed, to_unsigned
+from .incrementer import (
+    build_speculative_incrementer,
+    incrementer_error_probability,
+)
+
+__all__ = [
+    "AcaBuilder", "build_aca", "naive_aca_window_products",
+    "attach_error_detector", "build_error_detector",
+    "attach_error_recovery", "build_recovery_adder",
+    "VlsaTiming", "build_vlsa_datapath", "characterize_vlsa",
+    "build_vlsa_rtl",
+    "build_multi_operand_adder", "reduce_carry_save",
+    "build_multiplier", "multiplier_error_rate",
+    "build_speculative_subtractor",
+    "booth_digits", "build_booth_multiplier",
+    "build_signed_adder", "to_signed", "to_unsigned",
+    "build_speculative_incrementer", "incrementer_error_probability",
+]

@@ -1,0 +1,233 @@
+"""Almost Correct Adder (ACA) — paper Sections 3 and 3.2.
+
+The ACA computes the carry into every bit position from a ``w``-bit window
+of preceding bits, assuming no carry enters the window.  Conceptually each
+sum bit has its own small adder (paper Fig. 1); the realisation here is the
+paper's shared-logic construction (Fig. 3/4):
+
+1. Build *strips*: for every position ``i`` and level ``j``, the carry
+   operator product of the ``2^j`` matrices ending at ``i`` (a Kogge-Stone
+   style doubling recursion, ``O(n log w)`` nodes, fanout bounded by 3).
+2. Form each ``w``-wide window product with at most one extra combine, using
+   the idempotency of the carry operator across overlapping ranges.
+
+Windows that reach bit 0 are anchored there (and absorb the external
+carry-in when present), so the low ``w`` bits are always exact; the adder
+as a whole is exact whenever no propagate chain of length ``w`` receives an
+incoming carry (see :mod:`repro.analysis.error_model`).
+
+:class:`AcaBuilder` exposes the strip products so the error detector and
+the error-recovery logic (paper Fig. 5) can share them — the sharing that
+makes the full VLSA barely larger than the ACA plus a block lookahead.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..circuit import Circuit, CircuitError, carry_combine, pg_preprocess
+from ..adders.base import adder_ports
+
+__all__ = ["AcaBuilder", "build_aca", "naive_aca_window_products"]
+
+PG = Tuple[int, int]  # (generate net, propagate net)
+
+
+class AcaBuilder:
+    """Builds ACA logic into a circuit and exposes the shared products.
+
+    Args:
+        circuit: Target circuit.
+        a: Operand A nets (LSB first).
+        b: Operand B nets.
+        window: Speculation window ``w`` (>= 1).
+        cin: Optional carry-in net (anchored windows absorb it).
+
+    Attributes (populated by :meth:`build`):
+        g, p: Per-bit generate/propagate nets.
+        strips: ``strips[j][i]`` is the (g, p) product of the ``2^j``
+            positions ending at ``i`` (clamped at bit 0).
+        windows: ``windows[i]`` is the (g, p) product of the ``w`` positions
+            ending at ``i`` (clamped at bit 0).
+        spec_carries: ``spec_carries[i]`` is the speculative carry into bit
+            ``i`` (index ``width`` is the speculative carry out).
+        sums: Speculative sum bits.
+    """
+
+    def __init__(self, circuit: Circuit, a: List[int], b: List[int],
+                 window: int, cin: Optional[int] = None):
+        if window < 1:
+            raise CircuitError("window must be >= 1")
+        if len(a) != len(b):
+            raise CircuitError("operand widths differ")
+        self.circuit = circuit
+        self.a = list(a)
+        self.b = list(b)
+        self.width = len(a)
+        self.window = min(window, self.width)
+        self.cin = cin
+        self.g: List[int] = []
+        self.p: List[int] = []
+        self.strips: List[List[PG]] = []
+        self.windows: List[PG] = []
+        self.spec_carries: List[int] = []
+        self.sums: List[int] = []
+
+    # ------------------------------------------------------------------
+    def build(self) -> "AcaBuilder":
+        """Construct strips, window products, carries and sum bits."""
+        self.g, self.p = pg_preprocess(self.circuit, self.a, self.b)
+        self._build_strips()
+        self._build_windows()
+        self._build_carries_and_sums()
+        return self
+
+    # ------------------------------------------------------------------
+    def _build_strips(self) -> None:
+        c = self.circuit
+        strips: List[List[PG]] = [list(zip(self.g, self.p))]
+        m = 0
+        while (1 << m) < self.window:
+            m += 1
+        # Levels 1 .. m-1 (the final doubling is fused into the window row).
+        for j in range(1, m):
+            step = 1 << (j - 1)
+            prev = strips[j - 1]
+            level: List[PG] = []
+            for i in range(self.width):
+                if i < step:
+                    level.append(prev[i])  # already anchored at bit 0
+                else:
+                    gi, pi = prev[i]
+                    gj, pj = prev[i - step]
+                    level.append(carry_combine(c, gi, pi, gj, pj,
+                                               pos=float(i)))
+            strips.append(level)
+        self.strips = strips
+        self._m = m
+
+    def range_product(self, lo: int, hi: int) -> PG:
+        """(g, p) of positions ``[lo .. hi]`` using at most one new combine.
+
+        Requires ``hi - lo + 1 <= 2^(levels built)``; used by the window
+        row and by error recovery's intra-block prefixes.
+        """
+        if not (0 <= lo <= hi < self.width):
+            raise CircuitError(f"bad range [{lo}..{hi}]")
+        u = hi - lo + 1
+        j = 0
+        while (1 << j) < u:
+            j += 1
+        # strips[j][hi] covers [max(0, hi - 2^j + 1), hi], which equals
+        # [lo, hi] when the range is power-of-two wide or anchored at 0.
+        if ((1 << j) == u or lo == 0) and j < len(self.strips):
+            return self.strips[j][hi]
+        if j - 1 >= len(self.strips):
+            raise CircuitError(
+                f"range [{lo}..{hi}] wider than built strips allow")
+        # Overlap combine: high part [hi-2^(j-1)+1 .. hi] from level j-1,
+        # low part ending where the target range begins + 2^(j-1) - 1.
+        half = 1 << (j - 1)
+        g_hi, p_hi = self.strips[j - 1][hi]
+        g_lo, p_lo = self.strips[j - 1][lo + half - 1]
+        return carry_combine(self.circuit, g_hi, p_hi, g_lo, p_lo,
+                             pos=float(hi))
+
+    def _build_windows(self) -> None:
+        c = self.circuit
+        w = self.window
+        m = self._m
+        top = self.strips[-1]  # level m-1 (or level 0 when w == 1)
+        windows: List[PG] = []
+        if m == 0:
+            self.windows = list(top)
+            return
+        half = 1 << (m - 1)
+        for i in range(self.width):
+            if i < half:
+                windows.append(top[i])  # anchored, covers [0, i]
+                continue
+            lo_src = max(i - (w - half), half - 1)
+            g_hi, p_hi = top[i]
+            g_lo, p_lo = top[lo_src]
+            windows.append(carry_combine(c, g_hi, p_hi, g_lo, p_lo,
+                                         pos=float(i)))
+        self.windows = windows
+
+    def _build_carries_and_sums(self) -> None:
+        c = self.circuit
+        zero = c.const(0)
+        carries: List[int] = []
+        for i in range(self.width + 1):
+            if i == 0:
+                carries.append(self.cin if self.cin is not None else zero)
+                continue
+            g_w, p_w = self.windows[i - 1]
+            anchored = (i - 1) < self.window  # window reaches bit 0
+            if anchored and self.cin is not None:
+                carries.append(c.add_gate("AO21", p_w, self.cin, g_w,
+                                          pos=float(i)))
+            else:
+                carries.append(g_w)
+        self.spec_carries = carries
+        self.sums = [c.add_gate("XOR", self.p[i], carries[i], pos=float(i))
+                     for i in range(self.width)]
+
+    # ------------------------------------------------------------------
+    def block_pg(self, lo: int, hi: int) -> PG:
+        """Block (G, P) of ``[lo..hi]`` for the recovery lookahead."""
+        return self.range_product(lo, hi)
+
+
+def build_aca(width: int, window: int, cin: bool = False) -> Circuit:
+    """Generate a *width*-bit Almost Correct Adder with the given window.
+
+    Args:
+        width: Operand bitwidth.
+        window: Speculation window ``w``; the result is exact whenever the
+            longest propagate chain with an incoming carry is shorter than
+            ``w`` (choose via :func:`repro.analysis.error_model.choose_window`).
+        cin: Include a carry-in port.
+
+    Returns:
+        Circuit with buses ``a``, ``b`` (and ``cin``), outputs ``sum`` and
+        (speculative) ``cout``.
+    """
+    circuit, a, b, cin_net = adder_ports(f"aca{width}_w{window}", width, cin)
+    builder = AcaBuilder(circuit, a, b, window, cin_net).build()
+    circuit.set_output("sum", builder.sums)
+    circuit.set_output("cout", builder.spec_carries[width])
+    circuit.attrs["window"] = builder.window
+    return circuit
+
+
+def naive_aca_window_products(width: int, window: int) -> Circuit:
+    """Unshared reference: one independent small adder per window (Fig. 1).
+
+    Used only by the sharing ablation (Fig. 3/4 reproduction): it computes
+    the same speculative carries with per-window ripple chains and no reuse
+    across windows, demonstrating the area/fanout cost the shared strips
+    avoid.
+    """
+    # Structural hashing would silently re-share the chains and defeat the
+    # point of the comparison, so it is disabled for this reference.
+    circuit = Circuit(f"aca_naive{width}_w{window}", use_strash=False)
+    a = circuit.add_input_bus("a", width)
+    b = circuit.add_input_bus("b", width)
+    window = min(window, width)
+    g, p = pg_preprocess(circuit, a, b)
+    carries: List[int] = [circuit.const(0)]
+    for i in range(1, width + 1):
+        lo = max(0, i - window)
+        # Ripple the block generate without any cross-window sharing.
+        acc_g, acc_p = g[lo], p[lo]
+        for j in range(lo + 1, i):
+            acc_g, acc_p = carry_combine(circuit, g[j], p[j], acc_g, acc_p,
+                                         pos=float(j))
+        carries.append(acc_g)
+    sums = [circuit.add_gate("XOR", p[i], carries[i], pos=float(i))
+            for i in range(width)]
+    circuit.set_output("sum", sums)
+    circuit.set_output("cout", carries[width])
+    circuit.attrs["window"] = window
+    return circuit

@@ -1,0 +1,144 @@
+"""Radix-4 Booth-encoded signed multiplier with a speculative final add.
+
+A second multiplier architecture alongside the Wallace AND-array of
+:mod:`repro.core.multiplier`: modified-Booth recoding halves the number
+of partial products, each row being ``{-2,-1,0,+1,+2} * A``.  Negative
+rows are realised as full-width complement plus a +1 correction bit, so
+the carry-save columns stay a plain multi-set of bits and the same
+reduction/final-adder machinery applies — including the ACA final adder
+and its error flag.
+
+Operands and product are two's complement (``width`` -> ``2*width``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..circuit import Circuit, CircuitError
+from .aca import AcaBuilder
+from .error_detect import attach_error_detector
+from .multiop import reduce_carry_save
+
+__all__ = ["build_booth_multiplier", "booth_digits"]
+
+
+def booth_digits(value: int, width: int) -> List[int]:
+    """Reference radix-4 Booth recoding of a signed *width*-bit value.
+
+    Returns digits in {-2..2}, least significant first, such that
+    ``sum(d * 4^j) == value`` (two's complement interpretation).
+    """
+    from .signed import to_signed
+
+    signed = to_signed(value, width)
+    digits = []
+    bits = value & ((1 << width) - 1)
+
+    def bit(i: int) -> int:
+        if i < 0:
+            return 0
+        if i >= width:
+            return (bits >> (width - 1)) & 1  # sign extension
+        return (bits >> i) & 1
+
+    num_digits = (width + 1) // 2
+    for j in range(num_digits):
+        x, y, z = bit(2 * j + 1), bit(2 * j), bit(2 * j - 1)
+        digits.append(z + y - 2 * x)
+    assert sum(d * 4 ** j for j, d in enumerate(digits)) == signed
+    return digits
+
+
+def build_booth_multiplier(width: int, window: Optional[int] = None,
+                           with_detector: bool = True) -> Circuit:
+    """Generate a signed *width* x *width* radix-4 Booth multiplier.
+
+    Args:
+        width: Operand bitwidth (two's complement); must be >= 2.
+        window: ACA window for the final addition (None = exact).
+        with_detector: Add the ``err`` flag (speculative variant only).
+
+    Returns:
+        Circuit with inputs ``a``/``b`` and output ``product``
+        (``2*width`` bits, two's complement), plus ``err`` if requested.
+    """
+    if width < 2:
+        raise CircuitError("Booth multiplier needs width >= 2")
+    out_width = 2 * width
+    name = (f"booth{width}_w{window}" if window else f"booth{width}_exact")
+    circuit = Circuit(name)
+    a = circuit.add_input_bus("a", width)
+    b = circuit.add_input_bus("b", width)
+    zero = circuit.const(0)
+
+    def a_ext(k: int) -> int:
+        """Sign-extended multiplicand bit ``k`` (a_{-1} = 0)."""
+        if k < 0:
+            return zero
+        if k >= width:
+            return a[width - 1]
+        return a[k]
+
+    def b_ext(k: int) -> int:
+        if k < 0:
+            return zero
+        if k >= width:
+            return b[width - 1]
+        return b[k]
+
+    columns: List[List[int]] = [[] for _ in range(out_width)]
+    num_digits = (width + 1) // 2
+    for j in range(num_digits):
+        x = b_ext(2 * j + 1)
+        y = b_ext(2 * j)
+        z = b_ext(2 * j - 1)
+        pos = float(2 * j)
+        sel1 = circuit.add_gate("XOR", y, z, pos=pos)        # |d| == 1
+        sel2 = circuit.add_gate("XNOR", y, z, pos=pos)
+        sel2 = circuit.add_gate("AND", sel2,
+                                circuit.add_gate("XOR", x, y, pos=pos),
+                                pos=pos)                      # |d| == 2
+        neg = x                                               # d < 0
+
+        for c in range(out_width):
+            k = c - 2 * j
+            if k < 0:
+                # Below the shift: 0 before negation -> just `neg` after.
+                columns[c].append(neg)
+                continue
+            v1 = circuit.add_gate("AND", sel1, a_ext(k), pos=float(c))
+            v2 = circuit.add_gate("AND", sel2, a_ext(k - 1), pos=float(c))
+            v = circuit.add_gate("OR", v1, v2, pos=float(c))
+            columns[c].append(circuit.add_gate("XOR", v, neg, pos=float(c)))
+        # Two's-complement correction: ~row + 1.
+        columns[0].append(neg)
+
+    row_a, row_b = reduce_carry_save(circuit, columns)
+    row_a = (row_a + [zero] * out_width)[:out_width]
+    row_b = (row_b + [zero] * out_width)[:out_width]
+
+    if window is None:
+        from ..adders.kogge_stone import kogge_stone_schedule
+        from ..circuit import carry_combine, pg_preprocess, sum_postprocess
+
+        g, p = pg_preprocess(circuit, row_a, row_b)
+        cur_g, cur_p = list(g), list(p)
+        for level in kogge_stone_schedule(out_width):
+            src_g, src_p = list(cur_g), list(cur_p)
+            for i, jj in level:
+                cur_g[i], cur_p[i] = carry_combine(
+                    circuit, src_g[i], src_p[i], src_g[jj], src_p[jj],
+                    pos=float(i))
+        carries = [zero] + cur_g[:out_width - 1]
+        circuit.set_output("product", sum_postprocess(circuit, p, carries))
+    else:
+        builder = AcaBuilder(circuit, row_a, row_b, window).build()
+        circuit.set_output("product", builder.sums)
+        if with_detector:
+            circuit.set_output("err", attach_error_detector(builder))
+        circuit.attrs["window"] = builder.window
+
+    circuit.attrs["operand_width"] = width
+    circuit.attrs["encoding"] = "booth-radix4"
+    return circuit

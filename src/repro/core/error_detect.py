@@ -1,0 +1,86 @@
+"""Error detection for the ACA (paper Section 4.1).
+
+The ACA can only be wrong when a propagate chain of length >= ``w`` exists
+in the addenda, so the error signal is::
+
+    ER = OR over i of AND(p_i, p_{i+1}, ..., p_{i+w-1})
+
+Each AND term is exactly the *propagate* half of a window product the ACA
+already computes, so when built through an :class:`~repro.core.aca.AcaBuilder`
+the detector adds only the final OR tree.  The standalone variant builds
+the propagate strips itself — still only simple AND/OR gates, which is why
+its critical path comes out around 2/3 of a traditional adder's even
+though both have ``O(log n)`` levels (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..circuit import Circuit, CircuitError, or_tree
+from .aca import AcaBuilder
+
+__all__ = ["attach_error_detector", "build_error_detector"]
+
+#: OR-tree arity used for the reduction (4-input cells keep it shallow).
+_OR_ARITY = 4
+
+
+def attach_error_detector(builder: AcaBuilder) -> int:
+    """Add the ER signal to a built ACA, reusing its window products.
+
+    Args:
+        builder: An :class:`AcaBuilder` whose :meth:`build` has run.
+
+    Returns:
+        The net id of the error flag (1 = speculative sum may be wrong).
+    """
+    if not builder.windows:
+        raise CircuitError("builder must be built before attaching detection")
+    w = builder.window
+    if w > builder.width:
+        return builder.circuit.const(0)  # no chain can reach the window
+    terms = [builder.windows[i][1] for i in range(w - 1, builder.width)]
+    return or_tree(builder.circuit, terms, max_arity=_OR_ARITY)
+
+
+def build_error_detector(width: int, window: int) -> Circuit:
+    """Standalone ER circuit: inputs ``a``/``b``, output ``err``.
+
+    Builds the propagate run-detection with AND doubling strips (sharing
+    identical to the ACA's propagate half) followed by an OR tree.
+    """
+    if window < 1:
+        raise CircuitError("window must be >= 1")
+    circuit = Circuit(f"error_detect{width}_w{window}")
+    a = circuit.add_input_bus("a", width)
+    b = circuit.add_input_bus("b", width)
+    if window > width:
+        circuit.set_output("err", circuit.const(0))
+        circuit.attrs["window"] = window
+        return circuit
+
+    p = [circuit.add_gate("XOR", ai, bi, pos=float(i))
+         for i, (ai, bi) in enumerate(zip(a, b))]
+
+    # AND-doubling: level j holds AND of the 2^j propagates ending at i.
+    level: List[int] = list(p)
+    certified = 1
+    while certified * 2 <= window:
+        step = certified
+        level = [level[i] if i < step else
+                 circuit.add_gate("AND", level[i], level[i - step],
+                                  pos=float(i))
+                 for i in range(width)]
+        certified *= 2
+    if certified < window:
+        step = window - certified
+        level = [level[i] if i < step else
+                 circuit.add_gate("AND", level[i], level[i - step],
+                                  pos=float(i))
+                 for i in range(width)]
+
+    terms = [level[i] for i in range(window - 1, width)]
+    circuit.set_output("err", or_tree(circuit, terms, max_arity=_OR_ARITY))
+    circuit.attrs["window"] = window
+    return circuit

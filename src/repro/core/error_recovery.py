@@ -1,0 +1,104 @@
+"""Error recovery for the ACA (paper Section 4.2, Fig. 5).
+
+The window products the ACA computes include, for every ``w``-bit block of
+the operands, that block's group propagate and generate.  Recovery reuses
+them: an ``n/w``-input carry-lookahead computes the true carry into every
+block, intra-block prefixes (one extra combine each, from the shared
+strips) extend those to the true carry into every bit, and a final XOR row
+produces the exact sum.
+
+The recovery path therefore costs roughly one block-lookahead more than
+the ACA itself — the paper measures it at about the delay of a traditional
+adder — and is exercised only when the detector fires.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..adders.cla import lookahead_carries
+from ..circuit import Circuit, CircuitError
+from .aca import AcaBuilder
+
+__all__ = ["attach_error_recovery", "build_recovery_adder"]
+
+
+def attach_error_recovery(builder: AcaBuilder) -> Tuple[List[int], int]:
+    """Add exact-sum logic to a built ACA, reusing its block products.
+
+    Args:
+        builder: An :class:`AcaBuilder` whose :meth:`build` has run.
+
+    Returns:
+        ``(sum_bits, carry_out)`` of the exact (recovered) result.
+    """
+    if not builder.windows:
+        raise CircuitError("builder must be built before attaching recovery")
+    c = builder.circuit
+    n, w = builder.width, builder.window
+    cin = builder.cin
+
+    # Block boundaries: w-bit blocks from the LSB, last block possibly short.
+    bounds: List[Tuple[int, int]] = []
+    lo = 0
+    while lo < n:
+        hi = min(lo + w, n) - 1
+        bounds.append((lo, hi))
+        lo = hi + 1
+
+    # Block (G, P): full blocks come straight from the ACA's window row
+    # (windows[hi] spans [hi-w+1, hi] == the block); a short final block
+    # needs at most one extra combine from the shared strips.
+    grp_g: List[int] = []
+    grp_p: List[int] = []
+    for lo, hi in bounds:
+        if hi - lo + 1 == w:
+            g_blk, p_blk = builder.windows[hi]
+        else:
+            g_blk, p_blk = builder.range_product(lo, hi)
+        grp_g.append(g_blk)
+        grp_p.append(p_blk)
+
+    # True carry into every block via the classic lookahead unit (block
+    # index k lives around bit column k*w, hence pos_step=w).
+    block_carries, cout = lookahead_carries(c, grp_g, grp_p, cin,
+                                            pos_step=float(w))
+
+    # True carry into every bit: intra-block prefix o block carry.
+    carries: List[int] = []
+    for k, (lo, hi) in enumerate(bounds):
+        c_blk = block_carries[k]
+        for i in range(lo, hi + 1):
+            if i == lo:
+                carries.append(c_blk)
+                continue
+            g_pre, p_pre = builder.range_product(lo, i - 1)
+            carries.append(c.add_gate("AO21", p_pre, c_blk, g_pre,
+                                      pos=float(i)))
+
+    sums = [c.add_gate("XOR", builder.p[i], carries[i], pos=float(i))
+            for i in range(n)]
+    return sums, cout
+
+
+def build_recovery_adder(width: int, window: int, cin: bool = False
+                         ) -> Circuit:
+    """ACA + recovery as one exact adder (the paper's "ACA + Error
+    Recovery" curve in Fig. 8).
+
+    Returns:
+        Circuit with outputs ``sum``/``cout`` (exact) plus the speculative
+        ``sum_spec``/``cout_spec`` the ACA produced on the way.
+    """
+    circuit = Circuit(f"aca_recovery{width}_w{window}")
+    a = circuit.add_input_bus("a", width)
+    b = circuit.add_input_bus("b", width)
+    cin_net = circuit.add_input("cin", pos=0.0) if cin else None
+    builder = AcaBuilder(circuit, a, b, window, cin_net).build()
+    sums, cout = attach_error_recovery(builder)
+    circuit.set_output("sum", sums)
+    circuit.set_output("cout", cout)
+    circuit.set_output("sum_spec", builder.sums)
+    circuit.set_output("cout_spec", builder.spec_carries[width])
+    circuit.attrs["window"] = builder.window
+    return circuit

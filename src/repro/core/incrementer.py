@@ -1,0 +1,120 @@
+"""Speculative incrementer (``x + 1``) — the simplest VLSA instance.
+
+Incrementing carries through the trailing block of ones.  A ``w``-bit
+window truncates that chain: the speculative carry into bit ``i`` is the
+AND of the ``w`` bits below, so it is *too high* exactly when those bits
+are all ones but the ones-run is broken by a zero further down.  Runs
+anchored at bit 0 are always handled exactly (the +1 genuinely enters
+there), mirroring the ACA's anchored-window property.
+
+Detector: any ``w``-long ones-run starting above bit 0 — conservative
+(an anchored longer run also matches) and complete (every error implies
+such a run).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Union
+
+from ..circuit import Circuit, CircuitError, and_tree, or_tree
+
+__all__ = ["build_speculative_incrementer", "incrementer_error_probability"]
+
+
+def incrementer_error_probability(width: int, window: int,
+                                  exact: bool = False
+                                  ) -> Union[float, Fraction]:
+    """Exact P(speculative increment wrong) for a uniform input.
+
+    Wrong iff the input contains a ones-run of length >= *window* that
+    does not extend down to bit 0.  Computed with a linear DP (verified
+    against brute force in the tests).
+    """
+    if width <= 0 or window <= 0:
+        raise ValueError("width and window must be positive")
+    if window >= width:
+        return Fraction(0) if exact else 0.0
+
+    one = Fraction(1) if exact else 1.0
+    half = one / 2
+    # States walked LSB-first: ("anchored", r) while still inside the run
+    # touching bit 0 (capped, can never err), ("run", r) for later runs
+    # (err when r reaches window).
+    states = {("anchored", 0): one}
+    error = one * 0
+    for _ in range(width):
+        nxt = {}
+
+        def bump(key, mass):
+            if mass:
+                nxt[key] = nxt.get(key, one * 0) + mass
+
+        for (kind, r), mass in states.items():
+            # bit = 0: any current run ends; subsequent runs are unanchored
+            bump(("run", 0), mass * half)
+            # bit = 1: run extends
+            if kind == "anchored":
+                bump(("anchored", min(r + 1, window)), mass * half)
+            else:
+                if r + 1 >= window:
+                    error += mass * half
+                else:
+                    bump(("run", r + 1), mass * half)
+        states = nxt
+    return error
+
+
+def build_speculative_incrementer(width: int, window: int,
+                                  with_detector: bool = True) -> Circuit:
+    """Generate a *width*-bit speculative incrementer.
+
+    Returns:
+        Circuit with input ``x``, outputs ``inc`` (speculative sum
+        ``x + 1`` mod ``2^width``) and ``cout`` (speculative carry out),
+        plus ``err`` when *with_detector*.
+    """
+    if width <= 0:
+        raise CircuitError("width must be positive")
+    if window <= 0:
+        raise CircuitError("window must be positive")
+    window = min(window, width)
+    circuit = Circuit(f"inc{width}_w{window}")
+    x = circuit.add_input_bus("x", width)
+
+    # Shared AND-doubling strips: runs[i] = AND of x[max(0,i-window+1)..i].
+    level: List[int] = list(x)
+    certified = 1
+    while certified * 2 <= window:
+        step = certified
+        level = [level[i] if i < step else
+                 circuit.add_gate("AND", level[i], level[i - step],
+                                  pos=float(i))
+                 for i in range(width)]
+        certified *= 2
+    if certified < window:
+        step = window - certified
+        level = [level[i] if i < step else
+                 circuit.add_gate("AND", level[i], level[i - step],
+                                  pos=float(i))
+                 for i in range(width)]
+
+    # Speculative carry into bit i = AND of the window below = level[i-1].
+    carries = [circuit.const(1)]
+    carries += [level[i - 1] for i in range(1, width + 1)]
+    incremented = [circuit.add_gate("NOT", x[0], pos=0.0)]
+    incremented += [circuit.add_gate("XOR", x[i], carries[i], pos=float(i))
+                    for i in range(1, width)]
+
+    circuit.set_output("inc", incremented)
+    circuit.set_output("cout", carries[width])
+    if with_detector:
+        if window >= width:
+            circuit.set_output("err", circuit.const(0))
+        else:
+            # Ones-runs of length `window` ending at bit >= window (i.e.
+            # starting above bit 0).
+            terms = [level[i] for i in range(window, width)]
+            circuit.set_output("err", or_tree(circuit, terms, max_arity=4))
+    circuit.attrs["window"] = window
+    return circuit

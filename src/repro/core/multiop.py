@@ -1,0 +1,148 @@
+"""Speculative multi-operand addition (paper Section 6 future work).
+
+The paper notes that redundant (carry-save) arithmetic defers carry
+propagation and that its conversion back to binary is the expensive step
+— which is precisely where the ACA slots in.  This module implements:
+
+* a gate-level **carry-save reduction tree** (3:2 compressors, Wallace
+  style) that sums any number of operands into two rows with O(log m)
+  depth and *no* carry propagation, and
+* :func:`build_multi_operand_adder` — the reduction tree followed by a
+  final adder that is either exact (Kogge-Stone) or an ACA, optionally
+  with the error-detection flag.
+
+The only approximate step is the final carry-propagate addition, so the
+error analysis of the plain ACA carries over unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..circuit import Circuit, CircuitError
+from .aca import AcaBuilder
+from .error_detect import attach_error_detector
+
+__all__ = ["reduce_carry_save", "build_multi_operand_adder"]
+
+
+def _full_adder(circuit: Circuit, a: int, b: int, c: int,
+                pos: float) -> Tuple[int, int]:
+    """3:2 compressor: returns (sum, carry)."""
+    s = circuit.add_gate("XOR", a, b, c, pos=pos)
+    carry = circuit.add_gate("MAJ3", a, b, c, pos=pos)
+    return s, carry
+
+
+def _half_adder(circuit: Circuit, a: int, b: int,
+                pos: float) -> Tuple[int, int]:
+    s = circuit.add_gate("XOR", a, b, pos=pos)
+    carry = circuit.add_gate("AND", a, b, pos=pos)
+    return s, carry
+
+
+def reduce_carry_save(circuit: Circuit, columns: List[List[int]],
+                      ) -> Tuple[List[int], List[int]]:
+    """Wallace-style reduction of bit *columns* down to two rows.
+
+    Args:
+        circuit: Target circuit.
+        columns: ``columns[i]`` holds the nets of weight ``2^i``.  The
+            list is modified destructively.
+
+    Returns:
+        ``(row_a, row_b)`` — two equal-length rows whose binary sum (with
+        row_b shifted appropriately already baked into the columns)
+        equals the sum of all input bits.  Columns beyond the input
+        width may be appended for overflow.
+    """
+    columns = [list(col) for col in columns]
+    while any(len(col) > 2 for col in columns):
+        nxt: List[List[int]] = [[] for _ in range(len(columns) + 1)]
+        for i, col in enumerate(columns):
+            pos = float(i)
+            j = 0
+            while len(col) - j >= 3:
+                s, c = _full_adder(circuit, col[j], col[j + 1], col[j + 2],
+                                   pos)
+                nxt[i].append(s)
+                nxt[i + 1].append(c)
+                j += 3
+            if len(col) - j == 2:
+                s, c = _half_adder(circuit, col[j], col[j + 1], pos)
+                nxt[i].append(s)
+                nxt[i + 1].append(c)
+                j += 2
+            nxt[i].extend(col[j:])
+        while nxt and not nxt[-1]:
+            nxt.pop()
+        columns = nxt
+
+    zero = circuit.const(0)
+    row_a = [col[0] if len(col) >= 1 else zero for col in columns]
+    row_b = [col[1] if len(col) >= 2 else zero for col in columns]
+    return row_a, row_b
+
+
+def build_multi_operand_adder(width: int, operands: int,
+                              window: Optional[int] = None,
+                              with_detector: bool = True) -> Circuit:
+    """Sum *operands* unsigned *width*-bit inputs with one speculative CPA.
+
+    Args:
+        width: Width of each input operand.
+        operands: Number of operands (>= 2); inputs are named ``x0..``.
+        window: ACA window for the final carry-propagate addition; None
+            builds an exact final adder instead (baseline).
+        with_detector: Add an ``err`` output (speculative variant only).
+
+    Returns:
+        Circuit with inputs ``x0 .. x{m-1}`` and output ``sum`` wide
+        enough to hold the full result (``width + ceil(log2 m)`` bits),
+        plus ``err`` when requested.
+    """
+    if operands < 2:
+        raise CircuitError("need at least two operands")
+    import math
+
+    out_width = width + math.ceil(math.log2(operands))
+    name = (f"multiop{operands}x{width}_w{window}" if window
+            else f"multiop{operands}x{width}_exact")
+    circuit = Circuit(name)
+    buses = [circuit.add_input_bus(f"x{k}", width) for k in range(operands)]
+
+    columns: List[List[int]] = [[] for _ in range(out_width)]
+    for bus in buses:
+        for i, net in enumerate(bus):
+            columns[i].append(net)
+
+    row_a, row_b = reduce_carry_save(circuit, columns)
+    # Pad the rows to the output width.
+    zero = circuit.const(0)
+    row_a = (row_a + [zero] * out_width)[:out_width]
+    row_b = (row_b + [zero] * out_width)[:out_width]
+
+    if window is None:
+        from ..adders.kogge_stone import kogge_stone_schedule
+        from ..circuit import carry_combine, pg_preprocess, sum_postprocess
+
+        g, p = pg_preprocess(circuit, row_a, row_b)
+        cur_g, cur_p = list(g), list(p)
+        for level in kogge_stone_schedule(out_width):
+            src_g, src_p = list(cur_g), list(cur_p)
+            for i, j in level:
+                cur_g[i], cur_p[i] = carry_combine(
+                    circuit, src_g[i], src_p[i], src_g[j], src_p[j],
+                    pos=float(i))
+        carries = [zero] + cur_g[:out_width - 1]
+        circuit.set_output("sum", sum_postprocess(circuit, p, carries))
+    else:
+        builder = AcaBuilder(circuit, row_a, row_b, window).build()
+        circuit.set_output("sum", builder.sums)
+        if with_detector:
+            circuit.set_output("err", attach_error_detector(builder))
+        circuit.attrs["window"] = builder.window
+
+    circuit.attrs["operands"] = operands
+    circuit.attrs["operand_width"] = width
+    return circuit

@@ -1,0 +1,82 @@
+"""Signed (two's-complement) views and overflow flags for the ACA.
+
+The base adders operate on unsigned bit vectors; this module layers the
+signed semantics on top: a speculative adder with a two's-complement
+overflow flag (``V = c_out(n) XOR c_out(n-1)``), plus Python-side helpers
+to encode/decode signed integers for the functional models.
+
+The overflow flag on the *speculative* path is itself speculative — it is
+computed from the speculative carries and therefore guarded by the same
+error detector as the sum.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..circuit import Circuit, CircuitError
+from .aca import AcaBuilder
+from .error_detect import attach_error_detector
+from .error_recovery import attach_error_recovery
+
+__all__ = ["to_signed", "to_unsigned", "build_signed_adder"]
+
+
+def to_signed(value: int, width: int) -> int:
+    """Interpret the low *width* bits of *value* as two's complement."""
+    value &= (1 << width) - 1
+    if value & (1 << (width - 1)):
+        return value - (1 << width)
+    return value
+
+
+def to_unsigned(value: int, width: int) -> int:
+    """Encode a (possibly negative) integer into *width* bits."""
+    lo = -(1 << (width - 1))
+    hi = (1 << (width - 1)) - 1
+    if not (lo <= value <= hi):
+        raise ValueError(f"{value} does not fit in {width} signed bits")
+    return value & ((1 << width) - 1)
+
+
+def build_signed_adder(width: int, window: int,
+                       with_recovery: bool = True) -> Circuit:
+    """Speculative signed adder with overflow detection.
+
+    Args:
+        width: Operand bitwidth (two's complement).
+        window: ACA speculation window.
+        with_recovery: Include the exact outputs as well.
+
+    Returns:
+        Circuit with inputs ``a``/``b`` and outputs ``sum``, ``overflow``
+        (speculative, guarded by ``err``) plus ``sum_exact`` /
+        ``overflow_exact`` when *with_recovery*.
+    """
+    if width < 2:
+        raise CircuitError("signed adder needs at least 2 bits")
+    circuit = Circuit(f"signed_add{width}_w{window}")
+    a = circuit.add_input_bus("a", width)
+    b = circuit.add_input_bus("b", width)
+
+    builder = AcaBuilder(circuit, a, b, window).build()
+    circuit.set_output("sum", builder.sums)
+    # V = carry into MSB xor carry out of MSB.
+    v_spec = circuit.add_gate("XOR", builder.spec_carries[width - 1],
+                              builder.spec_carries[width],
+                              pos=float(width))
+    circuit.set_output("overflow", v_spec)
+    circuit.set_output("err", attach_error_detector(builder))
+
+    if with_recovery:
+        sums, cout = attach_error_recovery(builder)
+        circuit.set_output("sum_exact", sums)
+        # Exact carry into the MSB: recover it from the exact sum bit,
+        # since s_{n-1} = p_{n-1} ^ c_{n-1}  =>  c_{n-1} = s ^ p.
+        c_msb = circuit.add_gate("XOR", sums[width - 1],
+                                 builder.p[width - 1], pos=float(width))
+        v_exact = circuit.add_gate("XOR", c_msb, cout, pos=float(width))
+        circuit.set_output("overflow_exact", v_exact)
+
+    circuit.attrs["window"] = builder.window
+    return circuit

@@ -1,0 +1,56 @@
+"""Speculative subtraction and comparison built on the ACA.
+
+Two's-complement subtraction is ``a + ~b + 1``; the ``+1`` rides in on
+the carry-in port the ACA already supports (anchored windows absorb it
+exactly).  Comparison reuses the subtractor's carry-out.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..circuit import Circuit, CircuitError
+from .aca import AcaBuilder
+from .error_detect import attach_error_detector
+from .error_recovery import attach_error_recovery
+
+__all__ = ["build_speculative_subtractor"]
+
+
+def build_speculative_subtractor(width: int, window: int,
+                                 with_detector: bool = True,
+                                 with_recovery: bool = False) -> Circuit:
+    """Generate a speculative two's-complement subtractor ``a - b``.
+
+    Args:
+        width: Operand bitwidth.
+        window: ACA speculation window.
+        with_detector: Add the ``err`` flag.
+        with_recovery: Also add the exact ``diff_exact`` output.
+
+    Returns:
+        Circuit with inputs ``a``/``b`` and outputs ``diff`` (a - b mod
+        2^width) and ``geq`` (1 iff a >= b, from the carry out), plus
+        ``err`` / ``diff_exact`` when requested.  ``geq`` is speculative
+        like ``diff``; the detector guards both.
+    """
+    if width < 1:
+        raise CircuitError("width must be positive")
+    circuit = Circuit(f"sub{width}_w{window}")
+    a = circuit.add_input_bus("a", width)
+    b = circuit.add_input_bus("b", width)
+    not_b = [circuit.add_gate("NOT", bit, pos=float(i))
+             for i, bit in enumerate(b)]
+    one = circuit.const(1)
+
+    builder = AcaBuilder(circuit, a, not_b, window, cin=one).build()
+    circuit.set_output("diff", builder.sums)
+    circuit.set_output("geq", builder.spec_carries[width])
+    if with_detector:
+        circuit.set_output("err", attach_error_detector(builder))
+    if with_recovery:
+        sums, cout = attach_error_recovery(builder)
+        circuit.set_output("diff_exact", sums)
+        circuit.set_output("geq_exact", cout)
+    circuit.attrs["window"] = builder.window
+    return circuit

@@ -1,0 +1,107 @@
+"""Variable Latency Speculative Adder datapath (paper Section 4.3, Fig. 6).
+
+One combinational circuit containing all three cooperating pieces with
+fully shared logic:
+
+* ``sum`` / ``cout``       — the ACA's speculative result (1-cycle path),
+* ``err``                  — the error-detection flag (sets the clock period),
+* ``sum_exact``/``cout_exact`` — the recovered result (2-cycle path).
+
+The sequential wrapper that drives VALID/STALL around this datapath lives
+in :mod:`repro.arch.vlsa_machine`; delay/area characterisation of the
+individual paths is what the Fig. 8 benchmark sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..analysis.error_model import choose_window
+from ..circuit import Circuit, TechLibrary, UNIT, analyze_timing
+from .aca import AcaBuilder
+from .error_detect import attach_error_detector
+from .error_recovery import attach_error_recovery
+
+__all__ = ["build_vlsa_datapath", "VlsaTiming", "characterize_vlsa"]
+
+
+def build_vlsa_datapath(width: int, window: Optional[int] = None,
+                        cin: bool = False,
+                        accuracy: float = 0.9999) -> Circuit:
+    """Generate the complete VLSA datapath with shared ACA logic.
+
+    Args:
+        width: Operand bitwidth.
+        window: Speculation window; ``None`` selects the smallest window
+            that keeps the detector silent with probability *accuracy*
+            (paper: "the one with 99.99 % accuracy").
+        cin: Include a carry-in port.
+        accuracy: Target no-stall probability used when *window* is None.
+
+    Returns:
+        Circuit with outputs ``sum``, ``cout`` (speculative), ``err``,
+        ``sum_exact`` and ``cout_exact``.
+    """
+    if window is None:
+        window = choose_window(width, accuracy)
+    circuit = Circuit(f"vlsa{width}_w{window}")
+    a = circuit.add_input_bus("a", width)
+    b = circuit.add_input_bus("b", width)
+    cin_net = circuit.add_input("cin", pos=0.0) if cin else None
+
+    builder = AcaBuilder(circuit, a, b, window, cin_net).build()
+    err = attach_error_detector(builder)
+    exact_sums, exact_cout = attach_error_recovery(builder)
+
+    circuit.set_output("sum", builder.sums)
+    circuit.set_output("cout", builder.spec_carries[width])
+    circuit.set_output("err", err)
+    circuit.set_output("sum_exact", exact_sums)
+    circuit.set_output("cout_exact", exact_cout)
+    circuit.attrs["window"] = builder.window
+    return circuit
+
+
+@dataclass
+class VlsaTiming:
+    """Per-path delays of a VLSA datapath under one technology library.
+
+    Attributes:
+        width: Operand bitwidth.
+        window: Speculation window.
+        aca_delay: Worst arrival of the speculative sum/cout.
+        detect_delay: Arrival of the error flag.
+        recovery_delay: Worst arrival of the exact sum/cout.
+        clock_period: ``max(aca_delay, detect_delay)`` — the cycle time the
+            paper sizes the VLSA clock to (Fig. 6).
+    """
+
+    width: int
+    window: int
+    aca_delay: float
+    detect_delay: float
+    recovery_delay: float
+
+    @property
+    def clock_period(self) -> float:
+        return max(self.aca_delay, self.detect_delay)
+
+
+def characterize_vlsa(circuit: Circuit,
+                      library: TechLibrary = UNIT) -> VlsaTiming:
+    """Measure the three path delays of a VLSA datapath circuit."""
+    report = analyze_timing(circuit, library)
+    arr = report.arrivals
+    outs = circuit.outputs
+
+    def worst(*names: str) -> float:
+        return max(arr[nid] for name in names for nid in outs[name])
+
+    return VlsaTiming(
+        width=len(outs["sum"]),
+        window=int(circuit.attrs.get("window", 0)),
+        aca_delay=worst("sum", "cout"),
+        detect_delay=worst("err"),
+        recovery_delay=worst("sum_exact", "cout_exact"),
+    )

@@ -1,0 +1,92 @@
+"""The registered, gate-level VLSA of paper Fig. 6.
+
+While :mod:`repro.arch.vlsa_machine` models the pipeline behaviourally,
+this module builds the *actual netlist*: operand registers with an
+enable mux, the shared ACA/detector/recovery datapath, a one-bit state
+register tracking the recovery cycle, and the VALID/STALL handshake —
+all as gates and flip-flops that can be simulated cycle-accurately with
+:class:`repro.circuit.sequential.SequentialSimulator`, timed with
+:func:`~repro.circuit.sequential.min_clock_period`, and exported to
+VHDL/Verilog with a clock port.
+
+Protocol (one add per issue, matching the paper's Fig. 7):
+
+* When ``stall`` is low the circuit captures ``a``/``b`` on the edge.
+* The following cycle ``valid`` is high and ``sum`` carries the
+  speculative result — unless the detector fired, in which case
+  ``stall`` is high for one cycle and the corrected sum appears (with
+  ``valid``) one cycle later.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..analysis.error_model import choose_window
+from ..circuit import Circuit
+from .aca import AcaBuilder
+from .error_detect import attach_error_detector
+from .error_recovery import attach_error_recovery
+
+__all__ = ["build_vlsa_rtl"]
+
+
+def build_vlsa_rtl(width: int, window: Optional[int] = None,
+                   accuracy: float = 0.9999) -> Circuit:
+    """Generate the sequential VLSA netlist (registers included).
+
+    Args:
+        width: Operand bitwidth.
+        window: Speculation window (default: the *accuracy* quantile).
+        accuracy: Window-selection target when *window* is None.
+
+    Returns:
+        Sequential circuit with inputs ``a``/``b``, outputs ``sum``,
+        ``valid`` and ``stall`` (plus the implicit ``clk`` port on RTL
+        export).
+    """
+    if window is None:
+        window = choose_window(width, accuracy)
+    c = Circuit(f"vlsa_rtl{width}_w{window}")
+    a_in = c.add_input_bus("a", width)
+    b_in = c.add_input_bus("b", width)
+
+    # State: operand registers + "recovering" flag (Fig. 6's controller).
+    recovering = c.add_dff("recovering", init=0)
+    a_reg = [c.add_dff(f"a_r{i}", pos=float(i)) for i in range(width)]
+    b_reg = [c.add_dff(f"b_r{i}", pos=float(i)) for i in range(width)]
+
+    # Datapath on the registered operands, fully shared.
+    builder = AcaBuilder(c, a_reg, b_reg, window).build()
+    err = attach_error_detector(builder)
+    exact_sums, _exact_cout = attach_error_recovery(builder)
+
+    # Controller: stall for exactly one cycle after a flagged issue.
+    # recovering' = err & ~recovering  (one recovery cycle per stall)
+    not_rec = c.add_gate("NOT", recovering)
+    start_recovery = c.add_gate("AND", err, not_rec)
+    c.connect_dff(recovering, start_recovery)
+
+    # Operand registers capture new inputs unless a recovery is starting
+    # (hold during the stall cycle so the corrected sum stays aligned).
+    for i in range(width):
+        hold_a = c.add_gate("MUX2", start_recovery, a_reg[i], a_in[i],
+                            pos=float(i))
+        hold_b = c.add_gate("MUX2", start_recovery, b_reg[i], b_in[i],
+                            pos=float(i))
+        c.connect_dff(a_reg[i], hold_a)
+        c.connect_dff(b_reg[i], hold_b)
+
+    # Outputs: during recovery present the exact sum, else speculative.
+    sum_bits: List[int] = [
+        c.add_gate("MUX2", recovering, exact_sums[i], builder.sums[i],
+                   pos=float(i))
+        for i in range(width)
+    ]
+    valid = c.add_gate("OR", recovering,
+                       c.add_gate("NOT", err))
+    c.set_output("sum", sum_bits)
+    c.set_output("valid", valid)
+    c.set_output("stall", start_recovery)
+    c.attrs["window"] = builder.window
+    return c

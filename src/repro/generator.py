@@ -1,0 +1,106 @@
+"""RTL generator front-end — the Python equivalent of the paper's tool.
+
+Section 5: "We have written a C++ program which takes the value n as
+input and generates VHDL files corresponding to the circuit of ACA,
+error detection, and error recovery."  This module is that program:
+given a design kind and a bitwidth it builds the circuit, and emits
+VHDL, Verilog, a self-checking testbench, a JSON netlist, and a stats
+report.  Exposed on the CLI as ``python -m repro export``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List, Optional
+
+from .adders import build_adder, adder_names
+from .analysis import choose_window
+from .circuit import Circuit, get_library, to_verilog, to_vhdl
+from .circuit.export_tb import to_verilog_testbench
+from .circuit.serialize import dumps
+from .circuit.stats import collect_stats, format_stats
+from .core import (
+    build_aca,
+    build_vlsa_rtl,
+    build_booth_multiplier,
+    build_error_detector,
+    build_multiplier,
+    build_recovery_adder,
+    build_speculative_incrementer,
+    build_speculative_subtractor,
+    build_vlsa_datapath,
+)
+
+__all__ = ["DESIGN_KINDS", "build_design", "export_design"]
+
+
+def _spec_design(builder: Callable) -> Callable:
+    def make(width: int, window: Optional[int]) -> Circuit:
+        return builder(width, window or choose_window(width))
+    return make
+
+
+#: Design kinds the generator knows: name -> builder(width, window|None).
+DESIGN_KINDS: Dict[str, Callable[[int, Optional[int]], Circuit]] = {
+    "aca": _spec_design(build_aca),
+    "vlsa": _spec_design(build_vlsa_datapath),
+    "vlsa_rtl": _spec_design(build_vlsa_rtl),
+    "detector": _spec_design(build_error_detector),
+    "recovery": _spec_design(build_recovery_adder),
+    "subtractor": _spec_design(build_speculative_subtractor),
+    "incrementer": _spec_design(build_speculative_incrementer),
+    "multiplier": lambda n, w: build_multiplier(
+        n, w or choose_window(2 * n)),
+    "booth": lambda n, w: build_booth_multiplier(
+        n, w or choose_window(2 * n)),
+}
+# Every baseline adder is also exportable.
+for _name in adder_names():
+    DESIGN_KINDS[_name] = (
+        lambda n, w, _b=_name: build_adder(_b, n))
+
+
+def build_design(kind: str, width: int,
+                 window: Optional[int] = None) -> Circuit:
+    """Build the named design at *width* (window defaults per design)."""
+    try:
+        builder = DESIGN_KINDS[kind]
+    except KeyError:
+        raise KeyError(f"unknown design {kind!r}; available: "
+                       f"{sorted(DESIGN_KINDS)}") from None
+    return builder(width, window)
+
+
+def export_design(kind: str, width: int, out_dir: str,
+                  window: Optional[int] = None,
+                  library: str = "umc180",
+                  testbench_vectors: int = 16) -> List[str]:
+    """Generate a design and write all artefacts under *out_dir*.
+
+    Emits ``<name>.vhd``, ``<name>.v``, ``<name>_tb.v``, ``<name>.json``
+    and ``<name>_stats.txt``.
+
+    Returns:
+        The list of written file paths.
+    """
+    circuit = build_design(kind, width, window)
+    lib = get_library(library)
+    os.makedirs(out_dir, exist_ok=True)
+    base = os.path.join(out_dir, circuit.name)
+    written = []
+
+    artifacts = {
+        f"{base}.vhd": to_vhdl(circuit),
+        f"{base}.v": to_verilog(circuit),
+        f"{base}.json": dumps(circuit),
+        f"{base}_stats.txt": format_stats(collect_stats(circuit, lib)) +
+        "\n",
+    }
+    if not circuit.is_sequential():
+        artifacts[f"{base}_tb.v"] = to_verilog_testbench(
+            circuit, num_vectors=testbench_vectors)
+    for path, text in artifacts.items():
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(text)
+        written.append(path)
+    return written

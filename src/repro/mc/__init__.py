@@ -1,0 +1,21 @@
+"""Fast functional (non-gate-level) models and Monte Carlo sampling."""
+
+from .fastsim import (
+    AcaModel,
+    aca_add,
+    aca_is_correct,
+    carry_word,
+    detector_flag,
+    generate_word,
+    longest_propagate_run,
+    propagate_word,
+    sample_detector_rate,
+    sample_error_rate,
+    window_all_ones,
+)
+
+__all__ = [
+    "AcaModel", "aca_add", "aca_is_correct", "carry_word", "detector_flag",
+    "generate_word", "longest_propagate_run", "propagate_word",
+    "sample_detector_rate", "sample_error_rate", "window_all_ones",
+]

@@ -1,0 +1,219 @@
+"""Fast functional model of the Almost Correct Adder.
+
+Bit-parallel integer tricks give O(n / wordsize) evaluation of everything
+the gate-level model computes, at any bitwidth:
+
+* ``carry_word`` — the carry into every bit position is
+  ``(a + b + cin) ^ a ^ b`` (bit ``i`` is the carry into bit ``i``).
+* ``window_all_ones`` — logarithmic-doubling AND of ``w`` consecutive bits
+  marks every position starting an all-propagate window.
+* An ACA error exists iff some all-propagate window receives an incoming
+  carry: ``window_all_ones(p, w) & carry_word != 0``.
+
+These functions are the workhorses of the Monte Carlo experiments and of
+the cycle-accurate VLSA machine in :mod:`repro.arch`; the test suite
+cross-checks them against the gate-level circuits and the exact DP in
+:mod:`repro.analysis.error_model`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..analysis.runs import longest_run_of_ones
+
+__all__ = [
+    "carry_word",
+    "window_all_ones",
+    "propagate_word",
+    "generate_word",
+    "longest_propagate_run",
+    "aca_add",
+    "aca_is_correct",
+    "detector_flag",
+    "AcaModel",
+    "sample_error_rate",
+    "sample_detector_rate",
+]
+
+
+def _mask(width: int) -> int:
+    return (1 << width) - 1
+
+
+def propagate_word(a: int, b: int, width: int) -> int:
+    """Per-bit propagate signals ``p = a ^ b`` (masked to *width* bits)."""
+    return (a ^ b) & _mask(width)
+
+
+def generate_word(a: int, b: int, width: int) -> int:
+    """Per-bit generate signals ``g = a & b`` (masked to *width* bits)."""
+    return (a & b) & _mask(width)
+
+
+def carry_word(a: int, b: int, width: int, cin: int = 0) -> int:
+    """Carries into every bit: bit ``i`` is the carry into position ``i``.
+
+    Bit ``width`` is the carry out.  Identity: ``(a+b+cin) ^ a ^ b`` has
+    exactly the carry into bit ``i`` at bit ``i`` (and ``cin`` at bit 0).
+    """
+    a &= _mask(width)
+    b &= _mask(width)
+    return (a + b + (cin & 1)) ^ a ^ b
+
+
+def window_all_ones(word: int, window: int) -> int:
+    """Bit ``i`` of the result is 1 iff bits ``i .. i+window-1`` are all 1.
+
+    Uses shift-doubling: ANDing with a copy shifted by ``s`` certifies
+    ``s`` extra ones, so ``O(log window)`` big-int operations suffice.
+    """
+    if window <= 0:
+        raise ValueError("window must be positive")
+    certified = 1  # each bit currently certifies a run of this length
+    out = word
+    while certified < window:
+        step = min(certified, window - certified)
+        out &= out >> step
+        certified += step
+    return out
+
+
+def longest_propagate_run(a: int, b: int, width: int) -> int:
+    """Length of the longest propagate chain in ``a + b``."""
+    return longest_run_of_ones(propagate_word(a, b, width))
+
+
+def aca_add(a: int, b: int, width: int, window: int,
+            cin: int = 0) -> Tuple[int, int]:
+    """Speculative sum exactly as the ACA hardware computes it.
+
+    The carry into bit ``i`` is the *generate* of the block
+    ``[max(0, i-window) .. i-1]`` — i.e. the true carry under the
+    assumption that nothing enters the block from below.  Blocks anchored
+    at position 0 additionally see the real carry-in, so the low ``window``
+    bits are always exact.
+
+    Args:
+        a, b: Operands (masked to *width* bits).
+        width: Operand bitwidth.
+        window: Speculation window ``w``.
+        cin: External carry-in (0 or 1).
+
+    Returns:
+        ``(sum, carry_out)`` as the speculative hardware would produce them.
+    """
+    if window <= 0:
+        raise ValueError("window must be positive")
+    mask = _mask(width)
+    a &= mask
+    b &= mask
+    result = 0
+    carry_out = 0
+    for i in range(width + 1):
+        lo = max(0, i - window)
+        blk_a = (a >> lo) & _mask(i - lo)
+        blk_b = (b >> lo) & _mask(i - lo)
+        blk_cin = cin if lo == 0 else 0
+        spec_carry = (blk_a + blk_b + blk_cin) >> (i - lo) if i > lo else (
+            cin & 1)
+        if i == width:
+            carry_out = spec_carry
+        else:
+            p_i = ((a >> i) ^ (b >> i)) & 1
+            result |= (p_i ^ spec_carry) << i
+    return result, carry_out
+
+
+def aca_is_correct(a: int, b: int, width: int, window: int,
+                   cin: int = 0) -> bool:
+    """True iff the ACA result (sum and carry out) equals exact addition.
+
+    O(log window) big-int ops: wrong exactly when some all-propagate
+    window of length *window* has an incoming carry.  The window starting
+    at bit 0 is excluded — it is anchored and absorbs the real carry-in,
+    so it can never be wrong (which also makes the error probability
+    independent of ``cin``).
+    """
+    p = propagate_word(a, b, width)
+    starts = window_all_ones(p, window)
+    carries = carry_word(a, b, width, cin)
+    return (starts & carries & ~1) == 0
+
+
+def detector_flag(a: int, b: int, width: int, window: int) -> bool:
+    """The error-detection signal: any propagate run of length >= window.
+
+    Conservative superset of the actual-error condition (never misses a
+    real error, may fire when the speculative sum happens to be right).
+    """
+    return window_all_ones(propagate_word(a, b, width), window) != 0
+
+
+@dataclass
+class AcaModel:
+    """Functional ACA configured once, reused across many additions.
+
+    Attributes:
+        width: Operand bitwidth.
+        window: Speculation window.
+    """
+
+    width: int
+    window: int
+
+    def add(self, a: int, b: int, cin: int = 0) -> Tuple[int, int]:
+        """Speculative ``(sum, cout)``."""
+        return aca_add(a, b, self.width, self.window, cin)
+
+    def exact(self, a: int, b: int, cin: int = 0) -> Tuple[int, int]:
+        """Reference ``(sum, cout)``."""
+        total = (a & _mask(self.width)) + (b & _mask(self.width)) + (cin & 1)
+        return total & _mask(self.width), total >> self.width
+
+    def is_correct(self, a: int, b: int, cin: int = 0) -> bool:
+        """Whether speculation succeeds on this operand pair."""
+        return aca_is_correct(a, b, self.width, self.window, cin)
+
+    def flags_error(self, a: int, b: int) -> bool:
+        """Whether the detector requests a recovery cycle."""
+        return detector_flag(a, b, self.width, self.window)
+
+
+def _random_operands(width: int, samples: int,
+                     rng: np.random.Generator) -> "list[tuple[int, int]]":
+    words = (width + 61) // 62
+    pairs = []
+    raw = rng.integers(0, 1 << 62, size=(samples, 2, words), dtype=np.int64)
+    for s in range(samples):
+        a = b = 0
+        for w in range(words):
+            a = (a << 62) | int(raw[s, 0, w])
+            b = (b << 62) | int(raw[s, 1, w])
+        pairs.append((a & _mask(width), b & _mask(width)))
+    return pairs
+
+
+def sample_error_rate(width: int, window: int, samples: int = 100000,
+                      seed: Optional[int] = 0) -> float:
+    """Monte Carlo estimate of P(ACA wrong) on uniform operands."""
+    rng = np.random.default_rng(seed)
+    errors = 0
+    for a, b in _random_operands(width, samples, rng):
+        if not aca_is_correct(a, b, width, window):
+            errors += 1
+    return errors / samples
+
+
+def sample_detector_rate(width: int, window: int, samples: int = 100000,
+                         seed: Optional[int] = 0) -> float:
+    """Monte Carlo estimate of P(detector fires) on uniform operands."""
+    rng = np.random.default_rng(seed)
+    flags = 0
+    for a, b in _random_operands(width, samples, rng):
+        if detector_flag(a, b, width, window):
+            flags += 1
+    return flags / samples

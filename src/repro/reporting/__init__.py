@@ -1,0 +1,26 @@
+"""Text tables, ASCII figures and result-file helpers."""
+
+import os
+from typing import Optional
+
+from .tables import Table
+from .figures import ascii_chart
+
+__all__ = ["Table", "ascii_chart", "save_artifact", "results_dir"]
+
+
+def results_dir() -> str:
+    """Directory for generated experiment artifacts (created on demand)."""
+    root = os.environ.get("REPRO_RESULTS_DIR")
+    if root is None:
+        root = os.path.join(os.getcwd(), "results")
+    os.makedirs(root, exist_ok=True)
+    return root
+
+
+def save_artifact(name: str, text: str) -> str:
+    """Write *text* under the results directory; returns the path."""
+    path = os.path.join(results_dir(), name)
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(text)
+    return path

@@ -1,0 +1,65 @@
+"""ASCII line charts for delay/area-vs-bitwidth figures.
+
+The paper's Fig. 8 plots several series against input bitwidth; this
+module renders the same data as a terminal chart so the benchmark output
+is self-contained.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["ascii_chart"]
+
+_MARKS = "ox+*#@%&"
+
+
+def ascii_chart(title: str, x_labels: Sequence[str],
+                series: Dict[str, Sequence[float]],
+                height: int = 14, y_label: str = "") -> str:
+    """Render multiple series sharing categorical x positions.
+
+    Args:
+        title: Chart title.
+        x_labels: Label per x position (e.g. bitwidths).
+        series: Mapping series name -> y values (same length as labels).
+        height: Plot rows.
+        y_label: Unit note appended to the legend.
+
+    Returns:
+        Multi-line chart text with a legend.
+    """
+    num_x = len(x_labels)
+    for name, ys in series.items():
+        if len(ys) != num_x:
+            raise ValueError(f"series {name!r} length mismatch")
+    all_vals = [y for ys in series.values() for y in ys]
+    if not all_vals:
+        return f"{title}\n(no data)"
+    lo, hi = min(all_vals), max(all_vals)
+    if hi == lo:
+        hi = lo + 1.0
+
+    col_width = max(7, max(len(x) for x in x_labels) + 2)
+    grid = [[" "] * (num_x * col_width) for _ in range(height)]
+    marks = {}
+    for idx, (name, ys) in enumerate(sorted(series.items())):
+        mark = _MARKS[idx % len(_MARKS)]
+        marks[name] = mark
+        for xi, y in enumerate(ys):
+            row = height - 1 - int(round((y - lo) / (hi - lo) * (height - 1)))
+            col = xi * col_width + col_width // 2
+            grid[row][col] = mark
+
+    lines = [title]
+    for r, row in enumerate(grid):
+        y_val = hi - (hi - lo) * r / (height - 1)
+        lines.append(f"{y_val:9.3g} |{''.join(row)}")
+    axis = "-" * (num_x * col_width)
+    lines.append(" " * 10 + "+" + axis)
+    lines.append(" " * 11 +
+                 "".join(x.center(col_width) for x in x_labels))
+    legend = "  ".join(f"{m}={n}" for n, m in sorted(marks.items(),
+                                                     key=lambda kv: kv[0]))
+    lines.append(f"legend: {legend}" + (f"   [{y_label}]" if y_label else ""))
+    return "\n".join(lines)

@@ -1,0 +1,77 @@
+"""Plain-text tables for experiment reports.
+
+All paper tables/figures are regenerated as fixed-width text (and CSV for
+machine consumption): this keeps the benchmark harness dependency-free and
+diff-friendly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, List, Optional, Sequence
+
+__all__ = ["Table"]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled table with headers and uniform rows.
+
+    Example::
+
+        t = Table("Table 1", ["n", "99%", "99.99%"])
+        t.add_row(64, 12, 19)
+        print(t.render())
+    """
+
+    title: str
+    headers: List[str]
+    rows: List[List[str]] = field(default_factory=list)
+    note: Optional[str] = None
+
+    def add_row(self, *values: Any) -> None:
+        """Append a row; values are formatted with sensible defaults."""
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row has {len(values)} cells, expected {len(self.headers)}")
+        self.rows.append([_fmt(v) for v in values])
+
+    def render(self) -> str:
+        """Fixed-width text rendering."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells: Sequence[str]) -> str:
+            return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+        sep = "-" * (sum(widths) + 2 * (len(widths) - 1))
+        out = [self.title, sep, line(self.headers), sep]
+        out.extend(line(r) for r in self.rows)
+        out.append(sep)
+        if self.note:
+            out.append(self.note)
+        return "\n".join(out)
+
+    def to_csv(self) -> str:
+        """Comma-separated rendering (headers first)."""
+        def esc(s: str) -> str:
+            return f'"{s}"' if ("," in s or '"' in s) else s
+
+        lines = [",".join(esc(h) for h in self.headers)]
+        lines.extend(",".join(esc(c) for c in row) for row in self.rows)
+        return "\n".join(lines) + "\n"
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,98 @@
+"""Every adder architecture must equal integer addition (with and
+without carry-in) at power-of-two, odd and single-bit widths."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.adders import (
+    ADDER_BUILDERS,
+    adder_names,
+    build_adder,
+    reference_add,
+    reference_fn,
+)
+from repro.circuit import (
+    assert_equivalent_exhaustive,
+    assert_equivalent_random,
+    check_structure,
+    simulate_bus_ints,
+)
+
+WIDTHS = [1, 2, 3, 4, 7, 8, 16, 21, 32]
+
+
+@pytest.mark.parametrize("name", adder_names())
+@pytest.mark.parametrize("width", WIDTHS)
+def test_adder_matches_reference(name, width):
+    circuit = build_adder(name, width)
+    check_structure(circuit)
+    assert_equivalent_random(circuit, reference_fn(width, False),
+                             num_vectors=128)
+
+
+@pytest.mark.parametrize("name", adder_names())
+@pytest.mark.parametrize("width", [1, 3, 8, 17])
+def test_adder_with_carry_in(name, width):
+    circuit = build_adder(name, width, cin=True)
+    check_structure(circuit)
+    assert_equivalent_random(circuit, reference_fn(width, True),
+                             num_vectors=128)
+
+
+@pytest.mark.parametrize("name", adder_names())
+def test_small_adders_exhaustively(name):
+    circuit = build_adder(name, 4)
+    assert_equivalent_exhaustive(circuit, reference_fn(4, False))
+
+
+@pytest.mark.parametrize("name", adder_names())
+def test_interface_shape(name):
+    c = build_adder(name, 12)
+    assert set(c.inputs) == {"a", "b"}
+    assert set(c.outputs) == {"sum", "cout"}
+    assert c.output_width("sum") == 12
+    assert c.output_width("cout") == 1
+
+
+@given(a=st.integers(0, 2**24 - 1), b=st.integers(0, 2**24 - 1),
+       cin=st.integers(0, 1))
+def test_reference_add_is_integer_addition(a, b, cin):
+    out = reference_add(24, a, b, cin)
+    total = a + b + cin
+    assert out["sum"] == total & (2**24 - 1)
+    assert out["cout"] == total >> 24
+
+
+@given(a=st.integers(0, 2**16 - 1), b=st.integers(0, 2**16 - 1))
+@pytest.mark.parametrize("name", ["ripple", "sklansky", "cla"])
+def test_adder_property_random_operands(name, a, b):
+    circuit = _CACHE.setdefault(name, build_adder(name, 16))
+    out = simulate_bus_ints(circuit, {"a": a, "b": b})
+    assert out["sum"] == (a + b) & 0xFFFF
+    assert out["cout"] == (a + b) >> 16
+
+
+_CACHE = {}
+
+
+def test_unknown_adder_name():
+    with pytest.raises(KeyError):
+        build_adder("flux_capacitor", 8)
+
+
+def test_registry_contents():
+    names = adder_names()
+    assert "ripple" in names and "kogge_stone" in names
+    assert names == sorted(names)
+    assert set(names) == set(ADDER_BUILDERS)
+
+
+@pytest.mark.parametrize("name", adder_names())
+def test_zero_and_allones_corner_cases(name):
+    for width in (1, 8):
+        c = build_adder(name, width)
+        mask = (1 << width) - 1
+        cases = [(0, 0), (mask, mask), (mask, 1), (1, mask), (0, mask)]
+        for a, b in cases:
+            out = simulate_bus_ints(c, {"a": a, "b": b})
+            assert out == reference_add(width, a, b), (name, width, a, b)

@@ -1,0 +1,125 @@
+"""Prefix-network schedules: validity, depth and size properties."""
+
+import math
+
+import pytest
+
+from repro.adders import (
+    brent_kung_schedule,
+    han_carlson_schedule,
+    knowles_schedule,
+    kogge_stone_schedule,
+    ladner_fischer_schedule,
+    schedule_depth,
+    schedule_size,
+    sklansky_schedule,
+    validate_schedule,
+)
+from repro.circuit import CircuitError
+
+TOPOLOGIES = {
+    "sklansky": sklansky_schedule,
+    "kogge_stone": kogge_stone_schedule,
+    "brent_kung": brent_kung_schedule,
+    "han_carlson": han_carlson_schedule,
+    "ladner_fischer": ladner_fischer_schedule,
+    "knowles": knowles_schedule,
+}
+
+WIDTHS = [1, 2, 3, 4, 5, 8, 11, 16, 23, 32, 57, 64, 100, 128]
+
+
+@pytest.mark.parametrize("name,fn", TOPOLOGIES.items())
+@pytest.mark.parametrize("width", WIDTHS)
+def test_all_schedules_are_valid(name, fn, width):
+    validate_schedule(width, fn(width))
+
+
+@pytest.mark.parametrize("width", [8, 16, 64, 128])
+def test_minimum_depth_topologies(width):
+    logn = math.ceil(math.log2(width))
+    assert schedule_depth(sklansky_schedule(width)) == logn
+    assert schedule_depth(kogge_stone_schedule(width)) == logn
+    assert schedule_depth(knowles_schedule(width)) == logn
+
+
+@pytest.mark.parametrize("width", [8, 16, 64, 128])
+def test_brent_kung_depth(width):
+    logn = math.ceil(math.log2(width))
+    assert schedule_depth(brent_kung_schedule(width)) == 2 * logn - 1
+
+
+@pytest.mark.parametrize("width", [16, 64, 128])
+def test_han_carlson_depth_is_ks_plus_sparsity_levels(width):
+    logn = math.ceil(math.log2(width))
+    assert schedule_depth(han_carlson_schedule(width, 2)) == logn + 1
+    assert schedule_depth(han_carlson_schedule(width, 4)) == logn + 2
+
+
+def test_han_carlson_sparsity_one_is_kogge_stone():
+    assert han_carlson_schedule(32, 1) == kogge_stone_schedule(32)
+
+
+@pytest.mark.parametrize("width", [16, 64])
+def test_node_count_ordering(width):
+    """Brent-Kung sparsest, Kogge-Stone densest, Sklansky in between."""
+    bk = schedule_size(brent_kung_schedule(width))
+    sk = schedule_size(sklansky_schedule(width))
+    ks = schedule_size(kogge_stone_schedule(width))
+    hc = schedule_size(han_carlson_schedule(width))
+    assert bk <= sk <= ks
+    assert bk <= hc <= ks
+
+
+def test_known_exact_node_counts():
+    # Classical results at n = 16.
+    assert schedule_size(sklansky_schedule(16)) == 32       # (n/2) log n
+    assert schedule_size(kogge_stone_schedule(16)) == 49    # n log n - n + 1
+    assert schedule_size(brent_kung_schedule(16)) == 26     # 2n - log n - 2
+
+
+def test_sparsity_validation():
+    with pytest.raises(CircuitError):
+        han_carlson_schedule(16, 3)
+    with pytest.raises(CircuitError):
+        ladner_fischer_schedule(16, 0)
+    with pytest.raises(CircuitError):
+        knowles_schedule(16, 6)
+
+
+def test_validate_schedule_rejects_disjoint_ranges():
+    # Combining [3..3] with [0..0] skips positions 1-2.
+    with pytest.raises(CircuitError):
+        validate_schedule(4, [[(3, 0)]])
+
+
+def test_validate_schedule_rejects_incomplete():
+    with pytest.raises(CircuitError):
+        validate_schedule(4, [[(1, 0)]])  # positions 2,3 never anchored
+
+
+def test_validate_schedule_rejects_out_of_range():
+    with pytest.raises(CircuitError):
+        validate_schedule(4, [[(4, 3)]])
+    with pytest.raises(CircuitError):
+        validate_schedule(4, [[(2, 2)]])
+
+
+def test_kogge_stone_fanout_bounded():
+    """KS fanout is logarithmically bounded (anchored nodes feed one
+    combine per level), far below Sklansky's linear fanout."""
+    import math
+    import statistics
+
+    from repro.adders import build_kogge_stone_adder
+
+    c = build_kogge_stone_adder(32)
+    counts = [f for f in c.fanout_counts() if f > 0]
+    assert c.max_fanout() <= math.ceil(math.log2(32)) + 3
+    assert statistics.median(counts) <= 2
+
+
+def test_sklansky_fanout_grows():
+    from repro.adders import build_sklansky_adder
+
+    assert build_sklansky_adder(64).max_fanout() > 16

@@ -1,0 +1,52 @@
+"""Variable-block carry-skip adder."""
+
+import pytest
+
+from repro.adders import (
+    build_variable_skip_adder,
+    reference_fn,
+    variable_skip_blocks,
+)
+from repro.circuit import assert_equivalent_random, check_structure
+
+
+@pytest.mark.parametrize("width", [1, 2, 3, 7, 16, 33, 64])
+def test_block_schedule_covers_width(width):
+    blocks = variable_skip_blocks(width)
+    assert sum(blocks) == width
+    assert all(b > 0 for b in blocks)
+
+
+def test_block_schedule_is_trapezoidal():
+    blocks = variable_skip_blocks(64)
+    peak = max(blocks)
+    rise = blocks[:blocks.index(peak)]
+    assert rise == sorted(rise)  # ramps up
+    assert blocks[-1] <= peak
+
+
+def test_schedule_validation():
+    with pytest.raises(ValueError):
+        variable_skip_blocks(0)
+
+
+@pytest.mark.parametrize("width", [1, 4, 9, 16, 31, 64])
+def test_functional_correctness(width):
+    c = build_variable_skip_adder(width)
+    check_structure(c)
+    assert_equivalent_random(c, reference_fn(width, False), num_vectors=128)
+
+
+def test_with_carry_in():
+    c = build_variable_skip_adder(17, cin=True)
+    assert_equivalent_random(c, reference_fn(17, True), num_vectors=128)
+
+
+def test_trapezoid_balances_entry_and_exit_blocks():
+    """The classic property: tiny first/last blocks (fast carry entry and
+    exit) with the plateau in the middle — the true worst path visits
+    one short ripple, the skip chain, and one short ripple."""
+    blocks = variable_skip_blocks(64)
+    assert blocks[0] == 1
+    assert blocks[-1] <= max(blocks) // 2 + 1
+    assert max(blocks) >= 8   # plateau comparable to the fixed sqrt size

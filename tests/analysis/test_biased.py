@@ -1,0 +1,108 @@
+"""Biased-operand error model vs brute force and the uniform model."""
+
+import itertools
+
+import pytest
+
+from repro.analysis import (
+    aca_error_probability,
+    aca_error_probability_biased,
+    pg_probabilities,
+    prob_max_run_at_least,
+    run_at_least_probability_biased,
+)
+from repro.mc import aca_is_correct
+
+
+def test_pg_probabilities_basics():
+    p, g, k = pg_probabilities(0.5, 0.5)
+    assert (p, g, k) == (0.5, 0.25, 0.25)
+    p, g, k = pg_probabilities(1.0, 1.0)
+    assert (p, g, k) == (0.0, 1.0, 0.0)
+    p, g, k = pg_probabilities(0.0, 0.0)
+    assert (p, g, k) == (0.0, 0.0, 1.0)
+    assert sum(pg_probabilities(0.3, 0.8)) == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        pg_probabilities(1.2, 0.5)
+
+
+def test_uniform_case_matches_unbiased_model():
+    for n, w in [(16, 4), (32, 6), (64, 10)]:
+        biased = aca_error_probability_biased(n, w, (0.5, 0.25, 0.25))
+        assert biased == pytest.approx(aca_error_probability(n, w),
+                                       abs=1e-12)
+
+
+def _brute_biased(n, w, alpha, beta, cin=0):
+    """Weighted brute force over all operand pairs."""
+    total = 0.0
+    for a in range(1 << n):
+        pa = 1.0
+        for i in range(n):
+            pa *= alpha if (a >> i) & 1 else (1 - alpha)
+        for b in range(1 << n):
+            pb = 1.0
+            for i in range(n):
+                pb *= beta if (b >> i) & 1 else (1 - beta)
+            if not aca_is_correct(a, b, n, w, cin):
+                total += pa * pb
+    return total
+
+
+@pytest.mark.parametrize("alpha,beta", [(0.5, 0.5), (0.8, 0.3), (0.9, 0.9)])
+def test_biased_dp_matches_weighted_brute_force(alpha, beta):
+    n, w = 6, 2
+    probs = pg_probabilities(alpha, beta)
+    expected = _brute_biased(n, w, alpha, beta)
+    assert aca_error_probability_biased(n, w, probs) == pytest.approx(
+        expected, abs=1e-10)
+
+
+def test_biased_dp_with_cin_matches_brute_force():
+    n, w = 6, 2
+    probs = pg_probabilities(0.7, 0.4)
+    expected = _brute_biased(n, w, 0.7, 0.4, cin=1)
+    got = aca_error_probability_biased(n, w, probs, cin_weight=1.0)
+    assert got == pytest.approx(expected, abs=1e-10)
+
+
+def test_per_bit_triples():
+    n, w = 8, 3
+    per_bit = [pg_probabilities(0.5, 0.5)] * n
+    uniform = aca_error_probability_biased(n, w, per_bit)
+    assert uniform == pytest.approx(aca_error_probability(n, w), abs=1e-12)
+    with pytest.raises(ValueError):
+        aca_error_probability_biased(n, w, per_bit[:-1])
+
+
+def test_high_propagate_bias_raises_error_rate():
+    """Operands that XOR to long runs (e.g. x and ~x patterns) stall
+    far more often than uniform traffic — the subtractor's x - x case."""
+    n, w = 32, 8
+    sleepy = aca_error_probability_biased(n, w, (0.9, 0.05, 0.05))
+    uniform = aca_error_probability_biased(n, w, (0.5, 0.25, 0.25))
+    assert sleepy > 10 * uniform
+
+
+def test_biased_run_probability_matches_exact_at_half():
+    for n in (16, 64):
+        for r in (3, 5, 8):
+            biased = run_at_least_probability_biased(n, r, 0.5)
+            exact = prob_max_run_at_least(n, r)
+            assert biased == pytest.approx(exact, abs=1e-12)
+
+
+def test_biased_run_probability_edges():
+    assert run_at_least_probability_biased(8, 0, 0.5) == 1.0
+    assert run_at_least_probability_biased(8, 9, 0.5) == 0.0
+    assert run_at_least_probability_biased(8, 3, 1.0) == pytest.approx(1.0)
+    assert run_at_least_probability_biased(8, 3, 0.0) == 0.0
+    with pytest.raises(ValueError):
+        run_at_least_probability_biased(8, 3, 1.5)
+
+
+def test_distribution_validation():
+    with pytest.raises(ValueError):
+        aca_error_probability_biased(8, 3, (0.5, 0.5, 0.5))
+    with pytest.raises(ValueError):
+        aca_error_probability_biased(8, 3, cin_weight=2.0)

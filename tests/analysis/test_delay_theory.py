@@ -1,0 +1,78 @@
+"""Analytic depth formulas must match unit-delay STA on the real circuits."""
+
+import pytest
+
+from repro.adders import (
+    build_brent_kung_adder,
+    build_kogge_stone_adder,
+    build_sklansky_adder,
+)
+from repro.analysis.delay_theory import (
+    aca_depth,
+    aca_speedup_asymptotic,
+    brent_kung_depth,
+    detector_depth,
+    prefix_adder_depth,
+)
+from repro.circuit import UNIT, analyze_timing
+from repro.core import build_aca, build_error_detector
+
+
+def _depth(circuit):
+    return analyze_timing(circuit, UNIT).critical_delay
+
+
+@pytest.mark.parametrize("width", [2, 4, 8, 16, 33, 64, 100, 128])
+def test_prefix_depth_formula(width):
+    assert _depth(build_kogge_stone_adder(width)) == (
+        prefix_adder_depth(width))
+    assert _depth(build_sklansky_adder(width)) == prefix_adder_depth(width)
+
+
+@pytest.mark.parametrize("width", [4, 8, 16, 64, 128])
+def test_brent_kung_depth_formula(width):
+    assert _depth(build_brent_kung_adder(width)) == brent_kung_depth(width)
+
+
+@pytest.mark.parametrize("width,window", [
+    (16, 2), (16, 4), (32, 5), (64, 8), (64, 18), (128, 20), (64, 64),
+])
+def test_aca_depth_formula(width, window):
+    assert _depth(build_aca(width, window)) == aca_depth(width, window)
+
+
+@pytest.mark.parametrize("width,window", [
+    (16, 4), (32, 5), (64, 18), (128, 20),
+])
+def test_detector_depth_formula(width, window):
+    assert _depth(build_error_detector(width, window)) == (
+        detector_depth(width, window))
+
+
+def test_aca_depth_grows_with_log_log_n():
+    """The paper's 'exponentially faster': depth tracks log(window) =
+    log log n, so doubling n adds ~1 level to the exact adder but only
+    rarely to the ACA."""
+    from repro.analysis import choose_window
+
+    exact_growth = [prefix_adder_depth(n) for n in (64, 256, 1024, 4096)]
+    aca_growth = [aca_depth(n, choose_window(n))
+                  for n in (64, 256, 1024, 4096)]
+    assert exact_growth == [8, 10, 12, 14]   # +1 level per doubling
+    assert aca_growth == [7, 7, 7, 7]        # flat across 64x range
+
+
+def test_speedup_asymptotic_monotone():
+    ratios = [aca_speedup_asymptotic(n) for n in (64, 256, 1024, 4096)]
+    assert ratios == sorted(ratios)
+    assert ratios[0] > 1.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        prefix_adder_depth(0)
+    with pytest.raises(ValueError):
+        aca_depth(8, 0)
+    with pytest.raises(ValueError):
+        detector_depth(0, 2)
+    assert detector_depth(8, 9) == 0

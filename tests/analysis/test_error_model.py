@@ -1,0 +1,109 @@
+"""Exact ACA error DP vs brute force, bounds and window selection."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import (
+    aca_error_probability,
+    choose_window,
+    detector_flag_probability,
+    expected_latency_cycles,
+    average_speedup,
+    quantile_longest_run,
+)
+from repro.mc import aca_is_correct
+
+
+@pytest.mark.parametrize("n", [3, 4, 5, 6, 7])
+@pytest.mark.parametrize("w", [1, 2, 3, 4])
+def test_dp_matches_brute_force(n, w):
+    errors = sum(1 for a in range(1 << n) for b in range(1 << n)
+                 if not aca_is_correct(a, b, n, w))
+    brute = errors / float(1 << (2 * n))
+    assert aca_error_probability(n, w) == pytest.approx(brute, abs=1e-12)
+
+
+@pytest.mark.parametrize("n,w", [(5, 2), (6, 3)])
+def test_exact_fraction_mode(n, w):
+    errors = sum(1 for a in range(1 << n) for b in range(1 << n)
+                 if not aca_is_correct(a, b, n, w))
+    exact = aca_error_probability(n, w, exact=True)
+    assert isinstance(exact, Fraction)
+    assert exact == Fraction(errors, 1 << (2 * n))
+
+
+@pytest.mark.parametrize("n,w", [(6, 2), (7, 3), (8, 3)])
+def test_cin_aware_dp_matches_brute_force(n, w):
+    """cin=1 raises the error rate via the run touching bit 0; the DP
+    models it exactly."""
+    rates = {}
+    for cin in (0, 1):
+        errors = sum(1 for a in range(1 << n) for b in range(1 << n)
+                     if not aca_is_correct(a, b, n, w, cin))
+        rates[cin] = errors / float(1 << (2 * n))
+        assert rates[cin] == pytest.approx(
+            aca_error_probability(n, w, cin=cin), abs=1e-12)
+    assert rates[1] > rates[0]
+
+
+def test_error_below_detector_probability():
+    for n in (32, 64, 128):
+        for w in (4, 8, 12):
+            assert (aca_error_probability(n, w) <=
+                    detector_flag_probability(n, w) + 1e-15)
+
+
+def test_error_monotone_in_window():
+    n = 64
+    probs = [aca_error_probability(n, w) for w in range(2, 20)]
+    assert all(a >= b for a, b in zip(probs, probs[1:]))
+
+
+def test_zero_error_when_window_covers_width():
+    assert aca_error_probability(16, 16) == 0.0
+    assert aca_error_probability(16, 20) == 0.0
+    assert aca_error_probability(16, 16, exact=True) == 0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        aca_error_probability(0, 4)
+    with pytest.raises(ValueError):
+        aca_error_probability(8, 0)
+
+
+def test_choose_window_hits_target():
+    for n in (64, 256, 1024):
+        w = choose_window(n, 0.9999)
+        assert detector_flag_probability(n, w) <= 1e-4
+        assert w == quantile_longest_run(n, 0.9999) + 1
+        # One less would violate the target.
+        assert detector_flag_probability(n, w - 1) > 1e-4
+
+
+def test_expected_latency():
+    assert expected_latency_cycles(0.0) == 1.0
+    assert expected_latency_cycles(1e-4) == pytest.approx(1.0001)
+    assert expected_latency_cycles(0.5, recovery_cycles=2) == 2.0
+    with pytest.raises(ValueError):
+        expected_latency_cycles(1.5)
+    with pytest.raises(ValueError):
+        expected_latency_cycles(0.1, recovery_cycles=-1)
+
+
+def test_average_speedup():
+    # Traditional 2 ns, VLSA clock 1 ns, negligible errors -> ~2x.
+    assert average_speedup(2.0, 1.0, 1e-6) == pytest.approx(2.0, rel=1e-3)
+    # Frequent errors erode the speedup.
+    assert average_speedup(2.0, 1.0, 0.5) == pytest.approx(2.0 / 1.5)
+
+
+def test_paper_error_band_at_9999_window():
+    """Section 4.3: at the 99.99% window the error stays below 1e-4 and
+    the average latency below 1.0002 cycles."""
+    for n in (64, 512, 2048):
+        w = choose_window(n)
+        p = aca_error_probability(n, w)
+        assert p < 1e-4
+        assert expected_latency_cycles(p) < 1.0002

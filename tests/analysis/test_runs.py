@@ -1,0 +1,134 @@
+"""Exact longest-run combinatorics vs brute force."""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import (
+    count_max_run_at_most,
+    expected_longest_run,
+    longest_run_distribution,
+    longest_run_of_ones,
+    prob_max_run_at_least,
+    prob_max_run_at_most,
+    quantile_longest_run,
+    table1_rows,
+    variance_longest_run,
+)
+
+
+def _brute_longest_run(value, n):
+    best = cur = 0
+    for i in range(n):
+        cur = cur + 1 if (value >> i) & 1 else 0
+        best = max(best, cur)
+    return best
+
+
+@given(st.integers(0, 2**20 - 1))
+def test_longest_run_of_ones_matches_scan(value):
+    assert longest_run_of_ones(value) == _brute_longest_run(value, 20)
+
+
+def test_longest_run_edge_cases():
+    assert longest_run_of_ones(0) == 0
+    assert longest_run_of_ones(1) == 1
+    assert longest_run_of_ones((1 << 13) - 1) == 13
+    with pytest.raises(ValueError):
+        longest_run_of_ones(-1)
+
+
+@pytest.mark.parametrize("n", [1, 2, 5, 8, 12, 16])
+def test_count_matches_brute_force(n):
+    for x in range(n + 1):
+        expected = sum(1 for v in range(1 << n)
+                       if _brute_longest_run(v, n) <= x)
+        assert count_max_run_at_most(n, x) == expected, (n, x)
+
+
+def test_count_boundary_cases():
+    assert count_max_run_at_most(0, 0) == 1  # the empty string
+    assert count_max_run_at_most(5, 5) == 32  # everything allowed
+    assert count_max_run_at_most(5, 0) == 1  # only the all-zeros string
+    with pytest.raises(ValueError):
+        count_max_run_at_most(-1, 2)
+
+
+def test_count_x_zero_is_fibonacci():
+    """Strings with no two adjacent ones are counted by Fibonacci."""
+    fib = [1, 2]
+    while len(fib) < 20:
+        fib.append(fib[-1] + fib[-2])
+    for n in range(1, 20):
+        assert count_max_run_at_most(n, 1) == fib[n]
+
+
+def test_probabilities_consistent():
+    for n in (8, 16, 64):
+        for x in (2, 4, 8):
+            p_le = prob_max_run_at_most(n, x)
+            p_ge = prob_max_run_at_least(n, x + 1)
+            assert p_le + p_ge == pytest.approx(1.0)
+    assert prob_max_run_at_least(16, 0) == 1.0
+
+
+def test_distribution_sums_to_one():
+    for n in (4, 16, 64):
+        pmf = longest_run_distribution(n)
+        assert sum(pmf.values()) == pytest.approx(1.0, abs=1e-12)
+        assert all(p >= 0 for p in pmf.values())
+
+
+@pytest.mark.parametrize("n", [4, 8, 12])
+def test_expectation_matches_brute_force(n):
+    brute = sum(_brute_longest_run(v, n) for v in range(1 << n)) / (1 << n)
+    assert expected_longest_run(n) == pytest.approx(brute, abs=1e-12)
+
+
+@pytest.mark.parametrize("n", [4, 8, 12])
+def test_variance_matches_brute_force(n):
+    vals = [_brute_longest_run(v, n) for v in range(1 << n)]
+    mean = sum(vals) / len(vals)
+    brute = sum((v - mean) ** 2 for v in vals) / len(vals)
+    assert variance_longest_run(n) == pytest.approx(brute, abs=1e-9)
+
+
+def test_quantiles_are_minimal():
+    for n in (16, 64, 256):
+        for p in (0.9, 0.99, 0.9999):
+            q = quantile_longest_run(n, p)
+            assert prob_max_run_at_most(n, q) >= p
+            if q > 0:
+                assert prob_max_run_at_most(n, q - 1) < p
+
+
+def test_quantile_validation():
+    with pytest.raises(ValueError):
+        quantile_longest_run(16, 0.0)
+    with pytest.raises(ValueError):
+        quantile_longest_run(16, 1.0)
+
+
+def test_table1_shape_and_monotonicity():
+    rows = table1_rows([64, 256, 1024], (0.99, 0.9999))
+    assert [r[0] for r in rows] == [64, 256, 1024]
+    for _, (b99, b9999) in rows:
+        assert b9999 > b99  # higher confidence needs a longer bound
+    bounds99 = [r[1][0] for r in rows]
+    assert bounds99 == sorted(bounds99)  # grows with n
+
+
+def test_table1_known_values():
+    """Anchor a few exact values (cross-checked against the recurrence
+    by brute force at small n and the paper's +7 observation)."""
+    rows = dict(table1_rows([64, 1024], (0.99, 0.9999)))
+    assert rows[64] == (11, 17)
+    assert rows[1024] == (15, 22)
+
+
+def test_quantile_grows_logarithmically():
+    q = [quantile_longest_run(n, 0.99) for n in (64, 128, 256, 512, 1024)]
+    diffs = [b - a for a, b in zip(q, q[1:])]
+    assert all(d in (0, 1, 2) for d in diffs)  # ~+1 per doubling

@@ -1,0 +1,72 @@
+"""Schilling/Gordon asymptotics against the exact distribution."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    SCHILLING_VARIANCE,
+    exceedance_decay_ratio,
+    expected_longest_run,
+    expected_longest_run_asymptotic,
+    feller_prob_max_run_below,
+    prob_max_run_at_least,
+    prob_max_run_at_most,
+    union_tail_bound,
+    variance_longest_run,
+)
+
+
+@pytest.mark.parametrize("n", [64, 256, 1024])
+def test_expected_run_close_to_log2n_minus_two_thirds(n):
+    exact = expected_longest_run(n)
+    approx = expected_longest_run_asymptotic(n)
+    assert abs(exact - approx) < 0.15  # Schilling's o(1) term is tiny
+
+
+def test_asymptotic_validation():
+    with pytest.raises(ValueError):
+        expected_longest_run_asymptotic(0)
+
+
+@pytest.mark.parametrize("n", [256, 1024])
+def test_variance_near_schilling_constant(n):
+    assert variance_longest_run(n) == pytest.approx(SCHILLING_VARIANCE,
+                                                    abs=0.15)
+
+
+@pytest.mark.parametrize("n", [64, 256])
+def test_feller_approximation_tracks_exact(n):
+    for x in range(4, 16):
+        exact = prob_max_run_at_most(n, x - 1)  # P(L < x)
+        approx = feller_prob_max_run_below(n, x)
+        assert abs(exact - approx) < 0.05, (n, x)
+    assert feller_prob_max_run_below(n, 0) == 0.0
+
+
+@pytest.mark.parametrize("n", [32, 128, 512])
+def test_union_bound_is_an_upper_bound(n):
+    for x in range(1, 20):
+        assert prob_max_run_at_least(n, x) <= union_tail_bound(n, x) + 1e-12
+
+
+def test_union_bound_edges():
+    assert union_tail_bound(16, 0) == 1.0
+    assert union_tail_bound(16, 17) == 0.0
+    assert union_tail_bound(16, 16) == pytest.approx(2.0 ** -16)
+
+
+def test_plus_seven_bits_drop_two_decades():
+    """The paper's observation: bound + 7 turns 1% into ~0.01%."""
+    n = 1024
+    ratio = exceedance_decay_ratio(n, 15, 7)
+    assert ratio == pytest.approx(2.0 ** -7, rel=0.15)
+    # And on the exact distribution:
+    p_before = prob_max_run_at_least(n, 16)
+    p_after = prob_max_run_at_least(n, 23)
+    assert p_before < 0.01
+    assert p_after < p_before / 50
+
+
+def test_decay_ratio_degenerate():
+    assert exceedance_decay_ratio(8, 20, 3) == 0.0

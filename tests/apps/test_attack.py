@@ -1,0 +1,76 @@
+"""Ciphertext-only attack: key recovery with exact and ACA decryption."""
+
+import pytest
+
+from repro.apps import (
+    ArxCipher,
+    CountingAdder,
+    aca_adder,
+    exact_adder,
+    run_attack,
+    sample_corpus,
+)
+
+
+def _setup(key=0x5A, corpus=2048, seed=1):
+    plaintext = sample_corpus(corpus, seed=seed)
+    ciphertext = ArxCipher(key).encrypt_bytes(plaintext)
+    return ciphertext
+
+
+def test_attack_succeeds_with_exact_adder():
+    key = 0x5A
+    ct = _setup(key)
+    result = run_attack(ct, key, list(range(128)), adder=exact_adder)
+    assert result.succeeded
+    assert result.rank_of_true_key() == 1
+    assert result.wrong_blocks == 0
+
+
+def test_attack_succeeds_with_aca_adder():
+    """The headline claim: speculative decryption corrupts some blocks
+    but the frequency ranking still finds the key."""
+    key = 0x5A
+    ct = _setup(key)
+    result = run_attack(ct, key, list(range(128)), adder=aca_adder(8))
+    assert result.succeeded
+    assert result.wrong_blocks > 0  # errors really happened
+
+
+def test_true_key_scores_far_better_than_others():
+    key = 0x21
+    ct = _setup(key)
+    result = run_attack(ct, key, [key, 0x22, 0x44, 0x7F])
+    scores = {ks.key: ks.score for ks in result.ranking}
+    best_wrong = min(v for k, v in scores.items() if k != key)
+    assert scores[key] < best_wrong / 3
+
+
+def test_counting_adder_accounts_costs():
+    counter = CountingAdder(exact_adder, latency=0.5)
+    assert counter(2, 3) == 5
+    assert counter(10, 20) == 30
+    assert counter.calls == 2
+    assert counter.total_time == pytest.approx(1.0)
+
+
+def test_attack_add_accounting():
+    key = 0x11
+    ct = _setup(key, corpus=256)
+    candidates = list(range(16))
+    result = run_attack(ct, key, candidates)
+    blocks = len(ct) // 8
+    # 8 rounds x 2 adds per round per block per key, plus the final
+    # wrong-block comparison (2 extra decryptions of the corpus).
+    expected = 16 * blocks * (8 * 2)
+    assert result.adds_performed == expected
+    assert result.arithmetic_time == pytest.approx(expected)
+
+
+def test_rank_of_missing_key_raises():
+    key = 0x11
+    ct = _setup(key, corpus=256)
+    result = run_attack(ct, key, [0x12, 0x13])
+    with pytest.raises(ValueError):
+        result.rank_of_true_key()
+    assert not result.succeeded

@@ -1,0 +1,97 @@
+"""Soft-DSP FIR workload: raw ACA vs VLSA accumulation.
+
+Documents the workload-dependence finding: signed small-magnitude data
+stalls the speculative adder ~15 % of the time (sign-extension propagate
+chains), so raw ACA output is badly corrupted while the VLSA variant is
+exact at a modest cycle cost.
+"""
+
+import pytest
+
+from repro.apps.blockcipher import aca_adder, exact_adder
+from repro.apps.dsp import (
+    fir_filter,
+    moving_average_taps,
+    quantize,
+    snr_db,
+    synth_signal,
+    vlsa_fir_filter,
+)
+
+
+def _setup(samples=400):
+    signal = quantize(synth_signal(samples, seed=1))
+    taps = quantize(moving_average_taps(8))
+    return signal, taps
+
+
+def test_moving_average_taps():
+    taps = moving_average_taps(4)
+    assert len(taps) == 4
+    assert sum(taps) == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        moving_average_taps(0)
+
+
+def test_quantize():
+    vals = [0.5, -0.5, 0.25, 1.0, -1.0]
+    q = quantize(vals, fractional_bits=12)
+    assert q[0] == 0.5 * 4096
+    assert q[1] == (-int(0.5 * 4096)) & 0xFFFFFFFF
+
+
+def test_exact_fir_smooths():
+    signal, taps = _setup()
+    out = fir_filter(signal, taps)
+    assert len(out) == len(signal)
+
+    def wiggle(xs):
+        def s32(v):
+            v &= 0xFFFFFFFF
+            return v - (1 << 32) if v & (1 << 31) else v
+        return sum(abs(s32(a) - s32(b)) for a, b in zip(xs, xs[1:]))
+
+    assert wiggle(out[16:]) < wiggle(signal[16:])
+
+
+def test_raw_aca_fir_is_corrupted_on_signed_data():
+    """Sign-extension propagate chains break raw speculation: errors are
+    frequent AND large (high-bit carries), so SNR collapses."""
+    signal, taps = _setup()
+    golden = fir_filter(signal, taps, add=exact_adder)
+    approx = fir_filter(signal, taps, add=aca_adder(18))
+    corrupted = sum(1 for g, a in zip(golden, approx) if g != a)
+    assert corrupted > len(signal) * 0.05
+    assert snr_db(golden, approx) < 0.0
+
+
+def test_vlsa_fir_is_exact():
+    signal, taps = _setup()
+    golden = fir_filter(signal, taps)
+    out, stats = vlsa_fir_filter(signal, taps, window=18)
+    assert out == golden
+    assert stats.adds > 0
+
+
+def test_vlsa_fir_stall_rate_is_workload_dependent():
+    """The uniform model predicts ~1e-4 stalls at window 18; signed FIR
+    data stalls orders of magnitude more often."""
+    signal, taps = _setup()
+    _, stats = vlsa_fir_filter(signal, taps, window=18)
+    assert stats.stall_rate > 0.05
+    assert stats.average_latency() == pytest.approx(
+        1.0 + stats.stall_rate)
+    assert stats.cycles == stats.adds + stats.stalls
+
+
+def test_wider_window_reduces_stalls():
+    signal, taps = _setup(200)
+    _, narrow = vlsa_fir_filter(signal, taps, window=12)
+    _, wide = vlsa_fir_filter(signal, taps, window=28)
+    assert wide.stall_rate <= narrow.stall_rate
+
+
+def test_snr_edge_cases():
+    assert snr_db([1, 2, 3], [1, 2, 3]) == float("inf")
+    with pytest.raises(ValueError):
+        snr_db([1, 2], [1])

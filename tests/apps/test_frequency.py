@@ -1,0 +1,65 @@
+"""Frequency analysis: histograms, chi-squared scoring, corpus."""
+
+import pytest
+
+from repro.apps import (
+    ENGLISH_LETTER_FREQ,
+    chi_squared_score,
+    letter_histogram,
+    looks_like_english,
+    sample_corpus,
+)
+
+
+def test_reference_table_sanity():
+    assert ENGLISH_LETTER_FREQ["e"] == max(ENGLISH_LETTER_FREQ.values())
+    assert sum(ENGLISH_LETTER_FREQ.values()) == pytest.approx(100.0, abs=0.5)
+    assert ENGLISH_LETTER_FREQ["e"] / ENGLISH_LETTER_FREQ["x"] > 50
+
+
+def test_letter_histogram():
+    hist = letter_histogram(b"Hello, World!!")
+    assert hist["l"] == 3
+    assert hist["o"] == 2
+    assert hist["h"] == 1
+    assert "!" not in hist and "," not in hist
+
+
+def test_english_scores_better_than_garbage():
+    english = sample_corpus(2000)
+    garbage = bytes((i * 37 + 11) % 256 for i in range(2000))
+    uniform_letters = (b"abcdefghijklmnopqrstuvwxyz" * 80)[:2000]
+    s_eng = chi_squared_score(english)
+    assert s_eng < chi_squared_score(uniform_letters)
+    assert s_eng < chi_squared_score(garbage) / 10
+
+
+def test_looks_like_english_threshold():
+    assert looks_like_english(sample_corpus(2000))
+    assert not looks_like_english(bytes(range(256)) * 4)
+
+
+def test_empty_input():
+    assert chi_squared_score(b"") == float("inf")
+    assert chi_squared_score(b"1234 5678") == float("inf")
+
+
+def test_sample_corpus_properties():
+    corpus = sample_corpus(1500, seed=3)
+    assert len(corpus) == 1500
+    assert corpus == sample_corpus(1500, seed=3)  # deterministic
+    assert corpus != sample_corpus(1500, seed=4)
+    assert all(97 <= c <= 122 or c == 32 for c in corpus)
+
+
+def test_corrupted_corpus_still_scores_ok():
+    """A few corrupted blocks cannot shift corpus statistics (the
+    paper's core argument for using the ACA in the attack)."""
+    corpus = bytearray(sample_corpus(4096))
+    for i in range(0, 128, 8):  # corrupt ~3% of the text
+        corpus[i] = 0xF7
+    clean = chi_squared_score(sample_corpus(4096))
+    dirty = chi_squared_score(bytes(corpus))
+    garbage = chi_squared_score(bytes((i * 73) % 256 for i in range(4096)))
+    assert dirty < garbage / 5
+    assert dirty < clean * 10

@@ -1,0 +1,64 @@
+"""Registers and clock domains."""
+
+import pytest
+
+from repro.arch import ClockDomain, Register
+
+
+def test_register_latches_on_tick():
+    clk = ClockDomain()
+    r = clk.register(0, "r")
+    r.set_next(5)
+    assert r.q == 0  # not yet
+    clk.tick()
+    assert r.q == 5
+
+
+def test_register_holds_without_set_next():
+    clk = ClockDomain()
+    r = clk.register(3)
+    clk.tick()
+    assert r.q == 3
+
+
+def test_hold_cancels_pending_update():
+    clk = ClockDomain()
+    r = clk.register(1)
+    r.set_next(9)
+    r.hold()
+    clk.tick()
+    assert r.q == 1
+
+
+def test_two_phase_semantics_allow_swaps():
+    """Register exchange must not depend on evaluation order."""
+    clk = ClockDomain()
+    a = clk.register(1)
+    b = clk.register(2)
+    a.set_next(b.q)
+    b.set_next(a.q)
+    clk.tick()
+    assert (a.q, b.q) == (2, 1)
+
+
+def test_reset():
+    clk = ClockDomain()
+    r = clk.register(7)
+    r.set_next(0)
+    clk.tick()
+    clk.reset()
+    assert r.q == 7
+    assert clk.cycle == 0
+
+
+def test_cycle_count_and_time():
+    clk = ClockDomain(period=2.5)
+    for _ in range(4):
+        clk.tick()
+    assert clk.cycle == 4
+    assert clk.now == pytest.approx(10.0)
+
+
+def test_bad_period():
+    with pytest.raises(ValueError):
+        ClockDomain(period=0)

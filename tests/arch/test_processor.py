@@ -1,0 +1,91 @@
+"""The tiny accumulator CPU with a variable-latency ALU."""
+
+import pytest
+
+from repro.arch import Instruction, TinyCpu, assemble
+
+
+def _sum_loop_program():
+    # assemble() has no labels; build the loop directly.
+    return [
+        Instruction("LOADI", 0), Instruction("STORE", 0),
+        Instruction("LOADI", 100), Instruction("STORE", 1),
+        # loop body @4
+        Instruction("LOAD", 0), Instruction("ADD", 1),
+        Instruction("STORE", 0),
+        Instruction("LOAD", 1), Instruction("ADDI", -1 & 0xFFFFFFFF),
+        Instruction("STORE", 1),
+        Instruction("JNZ", 4),
+        Instruction("LOAD", 0), Instruction("HALT"),
+    ]
+
+
+def test_assemble():
+    prog = assemble("LOADI 5\nADDI 0x10\nHALT  # done")
+    assert prog == [Instruction("LOADI", 5), Instruction("ADDI", 16),
+                    Instruction("HALT")]
+    with pytest.raises(ValueError):
+        assemble("FLY 1")
+
+
+def test_straightline_arithmetic():
+    prog = assemble("""
+        LOADI 40
+        ADDI 2
+        STORE 7
+        HALT
+    """)
+    for adder in ("vlsa", "exact"):
+        result = TinyCpu(adder=adder).run(prog)
+        assert result.accumulator == 42
+        assert result.memory[7] == 42
+
+
+def test_sum_loop_result_identical_for_both_adders():
+    prog = _sum_loop_program()
+    r_vlsa = TinyCpu(adder="vlsa").run(prog)
+    r_exact = TinyCpu(adder="exact").run(prog)
+    # sum of (100 + 99 + ... + 1) accumulated counter values:
+    expected = sum(range(1, 101))
+    assert r_vlsa.accumulator == expected
+    assert r_exact.accumulator == expected
+    assert r_vlsa.instructions_executed == r_exact.instructions_executed
+
+
+def test_vlsa_cpu_is_faster_on_real_programs():
+    prog = _sum_loop_program()
+    r_vlsa = TinyCpu(adder="vlsa").run(prog)
+    r_exact = TinyCpu(adder="exact").run(prog)
+    assert r_vlsa.cycles < r_exact.cycles
+    assert r_vlsa.cpi() < r_exact.cpi()
+
+
+def test_subtraction():
+    prog = assemble("""
+        LOADI 10
+        STORE 3
+        LOADI 100
+        SUB 3
+        HALT
+    """)
+    result = TinyCpu().run(prog)
+    assert result.accumulator == 90
+
+
+def test_stalls_counted():
+    """ADDI -1 on small counters drives long borrow chains -> stalls."""
+    prog = _sum_loop_program()
+    result = TinyCpu(adder="vlsa", window=6).run(prog)
+    assert result.add_stalls > 0
+    assert result.cycles > result.instructions_executed
+
+
+def test_runaway_program_rejected():
+    prog = [Instruction("LOADI", 1), Instruction("JNZ", 0)]
+    with pytest.raises(RuntimeError):
+        TinyCpu().run(prog, max_instructions=100)
+
+
+def test_bad_adder_kind():
+    with pytest.raises(ValueError):
+        TinyCpu(adder="quantum")

@@ -1,0 +1,65 @@
+"""VCD waveform writer."""
+
+import pytest
+
+from repro.arch import VcdWriter
+
+
+def test_header_and_declarations():
+    vcd = VcdWriter(timescale="1 ns", module="dut")
+    clk = vcd.add_signal("clk")
+    data = vcd.add_signal("data", 8)
+    text = vcd.render()
+    assert "$timescale 1 ns $end" in text
+    assert "$scope module dut $end" in text
+    assert f"$var wire 1 {clk} clk $end" in text
+    assert f"$var wire 8 {data} data $end" in text
+    assert "$enddefinitions $end" in text
+
+
+def test_scalar_and_vector_changes():
+    vcd = VcdWriter()
+    clk = vcd.add_signal("clk")
+    bus = vcd.add_signal("bus", 4)
+    vcd.change(clk, 0, 1)
+    vcd.change(bus, 0, 0b1010)
+    vcd.change(clk, 3, 0)
+    text = vcd.render()
+    assert f"#0\n1{clk}\nb1010 {bus}" in text
+    assert f"#3\n0{clk}" in text
+
+
+def test_changes_sorted_by_time():
+    vcd = VcdWriter()
+    s = vcd.add_signal("s")
+    vcd.change(s, 5, 1)
+    vcd.change(s, 1, 0)
+    text = vcd.render()
+    assert text.index("#1") < text.index("#5")
+
+
+def test_vector_values_masked_to_width():
+    vcd = VcdWriter()
+    bus = vcd.add_signal("bus", 4)
+    vcd.change(bus, 0, 0xFF)
+    assert f"b1111 {bus}" in vcd.render()
+
+
+def test_many_signals_get_unique_ids():
+    vcd = VcdWriter()
+    ids = [vcd.add_signal(f"s{i}") for i in range(200)]
+    assert len(set(ids)) == 200
+
+
+def test_zero_width_rejected():
+    with pytest.raises(ValueError):
+        VcdWriter().add_signal("x", 0)
+
+
+def test_save(tmp_path):
+    vcd = VcdWriter()
+    s = vcd.add_signal("s")
+    vcd.change(s, 0, 1)
+    path = tmp_path / "wave.vcd"
+    vcd.save(str(path))
+    assert path.read_text().startswith("$timescale")

@@ -1,0 +1,98 @@
+"""Cycle-accurate VLSA machine: latency accounting and correctness."""
+
+import pytest
+
+from repro.arch import VlsaMachine
+from repro.mc import detector_flag
+
+
+def _random_pairs(rng, width, count):
+    return [(rng.getrandbits(width), rng.getrandbits(width))
+            for _ in range(count)]
+
+
+def test_every_result_is_correct(rng):
+    machine = VlsaMachine(16, window=3)  # small window: frequent stalls
+    pairs = _random_pairs(rng, 16, 500)
+    trace = machine.run(pairs)
+    mask = 0xFFFF
+    for r in trace.results:
+        total = r.a + r.b
+        assert r.sum_out == total & mask
+        assert r.cout == total >> 16
+    assert trace.stall_count > 0
+
+
+def test_latency_is_one_unless_flagged(rng):
+    width, window = 16, 4
+    machine = VlsaMachine(width, window=window)
+    pairs = _random_pairs(rng, width, 400)
+    trace = machine.run(pairs)
+    for r in trace.results:
+        expected_flag = detector_flag(r.a, r.b, width, window)
+        assert r.stalled == expected_flag
+        assert r.latency_cycles == (2 if expected_flag else 1)
+        if not r.stalled:
+            assert r.speculative_correct
+
+
+def test_total_cycles_equals_sum_of_latencies(rng):
+    machine = VlsaMachine(16, window=3, recovery_cycles=2)
+    trace = machine.run(_random_pairs(rng, 16, 200))
+    assert trace.total_cycles == sum(r.latency_cycles
+                                     for r in trace.results)
+    assert trace.operations == 200
+
+
+def test_average_latency_near_one_at_9999_window(rng):
+    machine = VlsaMachine(64)  # default 99.99% window
+    trace = machine.run(_random_pairs(rng, 64, 20000))
+    assert 1.0 <= trace.average_latency_cycles < 1.002
+
+
+def test_forced_stall_scenario():
+    """A full-width carry chain must stall; a trivial add must not."""
+    width = 32
+    machine = VlsaMachine(width, window=6)
+    mask = (1 << width) - 1
+    chain_a = mask >> 1  # 0111..1
+    chain_b = 1
+    trace = machine.run([(1, 2), (chain_a, chain_b), (3, 4)])
+    assert [r.stalled for r in trace.results] == [False, True, False]
+    assert trace.results[1].sum_out == (chain_a + chain_b) & mask
+    assert trace.results[1].latency_cycles == 2
+
+
+def test_speedup_over_traditional():
+    machine = VlsaMachine(16, window=16, clock_period=0.5)
+    trace = machine.run([(1, 1)] * 10)
+    assert trace.speedup_over(1.0) == pytest.approx(2.0)
+    assert trace.average_latency_time == pytest.approx(0.5)
+
+
+def test_trace_renders_diagram_and_vcd(rng):
+    machine = VlsaMachine(16, window=3)
+    trace = machine.run(_random_pairs(rng, 16, 10))
+    diagram = trace.timing_diagram()
+    assert "CLK" in diagram and "STALL" in diagram
+    vcd = trace.to_vcd()
+    assert "$var wire 16" in vcd and "valid" in vcd
+
+
+def test_empty_trace():
+    machine = VlsaMachine(8, window=2)
+    trace = machine.run([])
+    assert trace.operations == 0
+    assert trace.average_latency_cycles == 0.0
+    assert trace.timing_diagram() == "(empty trace)"
+    with pytest.raises(ValueError):
+        trace.speedup_over(1.0)
+
+
+def test_window_defaults_and_validation():
+    from repro.analysis import choose_window
+
+    machine = VlsaMachine(64)
+    assert machine.window == choose_window(64)
+    with pytest.raises(ValueError):
+        VlsaMachine(16, window=4, recovery_cycles=0)

@@ -1,0 +1,65 @@
+"""Area accounting: live logic only, per-op breakdown, normalisation."""
+
+import pytest
+
+from repro.circuit import Circuit, UMC180, UNIT, analyze_area, total_area
+
+
+def _sample():
+    c = Circuit("t")
+    a, b = c.add_input("a"), c.add_input("b")
+    live = c.add_gate("XOR", c.add_gate("AND", a, b), a)
+    dead = c.add_gate("OR", a, b)  # not reachable from outputs
+    c.set_output("y", live)
+    return c
+
+
+def test_unit_area_counts_live_gates():
+    c = _sample()
+    report = analyze_area(c, UNIT)
+    assert report.total == pytest.approx(2.0)  # AND + XOR, dead OR excluded
+    assert report.gate_count == 2
+
+
+def test_per_op_breakdown():
+    c = _sample()
+    report = analyze_area(c, UMC180)
+    assert set(report.by_op) == {"AND", "XOR"}
+    assert report.total == pytest.approx(sum(report.by_op.values()))
+    assert report.by_op["XOR"] == UMC180.cell("XOR", 2).area
+
+
+def test_inputs_and_constants_are_free():
+    c = Circuit("t")
+    a = c.add_input("a")
+    c.set_output("y", a)
+    c.set_output("one", c.const(1))
+    assert total_area(c, UMC180) == 0.0
+
+
+def test_normalized_to():
+    big, small = _sample(), _sample()
+    # Make `big` genuinely bigger.
+    a = big.inputs["a"][0]
+    b = big.inputs["b"][0]
+    big.set_output("extra", big.add_gate("XNOR", a, b))
+    r_big = analyze_area(big, UNIT)
+    r_small = analyze_area(small, UNIT)
+    assert r_big.normalized_to(r_small) == pytest.approx(3 / 2)
+    with pytest.raises(ValueError):
+        empty = Circuit("e")
+        x = empty.add_input("x")
+        empty.set_output("y", x)
+        r_small.normalized_to(analyze_area(empty, UNIT))
+
+
+def test_variadic_area_scales_with_arity():
+    c = Circuit("t")
+    bus = c.add_input_bus("x", 6)
+    c.set_output("y", c.add_gate("AND", *bus))
+    wide = total_area(c, UMC180)
+    c2 = Circuit("t2")
+    bus2 = c2.add_input_bus("x", 2)
+    c2.set_output("y", c2.add_gate("AND", *bus2))
+    narrow = total_area(c2, UMC180)
+    assert wide > narrow

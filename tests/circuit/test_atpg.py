@@ -1,0 +1,73 @@
+"""BDD-based ATPG: targeted tests, untestability proofs, compaction."""
+
+import pytest
+
+from repro.adders import build_ripple_adder, build_sklansky_adder
+from repro.circuit import Circuit, StuckAtFault, enumerate_faults
+from repro.circuit.atpg import AtpgResult, fault_bdd_test, generate_tests
+from repro.circuit.faults import fault_coverage, simulate_with_fault
+from repro.circuit.simulate import int_to_bus
+
+
+def test_targeted_vector_detects_fault():
+    c = build_ripple_adder(4)
+    # Pick a mid-circuit gate fault.
+    gate = next(n.nid for n in c.nets if n.op == "MAJ3")
+    fault = StuckAtFault(gate, 1)
+    vec = fault_bdd_test(c, fault)
+    assert vec is not None
+    # Verify the vector really distinguishes good from faulty.
+    stim = {name: int_to_bus(vec[name], len(bus))
+            for name, bus in c.inputs.items()}
+    from repro.circuit import simulate_words
+
+    golden = simulate_words(c, stim, 1)
+    faulty = simulate_with_fault(c, fault, stim, 1)
+    assert golden != faulty
+
+
+def test_untestable_fault_is_proven():
+    """A stuck-at on logic masked by construction must come back None."""
+    c = Circuit("redundant", fold_constants=False)
+    a = c.add_input("a")
+    na = c.add_gate("NOT", a)
+    dead = c.add_gate("AND", a, na)   # constant 0 in disguise
+    c.set_output("y", c.add_gate("OR", a, dead))
+    fault = StuckAtFault(dead, 0)     # stuck-at-0 on a constant-0 net
+    assert fault_bdd_test(c, fault) is None
+
+
+def test_full_test_set_for_small_adder():
+    c = build_ripple_adder(4)
+    result = generate_tests(c, random_vectors=8, seed=1)
+    assert result.coverage == pytest.approx(1.0)
+    assert result.untestable == []
+    assert result.detected == result.total_faults
+    # Compacted set should be far smaller than exhaustive (256 vectors).
+    assert len(result.vectors) < 30
+
+
+def test_generated_set_verified_by_fault_simulator():
+    c = build_sklansky_adder(6)
+    result = generate_tests(c, random_vectors=16, seed=2)
+    report = fault_coverage(c, num_vectors=1)  # placeholder shape check
+    assert result.total_faults == report.total_faults
+    # Re-simulate the generated vectors independently.
+    from repro.circuit.atpg import _detects
+
+    hits = _detects(c, result.vectors, enumerate_faults(c))
+    assert all(hits)
+
+
+def test_compaction_keeps_coverage():
+    c = build_ripple_adder(3)
+    full = generate_tests(c, random_vectors=32, seed=3, compact=False)
+    compacted = generate_tests(c, random_vectors=32, seed=3, compact=True)
+    assert compacted.detected == full.detected
+    assert len(compacted.vectors) <= len(full.vectors)
+
+
+def test_zero_random_phase_still_works():
+    c = build_ripple_adder(3)
+    result = generate_tests(c, random_vectors=0, seed=0)
+    assert result.coverage == pytest.approx(1.0)

@@ -1,0 +1,168 @@
+"""BDD engine and formal equivalence checking."""
+
+import pytest
+
+from repro.adders import (
+    build_brent_kung_adder,
+    build_cla_adder,
+    build_kogge_stone_adder,
+    build_ripple_adder,
+    build_sklansky_adder,
+)
+from repro.circuit import Circuit
+from repro.circuit.bdd import (
+    Bdd,
+    build_output_bdds,
+    count_satisfying,
+    interleaved_order,
+    prove_equivalent,
+)
+
+
+# ----------------------------------------------------------- engine core
+def test_terminals_and_vars():
+    m = Bdd(3)
+    x = m.var(0)
+    assert m.evaluate(x, [1, 0, 0]) == 1
+    assert m.evaluate(x, [0, 1, 1]) == 0
+    assert m.evaluate(Bdd.TRUE, [0, 0, 0]) == 1
+    assert m.evaluate(Bdd.FALSE, [1, 1, 1]) == 0
+    with pytest.raises(Exception):
+        m.var(3)
+
+
+def test_ite_identities():
+    m = Bdd(2)
+    x, y = m.var(0), m.var(1)
+    assert m.ite(Bdd.TRUE, x, y) == x
+    assert m.ite(Bdd.FALSE, x, y) == y
+    assert m.ite(x, y, y) == y
+    assert m.ite(x, Bdd.TRUE, Bdd.FALSE) == x
+
+
+def test_boolean_ops_truth_tables():
+    m = Bdd(2)
+    x, y = m.var(0), m.var(1)
+    ops = {
+        "and": (m.apply_and(x, y), lambda a, b: a & b),
+        "or": (m.apply_or(x, y), lambda a, b: a | b),
+        "xor": (m.apply_xor(x, y), lambda a, b: a ^ b),
+    }
+    for node, ref in ops.values():
+        for a in (0, 1):
+            for b in (0, 1):
+                assert m.evaluate(node, [a, b]) == ref(a, b)
+    n = m.apply_not(x)
+    assert m.evaluate(n, [0, 0]) == 1
+    assert m.evaluate(n, [1, 0]) == 0
+
+
+def test_canonicity():
+    """Structurally different but equal formulas share one node."""
+    m = Bdd(2)
+    x, y = m.var(0), m.var(1)
+    demorgan_a = m.apply_not(m.apply_and(x, y))
+    demorgan_b = m.apply_or(m.apply_not(x), m.apply_not(y))
+    assert demorgan_a == demorgan_b
+
+
+def test_count_sat():
+    m = Bdd(3)
+    x, y, z = m.var(0), m.var(1), m.var(2)
+    assert m.count_sat(m.apply_and(x, y)) == 2      # z free
+    assert m.count_sat(m.apply_or(x, y)) == 6
+    assert m.count_sat(Bdd.TRUE) == 8
+    assert m.count_sat(Bdd.FALSE) == 0
+    assert m.count_sat(m.apply_xor(x, z)) == 4
+
+
+# ------------------------------------------------------ circuit translation
+def test_symbolic_simulation_matches_truth_table():
+    c = Circuit("maj")
+    ins = [c.add_input(n) for n in "abc"]
+    c.set_output("y", c.add_gate("MAJ3", *ins))
+    c.set_output("m", c.add_gate("MUX2", *ins))
+    order = interleaved_order(c)
+    m = Bdd(3)
+    bdds = build_output_bdds(c, m, order)
+    for val in range(8):
+        assign = [0] * 3
+        for nid, level in order.items():
+            name = c.nets[nid].name
+            idx = "abc".index(name)
+            assign[level] = (val >> idx) & 1
+        a, b, cc = val & 1, (val >> 1) & 1, (val >> 2) & 1
+        assert m.evaluate(bdds["y"][0], assign) == int(a + b + cc >= 2)
+        assert m.evaluate(bdds["m"][0], assign) == (b if a else cc)
+
+
+def test_adder_bdds_stay_small():
+    """Interleaved order keeps adder BDDs linear, not exponential."""
+    def size_of(width):
+        c = build_ripple_adder(width)
+        order = interleaved_order(c)
+        m = Bdd(len(order))
+        build_output_bdds(c, m, order)
+        return m.size()
+
+    s16, s32 = size_of(16), size_of(32)
+    assert s32 < 20000
+    assert s32 < 5 * s16  # polynomial growth (~n^2 allocations), not 2^n
+
+
+# --------------------------------------------------------- equivalence
+@pytest.mark.parametrize("builder", [
+    build_sklansky_adder, build_kogge_stone_adder, build_brent_kung_adder,
+    build_cla_adder,
+])
+def test_prefix_adders_formally_equal_ripple(builder):
+    ok, reason = prove_equivalent(build_ripple_adder(24), builder(24))
+    assert ok, reason
+
+
+def test_recovery_adder_formally_exact():
+    from repro.core import build_recovery_adder
+
+    ok, reason = prove_equivalent(build_ripple_adder(32),
+                                  build_recovery_adder(32, 6),
+                                  outputs=["sum", "cout"])
+    assert ok, reason
+
+
+def test_aca_with_full_window_formally_exact():
+    from repro.core import build_aca
+
+    ok, reason = prove_equivalent(build_ripple_adder(24),
+                                  build_aca(24, 24),
+                                  outputs=["sum"])
+    assert ok, reason
+
+
+def test_aca_with_small_window_is_not_exact():
+    from repro.core import build_aca
+
+    ok, reason = prove_equivalent(build_ripple_adder(16),
+                                  build_aca(16, 4),
+                                  outputs=["sum"])
+    assert not ok
+    assert "sum[" in reason
+
+
+def test_interface_mismatch_detected():
+    ok, reason = prove_equivalent(build_ripple_adder(8),
+                                  build_ripple_adder(9))
+    assert not ok and "interface" in reason
+
+
+def test_count_satisfying_error_flag():
+    """Exact count of flagged inputs equals the run-length count."""
+    from repro.analysis import count_max_run_at_most
+    from repro.core import build_error_detector
+
+    n, w = 10, 3
+    c = build_error_detector(n, w)
+    flagged = count_satisfying(c, "err")
+    # P(flag) = P(longest xor-run >= w); count over (a, b) pairs:
+    # for each xor value x there are 2^n (a, b) pairs.
+    xor_strings_flagged = (1 << n) - count_max_run_at_most(n, w - 1)
+    assert flagged == xor_strings_flagged * (1 << n)

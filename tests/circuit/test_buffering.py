@@ -1,0 +1,81 @@
+"""Buffer-tree insertion pass."""
+
+import pytest
+
+from repro.adders import build_sklansky_adder, reference_fn
+from repro.circuit import (
+    Circuit,
+    UMC180,
+    analyze_area,
+    analyze_timing,
+    assert_equivalent_random,
+    check_structure,
+    insert_buffers,
+    simulate_bus_ints,
+)
+
+
+def _high_fanout_circuit(sinks=16):
+    c = Circuit("fan", use_strash=False, fold_constants=False)
+    a, b = c.add_input("a"), c.add_input("b")
+    src = c.add_gate("AND", a, b)
+    outs = [c.add_gate("XOR", src, a) if i % 2 else c.add_gate("OR", src, b)
+            for i in range(sinks)]
+    for i, o in enumerate(outs):
+        c.set_output(f"y{i}", o)
+    return c
+
+
+def test_fanout_bounded_after_pass():
+    c = _high_fanout_circuit(16)
+    assert c.max_fanout() >= 16
+    buffered, stats = insert_buffers(c, max_fanout=4)
+    check_structure(buffered)
+    assert buffered.max_fanout() <= 4
+    assert stats.buffers_added > 0
+    assert stats.max_fanout_before >= 16
+    assert stats.max_fanout_after <= 4
+
+
+def test_semantics_preserved():
+    c = _high_fanout_circuit(10)
+    buffered, _ = insert_buffers(c, max_fanout=3)
+    for a in (0, 1):
+        for b in (0, 1):
+            assert (simulate_bus_ints(buffered, {"a": a, "b": b}) ==
+                    simulate_bus_ints(c, {"a": a, "b": b}))
+
+
+def test_sklansky_buffering_preserves_addition():
+    c = build_sklansky_adder(24)
+    buffered, stats = insert_buffers(c, max_fanout=4)
+    assert stats.nets_buffered > 0
+    assert_equivalent_random(buffered, reference_fn(24, False),
+                             num_vectors=128)
+    assert buffered.max_fanout() <= 4
+
+
+def test_buffering_trades_area_for_load():
+    c = build_sklansky_adder(64)
+    buffered, stats = insert_buffers(c, max_fanout=4)
+    assert (analyze_area(buffered, UMC180).total >
+            analyze_area(c, UMC180).total)
+    # The pass is a no-op for circuits already under the bound.
+    small = build_sklansky_adder(4)
+    same, stats2 = insert_buffers(small, max_fanout=16)
+    assert stats2.buffers_added == 0
+    assert same.gate_count() == small.gate_count()
+
+
+def test_low_threshold_rejected():
+    with pytest.raises(ValueError):
+        insert_buffers(Circuit("c"), max_fanout=1)
+
+
+def test_attrs_and_buses_survive():
+    c = build_sklansky_adder(8)
+    c.attrs["window"] = 3
+    buffered, _ = insert_buffers(c, max_fanout=2)
+    assert buffered.attrs["window"] == 3
+    assert set(buffered.inputs) == {"a", "b"}
+    assert set(buffered.outputs) == {"sum", "cout"}

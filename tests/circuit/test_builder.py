@@ -1,0 +1,127 @@
+"""Word-level builder helpers: trees, pg preprocessing, carry operator."""
+
+import itertools
+
+import pytest
+
+from repro.circuit import (
+    Circuit,
+    CircuitError,
+    and_tree,
+    carry_combine,
+    carry_combine_g,
+    or_tree,
+    pg_preprocess,
+    reduce_tree,
+    simulate_bus_ints,
+    sum_postprocess,
+    xor_tree,
+)
+
+
+def _tree_circuit(op, n, max_arity):
+    c = Circuit("t")
+    bus = c.add_input_bus("x", n)
+    root = reduce_tree(c, op, bus, max_arity=max_arity)
+    c.set_output("y", root)
+    return c
+
+
+@pytest.mark.parametrize("op,ref", [
+    ("AND", all), ("OR", any), ("XOR", lambda bits: sum(bits) & 1),
+])
+@pytest.mark.parametrize("n", [1, 2, 3, 5, 9])
+@pytest.mark.parametrize("arity", [2, 3, 4])
+def test_reduce_tree_semantics(op, ref, n, arity):
+    c = _tree_circuit(op, n, arity)
+    for value in range(1 << n):
+        bits = [(value >> i) & 1 for i in range(n)]
+        expected = int(ref(bits))
+        assert simulate_bus_ints(c, {"x": value})["y"] == expected
+
+
+def test_reduce_tree_depth_respects_arity():
+    c = Circuit("t")
+    bus = c.add_input_bus("x", 16)
+    and_tree(c, bus, max_arity=4)
+    depths = {}
+    for net in c.nets:
+        depths[net.nid] = (0 if not net.fanins else
+                           1 + max(depths[f] for f in net.fanins))
+    assert max(depths.values()) == 2  # 16 -> 4 -> 1 with 4-ary gates
+
+
+def test_reduce_tree_errors():
+    c = Circuit("t")
+    with pytest.raises(CircuitError):
+        reduce_tree(c, "AND", [], max_arity=2)
+    a = c.add_input("a")
+    with pytest.raises(CircuitError):
+        reduce_tree(c, "AND", [a], max_arity=1)
+
+
+def test_tree_wrappers_match_reduce_tree():
+    c = Circuit("t")
+    bus = c.add_input_bus("x", 4)
+    assert and_tree(c, bus) == reduce_tree(c, "AND", bus)
+    assert or_tree(c, bus) == reduce_tree(c, "OR", bus)
+    assert xor_tree(c, bus) == reduce_tree(c, "XOR", bus)
+
+
+def test_pg_preprocess():
+    c = Circuit("t")
+    a = c.add_input_bus("a", 3)
+    b = c.add_input_bus("b", 3)
+    g, p = pg_preprocess(c, a, b)
+    c.set_output("g", g)
+    c.set_output("p", p)
+    for va, vb in itertools.product(range(8), repeat=2):
+        out = simulate_bus_ints(c, {"a": va, "b": vb})
+        assert out["g"] == va & vb
+        assert out["p"] == va ^ vb
+    # Positions stamped per bit column.
+    assert c.nets[g[2]].pos == 2.0
+
+
+def test_pg_preprocess_width_mismatch():
+    c = Circuit("t")
+    a = c.add_input_bus("a", 2)
+    b = c.add_input_bus("b", 3)
+    with pytest.raises(CircuitError):
+        pg_preprocess(c, a, b)
+
+
+def test_carry_combine_is_the_prefix_operator():
+    c = Circuit("t")
+    names = ["gh", "ph", "gl", "pl"]
+    nets = [c.add_input(n) for n in names]
+    g, p = carry_combine(c, *nets)
+    g_only = carry_combine_g(c, nets[0], nets[1], nets[2])
+    assert g_only == g  # structural hashing reuses the same AO21
+    c.set_output("g", g)
+    c.set_output("p", p)
+    for bits in itertools.product((0, 1), repeat=4):
+        stim = dict(zip(names, bits))
+        out = simulate_bus_ints(c, stim)
+        gh, ph, gl, pl = bits
+        assert out["g"] == (gh | (ph & gl))
+        assert out["p"] == (ph & pl)
+
+
+def test_sum_postprocess():
+    c = Circuit("t")
+    p = c.add_input_bus("p", 3)
+    carries = c.add_input_bus("c", 3)
+    sums = sum_postprocess(c, p, carries)
+    c.set_output("s", sums)
+    for vp, vc in itertools.product(range(8), repeat=2):
+        out = simulate_bus_ints(c, {"p": vp, "c": vc})
+        assert out["s"] == vp ^ vc
+
+
+def test_sum_postprocess_length_mismatch():
+    c = Circuit("t")
+    p = c.add_input_bus("p", 3)
+    carries = c.add_input_bus("c", 2)
+    with pytest.raises(CircuitError):
+        sum_postprocess(c, p, carries)

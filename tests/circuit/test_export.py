@@ -1,0 +1,158 @@
+"""Exports: VHDL/Verilog text, DOT graphs, JSON round-trip."""
+
+import json
+
+import pytest
+
+from repro.adders import build_ripple_adder
+from repro.circuit import (
+    Circuit,
+    serialize,
+    simulate_bus_ints,
+    to_dot,
+    to_verilog,
+    to_vhdl,
+)
+from repro.core import build_aca
+
+
+def _sample():
+    c = Circuit("my adder!")
+    a = c.add_input_bus("a", 2)
+    b = c.add_input_bus("b", 2)
+    c.set_output("sum", [c.add_gate("XOR", a[0], b[0]),
+                         c.add_gate("XOR", a[1], b[1])])
+    c.set_output("any_carry", c.add_gate("AND", a[0], b[0]))
+    return c
+
+
+# ---------------------------------------------------------------- VHDL
+def test_vhdl_structure():
+    text = to_vhdl(_sample())
+    assert "entity my_adder is" in text
+    assert "architecture structural of my_adder" in text
+    assert "std_logic_vector(1 downto 0)" in text
+    assert text.count("<=") >= 4
+    assert "ieee.std_logic_1164" in text
+
+
+def test_vhdl_gate_expressions():
+    c = Circuit("ops", fold_constants=False)
+    ins = [c.add_input(n) for n in "abc"]
+    c.set_output("y1", c.add_gate("AO21", *ins))
+    c.set_output("y2", c.add_gate("MUX2", *ins))
+    c.set_output("y3", c.add_gate("MAJ3", *ins))
+    c.set_output("y4", c.add_gate("NAND", ins[0], ins[1]))
+    text = to_vhdl(c)
+    assert "(a and b) or c" in text
+    assert "not" in text
+
+
+def test_vhdl_constants():
+    c = Circuit("k")
+    a = c.add_input("a")
+    c.set_output("y", a)
+    c.set_output("zero", c.const(0))
+    c.set_output("one", c.const(1))
+    text = to_vhdl(c)
+    assert "'0'" in text and "'1'" in text
+
+
+def test_vhdl_skips_dead_logic():
+    c = _sample()
+    c.add_gate("NOR", c.inputs["a"][0], c.inputs["b"][0])  # dead
+    text = to_vhdl(c)
+    assert "nor" not in text.lower().replace("_nor", "")
+
+
+# -------------------------------------------------------------- Verilog
+def test_verilog_structure():
+    text = to_verilog(_sample())
+    assert text.startswith("module my_adder (")
+    assert text.rstrip().endswith("endmodule")
+    assert "input  [1:0] a;" in text
+    assert "output [1:0] sum;" in text
+    assert "assign" in text
+
+
+def test_verilog_gate_expressions():
+    c = Circuit("ops", fold_constants=False)
+    ins = [c.add_input(n) for n in "abc"]
+    c.set_output("y1", c.add_gate("AO21", *ins))
+    c.set_output("y2", c.add_gate("MUX2", *ins))
+    c.set_output("y3", c.add_gate("XNOR", ins[0], ins[1]))
+    text = to_verilog(c)
+    assert "(a & b) | c" in text
+    assert "a ? b : c" in text
+    assert "~(a ^ b)" in text
+
+
+def test_verilog_constants():
+    c = Circuit("k")
+    a = c.add_input("a")
+    c.set_output("y", a)
+    c.set_output("zero", c.const(0))
+    text = to_verilog(c)
+    assert "1'b0" in text
+
+
+def test_exports_on_real_generator():
+    aca = build_aca(16, 5)
+    vhdl = to_vhdl(aca)
+    verilog = to_verilog(aca)
+    assert vhdl.count("<=") > 50
+    assert verilog.count("assign") > 50
+
+
+# ------------------------------------------------------------------ DOT
+def test_dot_output():
+    text = to_dot(_sample())
+    assert text.startswith('digraph "my adder!"')
+    assert "->" in text
+    assert "lightblue" in text  # inputs styled
+
+
+# ----------------------------------------------------------------- JSON
+def test_json_round_trip_preserves_semantics():
+    c = build_ripple_adder(6)
+    text = serialize.dumps(c)
+    back = serialize.loads(text)
+    assert back.name == c.name
+    for va, vb in [(0, 0), (13, 55), (63, 63), (42, 21)]:
+        assert (simulate_bus_ints(back, {"a": va, "b": vb}) ==
+                simulate_bus_ints(c, {"a": va, "b": vb}))
+
+
+def test_json_round_trip_preserves_structure_exactly():
+    c = build_aca(12, 4)
+    back = serialize.loads(serialize.dumps(c))
+    assert len(back.nets) == len(c.nets)
+    for n1, n2 in zip(c.nets, back.nets):
+        assert (n1.op, n1.fanins, n1.name, n1.pos) == (
+            n2.op, n2.fanins, n2.name, n2.pos)
+    assert back.attrs == c.attrs
+
+
+def test_json_format_version_check():
+    data = serialize.circuit_to_dict(_sample())
+    data["format_version"] = 99
+    with pytest.raises(Exception):
+        serialize.circuit_from_dict(data)
+
+
+def test_json_file_round_trip(tmp_path):
+    c = _sample()
+    path = tmp_path / "c.json"
+    serialize.save(c, str(path))
+    back = serialize.load(str(path))
+    assert back.name == c.name
+    json.loads(path.read_text())  # valid JSON on disk
+
+
+def test_const_usable_after_load():
+    c = Circuit("k")
+    a = c.add_input("a")
+    c.set_output("one", c.const(1))
+    c.set_output("a", a)
+    back = serialize.loads(serialize.dumps(c))
+    assert back.const(1) == c.const(1)

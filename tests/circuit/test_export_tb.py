@@ -1,0 +1,60 @@
+"""Verilog testbench generation."""
+
+import pytest
+
+from repro.adders import build_ripple_adder
+from repro.circuit import Circuit
+from repro.circuit.export_tb import to_verilog_testbench
+from repro.circuit.export_verilog import to_verilog
+
+
+def test_testbench_structure():
+    c = build_ripple_adder(8)
+    tb = to_verilog_testbench(c, num_vectors=4, seed=1)
+    assert tb.startswith("`timescale")
+    assert "module tb;" in tb
+    assert "ripple8 dut (" in tb
+    assert tb.count("#1;") == 4
+    assert "ALL %0d VECTORS PASS" in tb
+    assert "$finish;" in tb
+
+
+def test_explicit_vectors_and_golden_responses():
+    c = build_ripple_adder(4)
+    vectors = [{"a": 3, "b": 5}, {"a": 15, "b": 1}]
+    tb = to_verilog_testbench(c, vectors=vectors)
+    # 3 + 5 = 8, cout 0; 15 + 1 = 0, cout 1.
+    assert "4'h8" in tb
+    assert "4'h0" in tb
+    assert "1'h1" in tb
+    assert tb.count("!==") == 4  # 2 outputs x 2 vectors
+
+
+def test_bus_and_scalar_declarations():
+    c = Circuit("mix")
+    c.add_input_bus("data", 8)
+    c.add_input("enable")
+    c.set_output("y", c.add_gate("AND", c.inputs["data"][0],
+                                 c.inputs["enable"][0]))
+    tb = to_verilog_testbench(c, num_vectors=2)
+    assert "reg  [7:0] data;" in tb
+    assert "reg  enable;" in tb
+    assert "wire y;" in tb
+
+
+def test_pairs_with_module_export():
+    c = build_ripple_adder(6)
+    rtl = to_verilog(c)
+    tb = to_verilog_testbench(c, num_vectors=3)
+    combined = rtl + "\n" + tb
+    assert combined.count("endmodule") == 2
+
+
+def test_validation():
+    c = Circuit("empty")
+    c.add_input("x")
+    with pytest.raises(Exception):
+        to_verilog_testbench(c, num_vectors=2)
+    c.set_output("y", c.inputs["x"][0])
+    with pytest.raises(Exception):
+        to_verilog_testbench(c, vectors=[])

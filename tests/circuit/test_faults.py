@@ -1,0 +1,99 @@
+"""Stuck-at fault injection and coverage."""
+
+import pytest
+
+from repro.adders import build_ripple_adder
+from repro.circuit import (
+    Circuit,
+    StuckAtFault,
+    enumerate_faults,
+    fault_coverage,
+    simulate_with_fault,
+)
+from repro.circuit.simulate import int_to_bus, bus_to_int
+
+
+def _xor_circuit():
+    c = Circuit("x")
+    a, b = c.add_input("a"), c.add_input("b")
+    c.set_output("y", c.add_gate("XOR", a, b))
+    return c
+
+
+def test_enumerate_faults_counts():
+    c = _xor_circuit()
+    faults = enumerate_faults(c)
+    # 2 inputs + 1 gate, two polarities each.
+    assert len(faults) == 6
+    assert all(f.value in (0, 1) for f in faults)
+
+
+def test_enumerate_skips_dead_and_constants():
+    c = _xor_circuit()
+    c.add_gate("AND", c.inputs["a"][0], c.inputs["b"][0])  # dead
+    c.const(1)  # constants excluded
+    live = enumerate_faults(c, live_only=True)
+    everything = enumerate_faults(c, live_only=False)
+    assert len(live) == 6
+    assert len(everything) == 8
+
+
+def test_fault_changes_output():
+    c = _xor_circuit()
+    gate = c.outputs["y"][0]
+    stim = {"a": [0b0101], "b": [0b0011]}
+    faulty = simulate_with_fault(c, StuckAtFault(gate, 1), stim, 4)
+    assert faulty["y"][0] == 0b1111
+
+
+def test_fault_on_input_net():
+    c = _xor_circuit()
+    a = c.inputs["a"][0]
+    stim = {"a": [0b0101], "b": [0b0011]}
+    faulty = simulate_with_fault(c, StuckAtFault(a, 0), stim, 4)
+    assert faulty["y"][0] == 0b0011  # y == b when a stuck at 0
+
+
+def test_fault_describe():
+    c = _xor_circuit()
+    text = StuckAtFault(c.inputs["a"][0], 1).describe(c)
+    assert "a" in text and "stuck-at-1" in text
+
+
+def test_missing_net_rejected():
+    c = _xor_circuit()
+    with pytest.raises(Exception):
+        simulate_with_fault(c, StuckAtFault(999, 0), {"a": [1], "b": [1]}, 1)
+
+
+def test_ripple_adder_full_coverage():
+    """Every stuck-at fault in a ripple adder is excitable and observable
+    with enough random patterns (classic result for adders)."""
+    c = build_ripple_adder(6)
+    report = fault_coverage(c, num_vectors=512, seed=3)
+    assert report.total_faults > 0
+    assert report.coverage == pytest.approx(1.0)
+    assert report.undetected == []
+
+
+def test_restricted_observation_lowers_coverage():
+    """Watching only the carry-out cannot expose every sum-logic fault."""
+    c = build_ripple_adder(6)
+    full = fault_coverage(c, num_vectors=512, seed=3)
+    only_cout = fault_coverage(c, num_vectors=512, seed=3,
+                               outputs=["cout"])
+    assert only_cout.detected < full.detected
+    assert 0.0 < only_cout.coverage < 1.0
+
+
+def test_vlsa_error_flag_is_not_a_fault_detector():
+    """The VLSA's ER flag guards *speculation* errors, not silicon
+    defects: many stuck-at faults flip the sum without raising err."""
+    from repro.core import build_vlsa_datapath
+
+    c = build_vlsa_datapath(12, 4)
+    sum_only = fault_coverage(c, num_vectors=256, seed=1,
+                              outputs=["sum_exact"])
+    flag_only = fault_coverage(c, num_vectors=256, seed=1,
+                               outputs=["err"])
+    assert flag_only.coverage < sum_only.coverage

@@ -1,0 +1,122 @@
+"""Gate semantics: every operation against its truth table."""
+
+import itertools
+
+import pytest
+
+from repro.circuit import GATE_SPECS, gate_spec, is_input_op
+
+
+def _truth(op, *bits):
+    """Reference behaviour of each op on single-bit operands."""
+    if op == "AND":
+        return int(all(bits))
+    if op == "OR":
+        return int(any(bits))
+    if op == "XOR":
+        return sum(bits) & 1
+    if op == "NAND":
+        return 1 - int(all(bits))
+    if op == "NOR":
+        return 1 - int(any(bits))
+    if op == "XNOR":
+        return 1 - (sum(bits) & 1)
+    if op == "NOT":
+        return 1 - bits[0]
+    if op == "BUF":
+        return bits[0]
+    if op == "AO21":
+        a, b, c = bits
+        return (a & b) | c
+    if op == "OA21":
+        a, b, c = bits
+        return (a | b) & c
+    if op == "MUX2":
+        s, a, b = bits
+        return a if s else b
+    if op == "MAJ3":
+        return int(sum(bits) >= 2)
+    raise AssertionError(op)
+
+
+_VARIADIC = ["AND", "OR", "XOR", "NAND", "NOR", "XNOR"]
+_FIXED3 = ["AO21", "OA21", "MUX2", "MAJ3"]
+
+
+@pytest.mark.parametrize("op", _VARIADIC)
+@pytest.mark.parametrize("arity", [2, 3, 4, 5])
+def test_variadic_ops_match_truth_table(op, arity):
+    spec = gate_spec(op)
+    mask = 1
+    for bits in itertools.product((0, 1), repeat=arity):
+        assert spec.evaluate(mask, *bits) == _truth(op, *bits), (op, bits)
+
+
+@pytest.mark.parametrize("op", _FIXED3)
+def test_three_input_ops_match_truth_table(op):
+    spec = gate_spec(op)
+    for bits in itertools.product((0, 1), repeat=3):
+        assert spec.evaluate(1, *bits) == _truth(op, *bits), (op, bits)
+
+
+@pytest.mark.parametrize("op", ["NOT", "BUF"])
+def test_unary_ops(op):
+    spec = gate_spec(op)
+    for bit in (0, 1):
+        assert spec.evaluate(1, bit) == _truth(op, bit)
+
+
+def test_bit_parallel_evaluation_uses_mask():
+    """NOT/NAND must respect the word mask for multi-vector words."""
+    mask = 0b1111
+    assert gate_spec("NOT").evaluate(mask, 0b0101) == 0b1010
+    assert gate_spec("NAND").evaluate(mask, 0b1100, 0b1010) == 0b0111
+    assert gate_spec("CONST1").evaluate(mask) == mask
+    assert gate_spec("CONST0").evaluate(mask) == 0
+
+
+def test_commutativity_flags():
+    assert gate_spec("AND").commutative
+    assert gate_spec("MAJ3").commutative
+    assert not gate_spec("MUX2").commutative
+    assert not gate_spec("AO21").commutative
+
+
+def test_arity_metadata():
+    assert gate_spec("AND").arity == -1
+    assert gate_spec("NOT").arity == 1
+    assert gate_spec("MUX2").arity == 3
+    assert gate_spec("INPUT").arity == 0
+
+
+def test_input_op_classification():
+    assert is_input_op("INPUT")
+    assert is_input_op("CONST0")
+    assert is_input_op("CONST1")
+    assert not is_input_op("AND")
+
+
+def test_unknown_op_raises():
+    with pytest.raises(KeyError):
+        gate_spec("FROBNICATE")
+
+
+def test_registry_is_complete():
+    expected = {"INPUT", "CONST0", "CONST1", "BUF", "NOT", "AND", "OR",
+                "XOR", "NAND", "NOR", "XNOR", "AO21", "OA21", "MUX2",
+                "MAJ3", "DFF"}
+    assert set(GATE_SPECS) == expected
+
+
+def test_dff_is_state_not_combinational():
+    from repro.circuit.gates import is_state_op
+
+    assert is_state_op("DFF")
+    assert not is_state_op("AND")
+    with pytest.raises(RuntimeError):
+        gate_spec("DFF").evaluate(1, 0)
+
+
+def test_input_evaluation_is_an_error():
+    with pytest.raises(RuntimeError):
+        gate_spec("INPUT").evaluate(1)

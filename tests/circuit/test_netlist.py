@@ -1,0 +1,200 @@
+"""Circuit construction: hashing, folding, buses, invariants."""
+
+import pytest
+
+from repro.circuit import Circuit, CircuitError, simulate_bus_ints
+
+
+def test_add_input_and_bus():
+    c = Circuit("t")
+    x = c.add_input("x")
+    bus = c.add_input_bus("data", 4)
+    assert c.nets[x].op == "INPUT"
+    assert len(bus) == 4
+    assert c.inputs["data"] == bus
+    assert c.nets[bus[2]].name == "data[2]"
+    assert c.nets[bus[2]].pos == 2.0
+
+
+def test_duplicate_input_rejected():
+    c = Circuit("t")
+    c.add_input("x")
+    with pytest.raises(CircuitError):
+        c.add_input("x")
+    with pytest.raises(CircuitError):
+        c.add_input_bus("x", 3)
+
+
+def test_bad_bus_width_rejected():
+    c = Circuit("t")
+    with pytest.raises(CircuitError):
+        c.add_input_bus("z", 0)
+
+
+def test_structural_hashing_dedupes_commutative():
+    c = Circuit("t")
+    a, b = c.add_input("a"), c.add_input("b")
+    g1 = c.add_gate("AND", a, b)
+    g2 = c.add_gate("AND", b, a)
+    assert g1 == g2
+    # Non-commutative ops must not be reordered.
+    s = c.add_input("s")
+    m1 = c.add_gate("MUX2", s, a, b)
+    m2 = c.add_gate("MUX2", s, b, a)
+    assert m1 != m2
+
+
+def test_hashing_can_be_disabled():
+    c = Circuit("t", use_strash=False)
+    a, b = c.add_input("a"), c.add_input("b")
+    assert c.add_gate("AND", a, b) != c.add_gate("AND", a, b)
+
+
+def test_constant_folding_and_or():
+    c = Circuit("t")
+    a = c.add_input("a")
+    zero, one = c.const(0), c.const(1)
+    assert c.add_gate("AND", a, zero) == zero
+    assert c.add_gate("AND", a, one) == a
+    assert c.add_gate("OR", a, one) == one
+    assert c.add_gate("OR", a, zero) == a
+    assert c.add_gate("AND", a, a) == a
+    assert c.add_gate("OR", a, a) == a
+
+
+def test_constant_folding_not_xor():
+    c = Circuit("t")
+    a = c.add_input("a")
+    zero, one = c.const(0), c.const(1)
+    n = c.add_gate("NOT", a)
+    assert c.add_gate("NOT", n) == a  # double inversion
+    assert c.add_gate("NOT", zero) == one
+    assert c.add_gate("XOR", a, zero) == a
+    inv = c.add_gate("XOR", a, one)
+    assert c.nets[inv].op == "NOT"
+    assert c.add_gate("XOR", zero, one) == one
+
+
+def test_constant_folding_complex_cells():
+    c = Circuit("t")
+    a, b = c.add_input("a"), c.add_input("b")
+    zero, one = c.const(0), c.const(1)
+    assert c.add_gate("AO21", a, b, one) == one
+    assert c.nets[c.add_gate("AO21", a, b, zero)].op == "AND"
+    assert c.add_gate("AO21", a, zero, b) == b
+    assert c.add_gate("MUX2", one, a, b) == a
+    assert c.add_gate("MUX2", zero, a, b) == b
+    assert c.add_gate("MUX2", a, b, b) == b
+    assert c.add_gate("MUX2", a, one, zero) == a
+    assert c.add_gate("MAJ3", a, one, b) == c.add_gate("OR", a, b)
+    assert c.add_gate("MAJ3", a, zero, b) == c.add_gate("AND", a, b)
+    assert c.add_gate("MAJ3", one, one, a) == one
+
+
+def test_degenerate_variadic_returns_operand():
+    c = Circuit("t")
+    a = c.add_input("a")
+    assert c.add_gate("AND", a) == a
+    assert c.add_gate("XOR", a) == a
+
+
+def test_arity_validation():
+    c = Circuit("t")
+    a = c.add_input("a")
+    with pytest.raises(CircuitError):
+        c.add_gate("NOT", a, a)
+    with pytest.raises(CircuitError):
+        c.add_gate("MUX2", a, a)
+    with pytest.raises(CircuitError):
+        c.add_gate("AND")
+
+
+def test_fanin_must_exist():
+    c = Circuit("t")
+    a = c.add_input("a")
+    with pytest.raises(CircuitError):
+        c.add_gate("NOT", 99)
+
+
+def test_inputs_via_add_gate_rejected():
+    c = Circuit("t")
+    with pytest.raises(CircuitError):
+        c.add_gate("INPUT")
+    with pytest.raises(CircuitError):
+        c.add_gate("CONST0")
+
+
+def test_const_caching_and_validation():
+    c = Circuit("t")
+    assert c.const(0) == c.const(0)
+    assert c.const(1) == c.const(1)
+    assert c.const(0) != c.const(1)
+    with pytest.raises(CircuitError):
+        c.const(2)
+
+
+def test_outputs_and_widths():
+    c = Circuit("t")
+    bus = c.add_input_bus("a", 3)
+    c.set_output("y", bus)
+    c.set_output("bit", bus[0])
+    assert c.output_width("y") == 3
+    assert c.output_width("bit") == 1
+    assert c.input_width("a") == 3
+    with pytest.raises(CircuitError):
+        c.set_output("bad", [123])
+
+
+def test_histogram_depth_fanout():
+    c = Circuit("t")
+    a, b = c.add_input("a"), c.add_input("b")
+    x = c.add_gate("AND", a, b)
+    y = c.add_gate("OR", x, a)
+    c.set_output("y", y)
+    hist = c.op_histogram()
+    assert hist["AND"] == 1 and hist["OR"] == 1 and hist["INPUT"] == 2
+    assert c.gate_count() == 2
+    assert c.logic_depth() == 2
+    counts = c.fanout_counts()
+    assert counts[a] == 2  # feeds AND and OR
+    assert c.max_fanout() == 2
+
+
+def test_reachability():
+    c = Circuit("t")
+    a, b = c.add_input("a"), c.add_input("b")
+    live = c.add_gate("AND", a, b)
+    dead = c.add_gate("OR", a, b)
+    c.set_output("y", live)
+    marks = c.reachable_from_outputs()
+    assert marks[live] and not marks[dead]
+
+
+def test_position_inheritance():
+    c = Circuit("t")
+    a = c.add_input("a", pos=3.0)
+    b = c.add_input("b", pos=7.0)
+    g = c.add_gate("AND", a, b)
+    assert c.nets[g].pos == 7.0  # max of fanin positions
+    g2 = c.add_gate("OR", a, b, pos=1.0)
+    assert c.nets[g2].pos == 1.0  # explicit wins
+
+
+def test_summary_mentions_counts():
+    c = Circuit("half")
+    a, b = c.add_input("a"), c.add_input("b")
+    c.set_output("s", c.add_gate("XOR", a, b))
+    text = c.summary()
+    assert "half" in text and "1 gates" in text
+
+
+def test_folding_produces_equivalent_logic():
+    """Folded circuit must still compute the original function."""
+    c = Circuit("t")
+    a, b = c.add_input("a"), c.add_input("b")
+    one = c.const(1)
+    y = c.add_gate("AND", c.add_gate("OR", a, one), b)  # == b
+    c.set_output("y", y)
+    for va in (0, 1):
+        for vb in (0, 1):
+            assert simulate_bus_ints(c, {"a": va, "b": vb})["y"] == vb

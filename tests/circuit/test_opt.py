@@ -1,0 +1,85 @@
+"""Optimisation passes: dead-logic sweep and rebuild canonicalisation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.circuit import (
+    Circuit,
+    rebuild,
+    simulate_bus_ints,
+    sweep_dead_logic,
+)
+
+
+def _with_dead_logic():
+    c = Circuit("t")
+    a = c.add_input_bus("a", 4)
+    b = c.add_input_bus("b", 4)
+    keep = [c.add_gate("XOR", x, y) for x, y in zip(a, b)]
+    for x, y in zip(a, b):
+        c.add_gate("NAND", x, y)  # dead
+    c.set_output("y", keep)
+    return c
+
+
+def test_sweep_removes_dead_gates():
+    c = _with_dead_logic()
+    swept, stats = sweep_dead_logic(c)
+    assert stats.gates_before == 8
+    assert stats.gates_after == 4
+    assert stats.removed == 4
+    assert swept.gate_count() == 4
+
+
+def test_sweep_preserves_interface_and_semantics():
+    c = _with_dead_logic()
+    swept, _ = sweep_dead_logic(c)
+    assert set(swept.inputs) == {"a", "b"}
+    assert set(swept.outputs) == {"y"}
+    for va, vb in [(0, 0), (5, 9), (15, 15), (3, 12)]:
+        assert (simulate_bus_ints(swept, {"a": va, "b": vb})["y"] ==
+                simulate_bus_ints(c, {"a": va, "b": vb})["y"])
+
+
+def test_sweep_keeps_constants_used_by_outputs():
+    c = Circuit("t")
+    a = c.add_input("a")
+    c.set_output("one", c.const(1))
+    c.set_output("a", a)
+    swept, _ = sweep_dead_logic(c)
+    assert simulate_bus_ints(swept, {"a": 0})["one"] == 1
+
+
+def test_rebuild_dedupes_unhashed_circuit():
+    c = Circuit("t", use_strash=False)
+    a, b = c.add_input("a"), c.add_input("b")
+    x1 = c.add_gate("AND", a, b)
+    x2 = c.add_gate("AND", a, b)  # duplicate without hashing
+    c.set_output("y", c.add_gate("OR", x1, x2))
+    assert c.gate_count() == 3
+    opt, stats = rebuild(c)
+    # AND deduped; OR(x, x) folds away entirely.
+    assert opt.gate_count() == 1
+    assert stats.removed == 2
+    for va in (0, 1):
+        for vb in (0, 1):
+            assert (simulate_bus_ints(opt, {"a": va, "b": vb})["y"] ==
+                    (va & vb))
+
+
+@given(st.integers(0, 255), st.integers(0, 255))
+def test_rebuild_preserves_adder_semantics(va, vb):
+    from repro.adders import build_ripple_adder
+
+    c = build_ripple_adder(8)
+    opt, _ = rebuild(c)
+    assert (simulate_bus_ints(opt, {"a": va, "b": vb}) ==
+            simulate_bus_ints(c, {"a": va, "b": vb}))
+
+
+def test_rebuild_carries_attrs_and_positions():
+    c = _with_dead_logic()
+    c.attrs["window"] = 7
+    opt, _ = rebuild(c)
+    assert opt.attrs["window"] == 7
+    assert opt.nets[opt.inputs["a"][3]].pos == 3.0

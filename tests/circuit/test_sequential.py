@@ -1,0 +1,182 @@
+"""Sequential substrate: DFFs, clocked simulation, register-aware timing."""
+
+import pytest
+
+from repro.circuit import (
+    Circuit,
+    CircuitError,
+    SequentialSimulator,
+    UMC180,
+    UNIT,
+    check_structure,
+    min_clock_period,
+    sequential_timing,
+    to_verilog,
+    to_vhdl,
+)
+from repro.circuit import serialize
+
+
+def _counter(bits=3):
+    """A binary counter: registers + incrementer feedback."""
+    c = Circuit("counter")
+    regs = [c.add_dff(f"q{i}") for i in range(bits)]
+    carry = c.const(1)
+    for i in range(bits):
+        nxt = c.add_gate("XOR", regs[i], carry)
+        carry = c.add_gate("AND", regs[i], carry)
+        c.connect_dff(regs[i], nxt)
+    c.set_output("count", regs)
+    return c
+
+
+def test_dff_construction_rules():
+    c = Circuit("t")
+    d = c.add_dff("state")
+    assert c.is_sequential()
+    assert c.dffs() == [d]
+    x = c.add_input("x")
+    c.connect_dff(d, x)
+    with pytest.raises(CircuitError):
+        c.connect_dff(d, x)  # already connected
+    with pytest.raises(CircuitError):
+        c.connect_dff(x, x)  # not a DFF
+    with pytest.raises(CircuitError):
+        c.add_dff(init=2)
+    with pytest.raises(CircuitError):
+        c.add_gate("DFF", x)  # must use add_dff
+
+
+def test_unconnected_dff_rejected():
+    c = Circuit("t")
+    c.add_dff("loose")
+    c.set_output("y", c.const(0))
+    with pytest.raises(CircuitError):
+        check_structure(c)
+    with pytest.raises(CircuitError):
+        SequentialSimulator(c)
+
+
+def test_counter_counts():
+    c = _counter(3)
+    check_structure(c)
+    sim = SequentialSimulator(c)
+    seen = []
+    for _ in range(10):
+        out = sim.step({})
+        seen.append(sum(bit << i for i, bit in enumerate(out["count"])))
+    assert seen == [0, 1, 2, 3, 4, 5, 6, 7, 0, 1]
+
+
+def test_reset_and_init_values():
+    c = Circuit("t")
+    d0 = c.add_dff("zero", init=0)
+    d1 = c.add_dff("one", init=1)
+    x = c.add_input("x")
+    c.connect_dff(d0, x)
+    c.connect_dff(d1, x)
+    c.set_output("y", [d0, d1])
+    sim = SequentialSimulator(c)
+    out = sim.step({"x": [0]})
+    assert out["y"] == [0, 1]  # init values visible on cycle 0
+    sim.step({"x": [1]})
+    assert sim.peek_state(d0) == 1
+    sim.reset()
+    assert sim.peek_state(d0) == 0 and sim.peek_state(d1) == 1
+    assert sim.cycle == 0
+
+
+def test_bit_parallel_streams():
+    """Two independent streams packed into one word."""
+    c = Circuit("acc")
+    d = c.add_dff("acc")
+    x = c.add_input("x")
+    c.connect_dff(d, c.add_gate("XOR", d, x))
+    c.set_output("y", d)
+    sim = SequentialSimulator(c, num_vectors=2)
+    # Stream 0 toggles every cycle (x=1); stream 1 never (x=0).
+    for cycle in range(4):
+        out = sim.step({"x": [0b01]})
+        assert (out["y"][0] >> 1) & 1 == 0
+        assert out["y"][0] & 1 == cycle % 2
+
+
+def test_two_phase_swap():
+    """Register exchange through combinational crossover."""
+    c = Circuit("swap")
+    a = c.add_dff("a", init=1)
+    b = c.add_dff("b", init=0)
+    c.connect_dff(a, b)
+    c.connect_dff(b, a)
+    c.set_output("ab", [a, b])
+    sim = SequentialSimulator(c)
+    values = [sim.step({})["ab"] for _ in range(3)]
+    assert values == [[1, 0], [0, 1], [1, 0]]
+
+
+def test_sequential_timing_reg_to_reg():
+    c = _counter(8)
+    timing = sequential_timing(c, UNIT)
+    # DFF launch (1) + carry chain (6 ANDs; the first AND with const-1
+    # folds away) + final XOR.
+    assert timing.min_clock_period == pytest.approx(1 + 6 + 1)
+    assert timing.worst_path_kind == "reg->reg"
+    assert min_clock_period(c, UMC180) > 0
+
+
+def test_combinational_simulate_rejects_dffs():
+    from repro.circuit import simulate_bus_ints
+
+    c = _counter(2)
+    with pytest.raises(RuntimeError):
+        simulate_bus_ints(c, {})
+
+
+def test_passes_reject_sequential():
+    from repro.circuit import insert_buffers, rebuild, sweep_dead_logic
+    from repro.circuit.bdd import interleaved_order, build_output_bdds, Bdd
+
+    c = _counter(2)
+    with pytest.raises(Exception):
+        sweep_dead_logic(c)
+    with pytest.raises(Exception):
+        rebuild(c)
+    with pytest.raises(Exception):
+        insert_buffers(c, max_fanout=4)
+    with pytest.raises(Exception):
+        build_output_bdds(c, Bdd(0), interleaved_order(c))
+
+
+def test_rtl_export_with_clock():
+    c = _counter(2)
+    v = to_verilog(c)
+    assert "input  clk;" in v
+    assert "always @(posedge clk)" in v
+    assert "reg r" in v
+    vhdl = to_vhdl(c)
+    assert "clk : in  std_logic" in vhdl
+    assert "rising_edge(clk)" in vhdl
+
+
+def test_json_round_trip_keeps_state():
+    c = _counter(3)
+    back = serialize.loads(serialize.dumps(c))
+    assert back.is_sequential()
+    assert back.dff_init == c.dff_init
+    sim = SequentialSimulator(back)
+    seen = [sum(bit << i for i, bit in enumerate(sim.step({})["count"]))
+            for _ in range(5)]
+    assert seen == [0, 1, 2, 3, 4]
+
+
+def test_missing_stimulus_rejected():
+    c = Circuit("t")
+    d = c.add_dff("d")
+    x = c.add_input("x")
+    c.connect_dff(d, x)
+    c.set_output("y", d)
+    sim = SequentialSimulator(c)
+    with pytest.raises(CircuitError):
+        sim.step({})
+    with pytest.raises(CircuitError):
+        SequentialSimulator(c, num_vectors=0)

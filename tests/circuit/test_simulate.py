@@ -1,0 +1,115 @@
+"""Simulation engine: scalar words, numpy vectors, helpers, errors."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    Circuit,
+    CircuitError,
+    bus_to_int,
+    int_to_bus,
+    random_stimulus,
+    simulate,
+    simulate_bus_ints,
+    simulate_words,
+)
+
+
+def _full_adder():
+    c = Circuit("fa")
+    a, b, ci = c.add_input("a"), c.add_input("b"), c.add_input("cin")
+    p = c.add_gate("XOR", a, b)
+    c.set_output("s", c.add_gate("XOR", p, ci))
+    c.set_output("co", c.add_gate("MAJ3", a, b, ci))
+    return c
+
+
+def test_int_bus_round_trip():
+    assert int_to_bus(0b1011, 4) == [1, 1, 0, 1]
+    assert bus_to_int([1, 1, 0, 1]) == 0b1011
+    assert bus_to_int(int_to_bus(12345, 20)) == 12345
+
+
+def test_full_adder_exhaustive_single_vector():
+    c = _full_adder()
+    for a in (0, 1):
+        for b in (0, 1):
+            for ci in (0, 1):
+                out = simulate_bus_ints(c, {"a": a, "b": b, "cin": ci})
+                assert out["s"] == (a + b + ci) & 1
+                assert out["co"] == (a + b + ci) >> 1
+
+
+def test_bit_parallel_words_pack_vectors():
+    """All 8 full-adder input combinations evaluated in one packed word."""
+    c = _full_adder()
+    a_w = b_w = ci_w = 0
+    for j in range(8):
+        a_w |= ((j >> 0) & 1) << j
+        b_w |= ((j >> 1) & 1) << j
+        ci_w |= ((j >> 2) & 1) << j
+    out = simulate_words(c, {"a": [a_w], "b": [b_w], "cin": [ci_w]},
+                         num_vectors=8)
+    for j in range(8):
+        a, b, ci = j & 1, (j >> 1) & 1, (j >> 2) & 1
+        assert (out["s"][0] >> j) & 1 == (a + b + ci) & 1
+        assert (out["co"][0] >> j) & 1 == (a + b + ci) >> 1
+
+
+def test_numpy_vector_mode():
+    c = _full_adder()
+    rng = np.random.default_rng(0)
+    a = rng.integers(0, 2 ** 32, size=100, dtype=np.uint64)
+    b = rng.integers(0, 2 ** 32, size=100, dtype=np.uint64)
+    ci = rng.integers(0, 2 ** 32, size=100, dtype=np.uint64)
+    out = simulate(c, {"a": [a], "b": [b], "cin": [ci]})
+    expected_s = a ^ b ^ ci
+    expected_co = (a & b) | (a & ci) | (b & ci)
+    assert np.array_equal(out["s"][0], expected_s)
+    assert np.array_equal(out["co"][0], expected_co)
+
+
+def test_constants_in_simulation():
+    c = Circuit("t")
+    a = c.add_input("a")
+    c.set_output("y", c.add_gate("XOR", a, c.const(1)))
+    c.set_output("zero", c.const(0))
+    out = simulate_words(c, {"a": [0b01]}, num_vectors=2)
+    assert out["y"][0] == 0b10
+    assert out["zero"][0] == 0
+
+
+def test_missing_stimulus_raises():
+    c = _full_adder()
+    with pytest.raises(CircuitError):
+        simulate_words(c, {"a": [1], "b": [1]}, num_vectors=1)
+
+
+def test_wrong_bus_width_raises():
+    c = Circuit("t")
+    c.add_input_bus("a", 3)
+    c.set_output("y", c.inputs["a"][0])
+    with pytest.raises(CircuitError):
+        simulate_words(c, {"a": [1, 1]}, num_vectors=1)
+
+
+def test_num_vectors_required_for_ints():
+    c = _full_adder()
+    with pytest.raises(CircuitError):
+        simulate(c, {"a": [1], "b": [1], "cin": [0]})
+    with pytest.raises(CircuitError):
+        simulate(c, {"a": [1], "b": [1], "cin": [0]}, num_vectors=0)
+
+
+def test_random_stimulus_shape_and_range():
+    c = Circuit("t")
+    c.add_input_bus("a", 65)  # force multi-chunk word generation
+    c.add_input("b")
+    c.set_output("y", c.inputs["a"][0])
+    stim = random_stimulus(c, num_vectors=100, rng=np.random.default_rng(1))
+    assert len(stim["a"]) == 65
+    assert len(stim["b"]) == 1
+    for word in stim["a"]:
+        assert 0 <= word < (1 << 100)
+    out = simulate_words(c, stim, num_vectors=100)
+    assert out["y"][0] == stim["a"][0]

@@ -1,0 +1,77 @@
+"""Technology library lookup, extrapolation and derived models."""
+
+import pytest
+
+from repro.circuit import LIBRARIES, UMC180, UNIT, get_library
+
+
+def test_shipped_libraries():
+    assert set(LIBRARIES) == {"unit", "umc180"}
+    assert get_library("unit") is UNIT
+    assert get_library("umc180") is UMC180
+    with pytest.raises(KeyError):
+        get_library("tsmc7")
+
+
+def test_unit_library_is_uniform():
+    assert UNIT.cell("AND", 2).delay == 1.0
+    assert UNIT.cell("AND", 5).delay == 1.0
+    assert UNIT.cell("AO21", 3).delay == 1.0
+    assert UNIT.fanout_delay == 0.0
+    assert UNIT.wire_delay_per_bit == 0.0
+
+
+def test_umc_simple_cells_faster_than_complex():
+    """The asymmetry behind the paper's 2/3 error-detection delay."""
+    assert UMC180.cell("AND", 2).delay < UMC180.cell("AO21", 3).delay
+    assert UMC180.cell("OR", 2).delay < UMC180.cell("XOR", 2).delay
+    assert UMC180.cell("NAND", 2).delay < UMC180.cell("AND", 2).delay
+
+
+def test_variadic_scaling_monotone():
+    for op in ("AND", "OR", "XOR"):
+        delays = [UMC180.cell(op, k).delay for k in (2, 3, 4, 6)]
+        assert delays == sorted(delays)
+        areas = [UMC180.cell(op, k).area for k in (2, 3, 4, 6)]
+        assert areas == sorted(areas)
+
+
+def test_variadic_extrapolation_beyond_table():
+    d8 = UMC180.cell("AND", 8).delay
+    d20 = UMC180.cell("AND", 20).delay
+    assert d20 > d8
+
+
+def test_unknown_cell_raises():
+    with pytest.raises(KeyError):
+        UMC180.cell("TRISTATE", 2)
+
+
+def test_gate_delay_terms():
+    base = UMC180.cell("AND", 2).delay
+    assert UMC180.gate_delay("AND", 2, fanout=1, span=0.0) == (
+        pytest.approx(base))
+    with_fanout = UMC180.gate_delay("AND", 2, fanout=4, span=0.0)
+    assert with_fanout == pytest.approx(base + 2 * UMC180.fanout_delay)
+    with_wire = UMC180.gate_delay("AND", 2, fanout=1, span=50.0)
+    assert with_wire == pytest.approx(base + 50 * UMC180.wire_delay_per_bit)
+    # fanout 0 (output-only net) must not go negative
+    assert UMC180.gate_delay("AND", 2, fanout=0, span=0.0) == (
+        pytest.approx(base))
+
+
+def test_with_wire_model():
+    heavy = UMC180.with_wire_model(fanout_delay=1.0, wire_delay_per_bit=0.5)
+    assert heavy.fanout_delay == 1.0
+    assert heavy.wire_delay_per_bit == 0.5
+    assert heavy.name != UMC180.name
+    assert heavy.cell("AND", 2).delay == UMC180.cell("AND", 2).delay
+
+
+def test_derived_library_names_are_distinct():
+    """Regression: analysis caches key on the library name, so two
+    different wire models must never share one."""
+    a = UMC180.with_wire_model(0.01, 0.0001)
+    b = UMC180.with_wire_model(0.05, 0.001)
+    assert a.name != b.name
+    assert a.name != UMC180.name

@@ -1,0 +1,103 @@
+"""Static timing analysis: arrivals, critical paths, delay model terms."""
+
+import pytest
+
+from repro.circuit import (
+    Circuit,
+    UMC180,
+    UNIT,
+    analyze_timing,
+    critical_path_delay,
+    output_arrivals,
+)
+
+
+def _chain(n):
+    """A chain of n NOT gates."""
+    c = Circuit("chain")
+    x = c.add_input("x")
+    # Disable folding: NOT(NOT(x)) would collapse.
+    c.fold_constants = False
+    cur = x
+    for _ in range(n):
+        cur = c.add_gate("NOT", cur)
+    c.set_output("y", cur)
+    return c
+
+
+def test_unit_delay_equals_depth():
+    c = _chain(7)
+    assert critical_path_delay(c, UNIT) == pytest.approx(7.0)
+    assert c.logic_depth() == 7
+
+
+def test_critical_path_reconstruction():
+    c = Circuit("t")
+    a, b = c.add_input("a"), c.add_input("b")
+    fast = c.add_gate("AND", a, b)
+    slow = c.add_gate("XOR", c.add_gate("OR", a, b), fast)
+    c.set_output("y", slow)
+    report = analyze_timing(c, UNIT)
+    assert report.critical_delay == pytest.approx(2.0)
+    assert report.critical_output == ("y", 0)
+    assert report.depth() == 2
+    assert report.path_ops(c)[-1] == "XOR"
+
+
+def test_input_arrival_overrides():
+    c = Circuit("t")
+    a, b = c.add_input("a"), c.add_input("b")
+    y = c.add_gate("AND", a, b)
+    c.set_output("y", y)
+    base = analyze_timing(c, UNIT).critical_delay
+    late = analyze_timing(c, UNIT, input_arrivals={b: 5.0}).critical_delay
+    assert late == pytest.approx(base + 5.0)
+
+
+def test_fanout_load_term():
+    c = Circuit("t")
+    a = c.add_input("a")
+    src = c.add_gate("BUF", a)
+    sinks = [c.add_gate("NOT", src) for _ in range(8)]
+    # Hashing collapses identical NOTs; rebuild with hashing off.
+    c2 = Circuit("t2", use_strash=False, fold_constants=False)
+    a2 = c2.add_input("a")
+    src2 = c2.add_gate("BUF", a2)
+    for i in range(8):
+        c2.set_output(f"y{i}", c2.add_gate("NOT", src2))
+    report = analyze_timing(c2, UMC180)
+    # BUF drives 8 sinks: its delay includes fanout_delay * log2(8).
+    buf_arrival = report.arrivals[src2]
+    expected = UMC180.cell("BUF", 1).delay + UMC180.fanout_delay * 3
+    assert buf_arrival == pytest.approx(expected)
+
+
+def test_wire_span_term():
+    c = Circuit("t", fold_constants=False)
+    a = c.add_input("a", pos=0.0)
+    b = c.add_input("b", pos=100.0)
+    y = c.add_gate("AND", a, b, pos=100.0)
+    c.set_output("y", y)
+    d = analyze_timing(c, UMC180).critical_delay
+    no_wire = UMC180.cell("AND", 2).delay
+    assert d == pytest.approx(no_wire + 100.0 * UMC180.wire_delay_per_bit)
+
+
+def test_output_arrivals_per_bit():
+    c = _chain(3)
+    c.set_output("tap", c.nets[c.outputs["y"][0]].fanins[0])
+    arr = output_arrivals(c, UNIT)
+    assert arr["y"][0] == pytest.approx(3.0)
+    assert arr["tap"][0] == pytest.approx(2.0)
+
+
+def test_no_outputs_raises():
+    c = Circuit("t")
+    c.add_input("a")
+    with pytest.raises(ValueError):
+        analyze_timing(c, UNIT)
+
+
+def test_deeper_circuit_is_slower():
+    assert (critical_path_delay(_chain(10), UMC180) >
+            critical_path_delay(_chain(3), UMC180))

@@ -1,0 +1,90 @@
+"""Structural validation and equivalence checking utilities."""
+
+import pytest
+
+from repro.circuit import (
+    Circuit,
+    CircuitError,
+    assert_equivalent_exhaustive,
+    assert_equivalent_random,
+    check_structure,
+)
+from repro.circuit.netlist import Net
+
+
+def _xor_circuit():
+    c = Circuit("x")
+    a, b = c.add_input("a"), c.add_input("b")
+    c.set_output("y", c.add_gate("XOR", a, b))
+    return c
+
+
+def test_check_structure_accepts_valid():
+    check_structure(_xor_circuit())
+
+
+def test_check_structure_catches_bad_arity():
+    c = _xor_circuit()
+    c.nets.append(Net(len(c.nets), "NOT", (0, 1)))
+    with pytest.raises(CircuitError):
+        check_structure(c)
+
+
+def test_check_structure_catches_forward_reference():
+    c = _xor_circuit()
+    nid = len(c.nets)
+    c.nets.append(Net(nid, "NOT", (nid,)))  # self-reference
+    with pytest.raises(CircuitError):
+        check_structure(c)
+
+
+def test_check_structure_catches_corrupt_input_bus():
+    c = _xor_circuit()
+    # Point the input bus at a logic gate.
+    c.inputs["a"][0] = c.outputs["y"][0]
+    with pytest.raises(CircuitError):
+        check_structure(c)
+
+
+def test_exhaustive_equivalence_pass_and_fail():
+    c = _xor_circuit()
+    assert_equivalent_exhaustive(c, lambda a, b: {"y": a ^ b})
+    with pytest.raises(AssertionError):
+        assert_equivalent_exhaustive(c, lambda a, b: {"y": a & b})
+
+
+def test_exhaustive_cap():
+    c = Circuit("wide")
+    c.add_input_bus("a", 20)
+    c.set_output("y", c.inputs["a"][0])
+    with pytest.raises(CircuitError):
+        assert_equivalent_exhaustive(c, lambda a: {"y": a & 1}, max_bits=14)
+
+
+def test_random_equivalence_pass_and_fail():
+    c = Circuit("add4")
+    a = c.add_input_bus("a", 4)
+    b = c.add_input_bus("b", 4)
+    carry = c.const(0)
+    sums = []
+    for i in range(4):
+        p = c.add_gate("XOR", a[i], b[i])
+        sums.append(c.add_gate("XOR", p, carry))
+        carry = c.add_gate("MAJ3", a[i], b[i], carry)
+    c.set_output("s", sums)
+    assert_equivalent_random(
+        c, lambda a, b: {"s": (a + b) & 0xF}, num_vectors=128)
+    with pytest.raises(AssertionError):
+        assert_equivalent_random(
+            c, lambda a, b: {"s": (a - b) & 0xF}, num_vectors=128)
+
+
+def test_random_equivalence_reports_failing_stimulus():
+    c = _xor_circuit()
+    try:
+        assert_equivalent_random(c, lambda a, b: {"y": 1 - (a ^ b)},
+                                 num_vectors=4)
+    except AssertionError as exc:
+        assert "mismatch" in str(exc)
+    else:  # pragma: no cover
+        pytest.fail("expected a mismatch")

@@ -1,0 +1,23 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+# One conservative profile: deterministic, no deadline (STA on larger
+# circuits can take a while on CI boxes), modest example counts.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=60,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng():
+    """Deterministic random generator per test."""
+    return random.Random(0xC0FFEE)

@@ -1,0 +1,176 @@
+"""The Almost Correct Adder: gate-level vs functional model, exactness
+conditions, sharing structure."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.adders import reference_add
+from repro.circuit import (
+    UNIT,
+    analyze_area,
+    analyze_timing,
+    check_structure,
+    simulate_bus_ints,
+)
+from repro.core import AcaBuilder, build_aca, naive_aca_window_products
+from repro.mc import aca_add, aca_is_correct, longest_propagate_run
+
+_CIRCUITS = {}
+
+
+def _aca(width, window, cin=False):
+    key = (width, window, cin)
+    if key not in _CIRCUITS:
+        c = build_aca(width, window, cin)
+        check_structure(c)
+        _CIRCUITS[key] = c
+    return _CIRCUITS[key]
+
+
+@pytest.mark.parametrize("width,window", [
+    (1, 1), (2, 1), (4, 2), (8, 3), (8, 8), (13, 4), (16, 5), (16, 16),
+    (24, 7), (32, 6),
+])
+def test_gate_level_matches_functional_model(width, window, rng):
+    c = _aca(width, window)
+    for _ in range(150):
+        a = rng.getrandbits(width)
+        b = rng.getrandbits(width)
+        out = simulate_bus_ints(c, {"a": a, "b": b})
+        s, cout = aca_add(a, b, width, window)
+        assert out["sum"] == s and out["cout"] == cout, (width, window, a, b)
+
+
+@pytest.mark.parametrize("width,window", [(8, 3), (16, 5), (24, 6)])
+def test_gate_level_matches_functional_model_with_cin(width, window, rng):
+    c = _aca(width, window, cin=True)
+    for _ in range(150):
+        a, b = rng.getrandbits(width), rng.getrandbits(width)
+        ci = rng.getrandbits(1)
+        out = simulate_bus_ints(c, {"a": a, "b": b, "cin": ci})
+        s, cout = aca_add(a, b, width, window, ci)
+        assert out["sum"] == s and out["cout"] == cout
+
+
+@given(a=st.integers(0, 2**20 - 1), b=st.integers(0, 2**20 - 1))
+def test_exact_when_no_long_propagate_run(a, b):
+    """Inputs whose longest propagate run < window must add exactly."""
+    width, window = 20, 6
+    if longest_propagate_run(a, b, width) < window:
+        c = _aca(width, window)
+        out = simulate_bus_ints(c, {"a": a, "b": b})
+        assert out == reference_add(width, a, b)
+
+
+def test_wrong_only_when_model_predicts(rng):
+    width, window = 16, 3
+    c = _aca(width, window)
+    mismatches = 0
+    for _ in range(500):
+        a, b = rng.getrandbits(width), rng.getrandbits(width)
+        out = simulate_bus_ints(c, {"a": a, "b": b})
+        ref = reference_add(width, a, b)
+        is_right = (out == ref)
+        assert is_right == aca_is_correct(a, b, width, window)
+        mismatches += not is_right
+    assert mismatches > 0  # window 3 at 16 bits must fail sometimes
+
+
+def test_window_clamped_to_width():
+    c = build_aca(8, 100)
+    assert c.attrs["window"] == 8
+    # Fully anchored: it is an exact adder.
+    for a in range(0, 256, 17):
+        for b in range(0, 256, 23):
+            assert (simulate_bus_ints(c, {"a": a, "b": b}) ==
+                    reference_add(8, a, b))
+
+
+def test_low_bits_always_exact(rng):
+    """Bits below the window are anchored at 0 and can never be wrong."""
+    width, window = 16, 5
+    c = _aca(width, window)
+    low_mask = (1 << window) - 1
+    for _ in range(300):
+        a, b = rng.getrandbits(width), rng.getrandbits(width)
+        out = simulate_bus_ints(c, {"a": a, "b": b})
+        assert out["sum"] & low_mask == (a + b) & low_mask
+
+
+def test_worst_case_pattern_fails():
+    """A = 0111..1, B = 0000..1 drives the carry across every bit."""
+    width, window = 16, 4
+    c = _aca(width, window)
+    a = (1 << (width - 1)) - 1  # 0111...1
+    b = 1
+    out = simulate_bus_ints(c, {"a": a, "b": b})
+    assert out["sum"] != (a + b) & 0xFFFF  # speculation must fail here
+    s, cout = aca_add(a, b, width, window)
+    assert out["sum"] == s
+
+
+def test_invalid_window_rejected():
+    with pytest.raises(Exception):
+        build_aca(8, 0)
+
+
+def test_depth_grows_with_log_window():
+    """ACA depth tracks log2(window), not log2(width) (the speedup)."""
+    wide_small_window = analyze_timing(build_aca(256, 8), UNIT).critical_delay
+    narrow = analyze_timing(build_aca(32, 8), UNIT).critical_delay
+    assert wide_small_window == narrow  # width-independent
+    bigger_window = analyze_timing(build_aca(256, 64), UNIT).critical_delay
+    assert bigger_window > wide_small_window
+
+
+def test_area_near_linear_in_width():
+    """Gate count per bit grows only with log(window): O(n log w)."""
+    w = 16
+    per_bit = []
+    for n in (64, 128, 256):
+        per_bit.append(build_aca(n, w).gate_count() / n)
+    assert per_bit[2] < per_bit[0] * 1.2  # essentially flat
+
+
+def test_builder_exposes_strips_and_windows():
+    from repro.circuit import Circuit
+
+    c = Circuit("t")
+    a = c.add_input_bus("a", 16)
+    b = c.add_input_bus("b", 16)
+    builder = AcaBuilder(c, a, b, 6).build()
+    assert len(builder.windows) == 16
+    assert len(builder.spec_carries) == 17
+    assert len(builder.strips) == 3  # levels 0..2 for window 6 (m=3)
+    # Window products at i >= w-1 cover exactly w positions: check via
+    # range_product consistency.
+    g, p = builder.range_product(4, 9)
+    assert (g, p) == builder.windows[9]
+
+
+def test_naive_variant_equivalent_but_bigger(rng):
+    width, window = 48, 12
+    shared = _aca(width, window)
+    naive = naive_aca_window_products(width, window)
+    check_structure(naive)
+    for _ in range(100):
+        a, b = rng.getrandbits(width), rng.getrandbits(width)
+        assert (simulate_bus_ints(naive, {"a": a, "b": b}) ==
+                simulate_bus_ints(shared, {"a": a, "b": b}))
+    assert naive.gate_count() > 2 * shared.gate_count()
+
+
+def test_shared_strip_fanout_bounded():
+    """Paper: each intermediate product is used a bounded number of times
+    (anchored boundary nodes excepted, as in any clamped prefix network)."""
+    import statistics
+
+    c = _aca(64, 16)
+    counts = c.fanout_counts()
+    ao21 = sorted((counts[n.nid] for n in c.nets if n.op == "AO21"),
+                  reverse=True)
+    heavy = [f for f in ao21 if f > 4]
+    assert len(heavy) <= 4  # only the clamped boundary column
+    assert statistics.median(ao21) <= 3

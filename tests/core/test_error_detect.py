@@ -1,0 +1,113 @@
+"""Error detection: completeness (never misses), conservativeness, sharing."""
+
+import pytest
+
+from repro.adders import reference_add
+from repro.circuit import (
+    Circuit,
+    UMC180,
+    analyze_timing,
+    check_structure,
+    simulate_bus_ints,
+)
+from repro.core import (
+    AcaBuilder,
+    attach_error_detector,
+    build_error_detector,
+)
+from repro.mc import detector_flag, longest_propagate_run
+
+
+@pytest.mark.parametrize("width,window", [
+    (4, 2), (8, 3), (8, 8), (16, 5), (16, 16), (24, 6), (33, 7),
+])
+def test_standalone_detector_matches_model(width, window, rng):
+    c = build_error_detector(width, window)
+    check_structure(c)
+    for _ in range(300):
+        a, b = rng.getrandbits(width), rng.getrandbits(width)
+        er = simulate_bus_ints(c, {"a": a, "b": b})["err"]
+        assert er == int(detector_flag(a, b, width, window))
+
+
+def test_detector_equals_run_length_condition(rng):
+    width, window = 20, 5
+    c = build_error_detector(width, window)
+    for _ in range(400):
+        a, b = rng.getrandbits(width), rng.getrandbits(width)
+        er = simulate_bus_ints(c, {"a": a, "b": b})["err"]
+        assert er == int(longest_propagate_run(a, b, width) >= window)
+
+
+def test_detector_never_misses_an_error(rng):
+    """ER == 0 implies the ACA result is exact (the VLSA's soundness)."""
+    from repro.core import build_aca
+
+    width, window = 16, 4
+    det = build_error_detector(width, window)
+    aca = build_aca(width, window)
+    silent = wrong_but_flagged = 0
+    for _ in range(1000):
+        a, b = rng.getrandbits(width), rng.getrandbits(width)
+        er = simulate_bus_ints(det, {"a": a, "b": b})["err"]
+        out = simulate_bus_ints(aca, {"a": a, "b": b})
+        exact = reference_add(width, a, b)
+        if not er:
+            assert out == exact
+            silent += 1
+        elif out == exact:
+            wrong_but_flagged += 1  # conservative false positive
+    assert silent > 0
+    assert wrong_but_flagged > 0  # conservativeness is real, not vacuous
+
+
+def test_attached_detector_shares_aca_logic(rng):
+    width, window = 24, 6
+    c = Circuit("shared")
+    a = c.add_input_bus("a", width)
+    b = c.add_input_bus("b", width)
+    builder = AcaBuilder(c, a, b, window).build()
+    gates_before = c.gate_count()
+    err = attach_error_detector(builder)
+    c.set_output("err", err)
+    c.set_output("sum", builder.sums)
+    added = c.gate_count() - gates_before
+    standalone = build_error_detector(width, window).gate_count()
+    assert added < standalone / 2  # the AND strips came for free
+    for _ in range(200):
+        va, vb = rng.getrandbits(width), rng.getrandbits(width)
+        out = simulate_bus_ints(c, {"a": va, "b": vb})
+        assert out["err"] == int(detector_flag(va, vb, width, window))
+
+
+def test_window_wider_than_operands_never_flags():
+    c = build_error_detector(8, 9)
+    for a, b in [(0, 0), (255, 255), (170, 85)]:
+        assert simulate_bus_ints(c, {"a": a, "b": b})["err"] == 0
+
+
+def test_full_width_window_flags_only_all_propagate():
+    c = build_error_detector(8, 8)
+    assert simulate_bus_ints(c, {"a": 0xAA, "b": 0x55})["err"] == 1
+    assert simulate_bus_ints(c, {"a": 0xAA, "b": 0x54})["err"] == 0
+
+
+def test_detector_uses_only_simple_gates():
+    """Section 4.1: AND/OR (+ the input XORs), no complex carry cells."""
+    c = build_error_detector(64, 18)
+    ops = set(c.op_histogram())
+    assert "AO21" not in ops and "MAJ3" not in ops and "MUX2" not in ops
+
+
+def test_detector_faster_than_traditional():
+    from repro.adders import build_best_traditional
+
+    best = build_best_traditional(128, UMC180)
+    d = analyze_timing(build_error_detector(128, 20), UMC180).critical_delay
+    assert d < best.delay
+    assert d > best.delay * 0.4  # same asymptotic class, not free
+
+
+def test_invalid_window():
+    with pytest.raises(Exception):
+        build_error_detector(8, 0)

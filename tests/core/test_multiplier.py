@@ -1,0 +1,81 @@
+"""Speculative multiplication (future-work extension)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.circuit import (
+    UMC180,
+    analyze_timing,
+    check_structure,
+    simulate_bus_ints,
+)
+from repro.core import build_multiplier, multiplier_error_rate
+
+_CACHE = {}
+
+
+def _mul(width, window=None):
+    key = (width, window)
+    if key not in _CACHE:
+        c = build_multiplier(width, window)
+        check_structure(c)
+        _CACHE[key] = c
+    return _CACHE[key]
+
+
+@pytest.mark.parametrize("width", [1, 2, 3, 4, 6, 8, 10])
+def test_exact_multiplier(width, rng):
+    c = _mul(width)
+    for _ in range(150):
+        a, b = rng.getrandbits(width), rng.getrandbits(width)
+        assert simulate_bus_ints(c, {"a": a, "b": b})["product"] == a * b
+
+
+@given(a=st.integers(0, 255), b=st.integers(0, 255))
+def test_exact_multiplier_property(a, b):
+    assert simulate_bus_ints(_mul(8), {"a": a, "b": b})["product"] == a * b
+
+
+def test_exact_multiplier_corners():
+    c = _mul(6)
+    for a, b in [(0, 0), (63, 63), (1, 63), (63, 1), (32, 32)]:
+        assert simulate_bus_ints(c, {"a": a, "b": b})["product"] == a * b
+
+
+def test_speculative_multiplier_guarded(rng):
+    c = _mul(8, 5)
+    wrong = flagged = 0
+    for _ in range(400):
+        a, b = rng.getrandbits(8), rng.getrandbits(8)
+        out = simulate_bus_ints(c, {"a": a, "b": b})
+        if out["product"] != a * b:
+            wrong += 1
+            assert out["err"], (a, b)
+        flagged += out["err"]
+    assert flagged >= wrong
+
+
+def test_speculative_multiplier_usually_right(rng):
+    c = _mul(8, 8)
+    wrong = 0
+    for _ in range(300):
+        a, b = rng.getrandbits(8), rng.getrandbits(8)
+        if simulate_bus_ints(c, {"a": a, "b": b})["product"] != a * b:
+            wrong += 1
+    assert wrong < 30
+
+
+def test_speculative_faster_than_exact():
+    exact = analyze_timing(_mul(16), UMC180).critical_delay
+    spec = analyze_timing(_mul(16, 8), UMC180).critical_delay
+    assert spec < exact
+
+
+def test_error_rate_helper():
+    err, flag = multiplier_error_rate(6, 4, samples=300, seed=1)
+    assert 0 <= err <= flag <= 1
+
+
+def test_width_validation():
+    with pytest.raises(Exception):
+        build_multiplier(0)

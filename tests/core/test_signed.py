@@ -1,0 +1,75 @@
+"""Signed adder with overflow flag."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.circuit import check_structure, simulate_bus_ints
+from repro.core.signed import build_signed_adder, to_signed, to_unsigned
+
+_CACHE = {}
+
+
+def _adder(width, window):
+    key = (width, window)
+    if key not in _CACHE:
+        c = build_signed_adder(width, window)
+        check_structure(c)
+        _CACHE[key] = c
+    return _CACHE[key]
+
+
+def test_signed_codecs():
+    assert to_signed(0xFF, 8) == -1
+    assert to_signed(0x7F, 8) == 127
+    assert to_signed(0x80, 8) == -128
+    assert to_unsigned(-1, 8) == 0xFF
+    assert to_unsigned(127, 8) == 0x7F
+    assert to_unsigned(-128, 8) == 0x80
+    with pytest.raises(ValueError):
+        to_unsigned(128, 8)
+    with pytest.raises(ValueError):
+        to_unsigned(-129, 8)
+
+
+@given(a=st.integers(-128, 127), b=st.integers(-128, 127))
+def test_exact_outputs_and_overflow(a, b):
+    c = _adder(8, 3)
+    out = simulate_bus_ints(c, {"a": to_unsigned(a, 8),
+                                "b": to_unsigned(b, 8)})
+    total = a + b
+    overflowed = not (-128 <= total <= 127)
+    assert out["overflow_exact"] == int(overflowed)
+    if not overflowed:
+        assert to_signed(out["sum_exact"], 8) == total
+    else:
+        # Wrapped result, as two's complement hardware produces.
+        assert out["sum_exact"] == (to_unsigned(a, 8) +
+                                    to_unsigned(b, 8)) & 0xFF
+
+
+@given(a=st.integers(-2**15, 2**15 - 1), b=st.integers(-2**15, 2**15 - 1))
+def test_speculative_guarded(a, b):
+    c = _adder(16, 5)
+    out = simulate_bus_ints(c, {"a": to_unsigned(a, 16),
+                                "b": to_unsigned(b, 16)})
+    if not out["err"]:
+        assert out["sum"] == out["sum_exact"]
+        assert out["overflow"] == out["overflow_exact"]
+
+
+def test_overflow_cases():
+    c = _adder(8, 8)
+    cases = [
+        (127, 1, True), (-128, -1, True), (127, -1, False),
+        (-128, 1, False), (64, 64, True), (-64, -65, True),
+        (0, 0, False), (-1, -1, False),
+    ]
+    for a, b, expect in cases:
+        out = simulate_bus_ints(c, {"a": to_unsigned(a, 8),
+                                    "b": to_unsigned(b, 8)})
+        assert out["overflow_exact"] == int(expect), (a, b)
+
+
+def test_width_validation():
+    with pytest.raises(Exception):
+        build_signed_adder(1, 1)

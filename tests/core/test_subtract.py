@@ -1,0 +1,64 @@
+"""Speculative subtractor and comparator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.circuit import check_structure, simulate_bus_ints
+from repro.core import build_speculative_subtractor
+
+_CACHE = {}
+
+
+def _sub(width, window, recovery=False):
+    key = (width, window, recovery)
+    if key not in _CACHE:
+        c = build_speculative_subtractor(width, window,
+                                         with_recovery=recovery)
+        check_structure(c)
+        _CACHE[key] = c
+    return _CACHE[key]
+
+
+@given(a=st.integers(0, 2**16 - 1), b=st.integers(0, 2**16 - 1))
+def test_full_window_subtractor_is_exact(a, b):
+    out = simulate_bus_ints(_sub(16, 16), {"a": a, "b": b})
+    assert out["diff"] == (a - b) & 0xFFFF
+    assert out["geq"] == int(a >= b)
+
+
+def test_speculative_subtractor_guarded(rng):
+    c = _sub(16, 4, recovery=True)
+    wrong = 0
+    for _ in range(400):
+        a, b = rng.getrandbits(16), rng.getrandbits(16)
+        out = simulate_bus_ints(c, {"a": a, "b": b})
+        expect = (a - b) & 0xFFFF
+        assert out["diff_exact"] == expect  # recovery always right
+        assert out["geq_exact"] == int(a >= b)
+        if out["diff"] != expect or out["geq"] != int(a >= b):
+            wrong += 1
+            assert out["err"], (a, b)
+    assert wrong > 0  # window 4 at 16 bits must sometimes miss
+
+
+def test_subtraction_corner_cases():
+    c = _sub(8, 8)
+    cases = [(0, 0), (255, 255), (0, 1), (1, 0), (255, 0), (0, 255),
+             (128, 127), (127, 128)]
+    for a, b in cases:
+        out = simulate_bus_ints(c, {"a": a, "b": b})
+        assert out["diff"] == (a - b) & 0xFF, (a, b)
+        assert out["geq"] == int(a >= b), (a, b)
+
+
+def test_equal_operands_have_long_propagate_chain():
+    """a - a drives ~b + a all-propagate: the classic subtractor stall."""
+    c = _sub(16, 4)
+    out = simulate_bus_ints(c, {"a": 0x1234, "b": 0x1234})
+    # The detector must fire (a ^ ~a is all ones).
+    assert out["err"] == 1
+
+
+def test_validation():
+    with pytest.raises(Exception):
+        build_speculative_subtractor(0, 4)

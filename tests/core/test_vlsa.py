@@ -1,0 +1,87 @@
+"""VLSA datapath: output consistency, path timing ordering, sharing."""
+
+import pytest
+
+from repro.adders import build_best_traditional, reference_add
+from repro.circuit import UMC180, check_structure, simulate_bus_ints
+from repro.core import (
+    build_aca,
+    build_error_detector,
+    build_recovery_adder,
+    build_vlsa_datapath,
+    characterize_vlsa,
+)
+
+_V = {}
+
+
+def _vlsa(width, window=None):
+    key = (width, window)
+    if key not in _V:
+        c = build_vlsa_datapath(width, window)
+        check_structure(c)
+        _V[key] = c
+    return _V[key]
+
+
+def test_outputs_present():
+    c = _vlsa(16, 4)
+    assert set(c.outputs) == {"sum", "cout", "err", "sum_exact",
+                              "cout_exact"}
+
+
+def test_exact_path_always_correct_and_spec_path_guarded(rng):
+    width, window = 24, 5
+    c = _vlsa(width, window)
+    flagged = 0
+    for _ in range(600):
+        a, b = rng.getrandbits(width), rng.getrandbits(width)
+        out = simulate_bus_ints(c, {"a": a, "b": b})
+        ref = reference_add(width, a, b)
+        assert out["sum_exact"] == ref["sum"]
+        assert out["cout_exact"] == ref["cout"]
+        if out["err"]:
+            flagged += 1
+        else:
+            assert out["sum"] == ref["sum"] and out["cout"] == ref["cout"]
+    assert flagged > 0  # window 5 at 24 bits must stall sometimes
+
+
+def test_default_window_is_9999_quantile():
+    from repro.analysis import choose_window
+
+    c = _vlsa(64)
+    assert c.attrs["window"] == choose_window(64)
+
+
+def test_characterize_orders_paths():
+    timing = characterize_vlsa(_vlsa(64), UMC180)
+    assert timing.aca_delay < timing.recovery_delay
+    assert timing.detect_delay < timing.recovery_delay
+    assert timing.clock_period == max(timing.aca_delay, timing.detect_delay)
+    assert timing.width == 64
+    assert timing.window == _vlsa(64).attrs["window"]
+
+
+def test_clock_beats_traditional_adder():
+    """The whole point: 1 speculative cycle is faster than one exact add."""
+    best = build_best_traditional(256, UMC180)
+    timing = characterize_vlsa(_vlsa(256), UMC180)
+    assert timing.clock_period < best.delay
+
+
+def test_combined_datapath_shares_logic():
+    width, window = 32, 8
+    combined = _vlsa(width, window).gate_count()
+    separate = (build_aca(width, window).gate_count() +
+                build_error_detector(width, window).gate_count() +
+                build_recovery_adder(width, window).gate_count())
+    assert combined < 0.8 * separate
+
+
+def test_vlsa_exports_to_rtl():
+    from repro.circuit import to_verilog, to_vhdl
+
+    c = _vlsa(16, 4)
+    assert "module" in to_verilog(c)
+    assert "entity" in to_vhdl(c)

@@ -1,0 +1,78 @@
+"""CLI entry point."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(autouse=True)
+def _results_tmpdir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    return tmp_path
+
+
+def test_table1_command(capsys, _results_tmpdir):
+    assert main(["table1", "--widths", "16,32"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert (_results_tmpdir / "table1.txt").exists()
+
+
+def test_theorem1_command(capsys):
+    assert main(["theorem1", "--max-k", "4", "--no-save"]) == 0
+    assert "closed form" in capsys.readouterr().out
+
+
+def test_fig7_command(capsys):
+    assert main(["fig7", "--width", "32", "--ops", "500", "--no-save"]) == 0
+    assert "Timing diagram" in capsys.readouterr().out
+
+
+def test_errors_command(capsys):
+    assert main(["errors", "--widths", "32", "--samples", "500",
+                 "--no-save"]) == 0
+    assert "error rates" in capsys.readouterr().out
+
+
+def test_sharing_command(capsys):
+    assert main(["sharing", "--widths", "32", "--no-save"]) == 0
+    assert "shared" in capsys.readouterr().out
+
+
+def test_attack_command(capsys):
+    assert main(["attack", "--corpus", "512", "--key-bits", "4",
+                 "--no-save"]) == 0
+    assert "attack" in capsys.readouterr().out.lower()
+
+
+def test_no_save_writes_nothing(capsys, _results_tmpdir):
+    assert main(["theorem1", "--max-k", "3", "--no-save"]) == 0
+    assert list(_results_tmpdir.iterdir()) == []
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["definitely-not-a-command"])
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_futurework_command(capsys):
+    # Uses the full default sizes; just check it runs and renders.
+    assert main(["faults", "--width", "8", "--no-save"]) == 0
+    assert "coverage" in capsys.readouterr().out
+
+
+def test_cpu_command(capsys):
+    assert main(["cpu", "--width", "32", "--no-save"]) == 0
+    assert "CPI" in capsys.readouterr().out
+
+
+def test_dsp_command(capsys):
+    assert main(["dsp", "--no-save"]) == 0
+    assert "stall" in capsys.readouterr().out

@@ -1,0 +1,142 @@
+"""Property-based fuzzing of the circuit substrate.
+
+Generates random combinational DAGs with hypothesis and checks that every
+transformation in the toolchain preserves semantics: optimisation sweeps,
+rebuilds, buffer insertion, JSON round-trips, and the BDD translation.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import (
+    Circuit,
+    check_structure,
+    insert_buffers,
+    rebuild,
+    simulate_bus_ints,
+    sweep_dead_logic,
+)
+from repro.circuit import serialize
+from repro.circuit.bdd import Bdd, build_output_bdds, interleaved_order
+
+_BINOPS = ["AND", "OR", "XOR", "NAND", "NOR", "XNOR"]
+_TRIOPS = ["AO21", "OA21", "MUX2", "MAJ3"]
+
+
+@st.composite
+def random_circuits(draw):
+    """A random DAG circuit with 3-6 inputs and up to 25 gates."""
+    num_inputs = draw(st.integers(3, 6))
+    c = Circuit("fuzz")
+    nets = list(c.add_input_bus("x", num_inputs))
+    num_gates = draw(st.integers(1, 25))
+    for _ in range(num_gates):
+        kind = draw(st.integers(0, 3))
+        if kind == 0:
+            op = draw(st.sampled_from(_BINOPS))
+            a = draw(st.sampled_from(nets))
+            b = draw(st.sampled_from(nets))
+            nets.append(c.add_gate(op, a, b))
+        elif kind == 1:
+            op = draw(st.sampled_from(_TRIOPS))
+            args = [draw(st.sampled_from(nets)) for _ in range(3)]
+            nets.append(c.add_gate(op, *args))
+        elif kind == 2:
+            nets.append(c.add_gate("NOT", draw(st.sampled_from(nets))))
+        else:
+            const = c.const(draw(st.integers(0, 1)))
+            a = draw(st.sampled_from(nets))
+            nets.append(c.add_gate("AND", a, const))
+    num_outputs = draw(st.integers(1, 4))
+    for i in range(num_outputs):
+        c.set_output(f"y{i}", draw(st.sampled_from(nets)))
+    return c
+
+
+def _truth_table(circuit):
+    width = circuit.input_width("x")
+    return [simulate_bus_ints(circuit, {"x": v})
+            for v in range(1 << width)]
+
+
+@given(random_circuits())
+@settings(max_examples=40)
+def test_structure_always_valid(circuit):
+    check_structure(circuit)
+
+
+@given(random_circuits())
+@settings(max_examples=30)
+def test_sweep_preserves_semantics(circuit):
+    swept, stats = sweep_dead_logic(circuit)
+    check_structure(swept)
+    assert stats.gates_after <= stats.gates_before
+    assert _truth_table(swept) == _truth_table(circuit)
+
+
+@given(random_circuits())
+@settings(max_examples=30)
+def test_rebuild_preserves_semantics(circuit):
+    opt, stats = rebuild(circuit)
+    check_structure(opt)
+    assert stats.gates_after <= stats.gates_before
+    assert _truth_table(opt) == _truth_table(circuit)
+
+
+@given(random_circuits(), st.integers(2, 4))
+@settings(max_examples=25)
+def test_buffering_preserves_semantics(circuit, max_fanout):
+    buffered, _ = insert_buffers(circuit, max_fanout=max_fanout)
+    check_structure(buffered)
+    assert buffered.max_fanout() <= max_fanout
+    assert _truth_table(buffered) == _truth_table(circuit)
+
+
+@given(random_circuits())
+@settings(max_examples=30)
+def test_json_round_trip_preserves_semantics(circuit):
+    back = serialize.loads(serialize.dumps(circuit))
+    check_structure(back)
+    assert _truth_table(back) == _truth_table(circuit)
+
+
+@given(random_circuits())
+@settings(max_examples=25)
+def test_bdd_translation_matches_simulation(circuit):
+    order = interleaved_order(circuit)
+    manager = Bdd(len(order))
+    bdds = build_output_bdds(circuit, manager, order)
+    width = circuit.input_width("x")
+    level_of = {c_nid: lvl for c_nid, lvl in order.items()}
+    bus = circuit.inputs["x"]
+    for value in range(1 << width):
+        assignment = [0] * len(order)
+        for bit, nid in enumerate(bus):
+            assignment[level_of[nid]] = (value >> bit) & 1
+        expected = simulate_bus_ints(circuit, {"x": value})
+        for name, nodes in bdds.items():
+            got = manager.evaluate(nodes[0], assignment)
+            assert got == (expected[name] & 1), (value, name)
+
+
+@given(random_circuits())
+@settings(max_examples=20)
+def test_exports_never_crash(circuit):
+    from repro.circuit import to_dot, to_verilog, to_vhdl
+    from repro.circuit.export_tb import to_verilog_testbench
+
+    assert "entity" in to_vhdl(circuit)
+    assert "module" in to_verilog(circuit)
+    assert "digraph" in to_dot(circuit)
+    assert "module tb;" in to_verilog_testbench(circuit, num_vectors=2)
+
+
+@given(random_circuits())
+@settings(max_examples=20)
+def test_timing_and_area_are_finite_and_positive(circuit):
+    from repro.circuit import UMC180, analyze_area, analyze_timing
+
+    delay = analyze_timing(circuit, UMC180).critical_delay
+    area = analyze_area(circuit, UMC180).total
+    assert delay >= 0.0
+    assert area >= 0.0

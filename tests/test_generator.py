@@ -1,0 +1,80 @@
+"""RTL generator front-end (the paper's VHDL-emitting tool)."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.generator import DESIGN_KINDS, build_design, export_design
+
+
+def test_design_registry():
+    for kind in ("aca", "vlsa", "detector", "recovery", "multiplier",
+                 "booth", "subtractor", "incrementer", "ripple",
+                 "kogge_stone"):
+        assert kind in DESIGN_KINDS
+
+
+def test_build_design_defaults_window():
+    c = build_design("aca", 64)
+    from repro.analysis import choose_window
+
+    assert c.attrs["window"] == choose_window(64)
+    c2 = build_design("aca", 64, window=8)
+    assert c2.attrs["window"] == 8
+
+
+def test_unknown_kind():
+    with pytest.raises(KeyError):
+        build_design("flux", 8)
+
+
+def test_export_writes_all_artifacts(tmp_path):
+    written = export_design("aca", 16, str(tmp_path), window=5)
+    assert len(written) == 5
+    exts = sorted(os.path.splitext(p)[1] for p in written)
+    assert exts == [".json", ".txt", ".v", ".v", ".vhd"]
+    for path in written:
+        assert os.path.getsize(path) > 0
+    json_path = next(p for p in written if p.endswith(".json"))
+    data = json.loads(open(json_path).read())
+    assert data["name"] == "aca16_w5"
+
+
+def test_exported_json_round_trips(tmp_path):
+    from repro.circuit import serialize, simulate_bus_ints
+
+    export_design("ripple", 8, str(tmp_path))
+    circuit = serialize.load(str(tmp_path / "ripple8.json"))
+    out = simulate_bus_ints(circuit, {"a": 100, "b": 55})
+    assert out["sum"] == 155
+
+
+def test_cli_export_command(tmp_path, capsys):
+    rc = main(["export", "detector", "--width", "16", "--window", "5",
+               "--out", str(tmp_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "error_detect16_w5.vhd" in out
+    assert (tmp_path / "error_detect16_w5_tb.v").exists()
+
+
+def test_cli_export_baseline_adder(tmp_path):
+    rc = main(["export", "brent_kung", "--width", "12",
+               "--out", str(tmp_path)])
+    assert rc == 0
+    assert (tmp_path / "brent_kung12.v").exists()
+
+
+def test_stats_module():
+    from repro.circuit.stats import collect_stats, format_stats
+    from repro.circuit import UMC180
+
+    c = build_design("aca", 16, window=5)
+    stats = collect_stats(c, UMC180)
+    assert stats.gates == c.gate_count()
+    assert stats.inputs == 32
+    text = format_stats(stats)
+    assert "critical delay" in text
+    assert "XOR" in text

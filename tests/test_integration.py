@@ -1,0 +1,110 @@
+"""End-to-end integration flows across the whole toolchain."""
+
+import os
+
+import pytest
+
+from repro.adders import build_best_traditional, build_ripple_adder
+from repro.analysis import aca_error_probability, choose_window
+from repro.arch import VlsaMachine
+from repro.circuit import (
+    UMC180,
+    analyze_timing,
+    generate_tests,
+    insert_buffers,
+    prove_equivalent,
+    rebuild,
+    serialize,
+    simulate_bus_ints,
+    sweep_dead_logic,
+)
+from repro.core import build_aca, build_recovery_adder, build_vlsa_datapath
+from repro.generator import export_design
+
+
+def test_design_to_silicon_flow(tmp_path):
+    """Generate -> optimise -> buffer -> serialise -> reload -> prove ->
+    ATPG -> export: the full release pipeline on one design."""
+    width, window = 12, 4
+    circuit = build_recovery_adder(width, window)
+
+    swept, _ = sweep_dead_logic(circuit)
+    optimised, _ = rebuild(swept)
+    buffered, _ = insert_buffers(optimised, max_fanout=4)
+
+    # Persist and reload.
+    path = tmp_path / "design.json"
+    serialize.save(buffered, str(path))
+    reloaded = serialize.load(str(path))
+
+    # The reloaded, transformed design still equals a reference adder.
+    ok, reason = prove_equivalent(build_ripple_adder(width), reloaded,
+                                  outputs=["sum", "cout"])
+    assert ok, reason
+
+    # Complete manufacturing test set.
+    atpg = generate_tests(reloaded, random_vectors=32, seed=0)
+    assert atpg.coverage == pytest.approx(1.0)
+
+    # And the RTL bundle.
+    files = export_design("recovery", width, str(tmp_path), window=window)
+    assert len(files) == 5
+
+
+def test_analysis_predicts_machine_behaviour():
+    """The exact error model, the functional model and the pipeline
+    machine must tell one consistent story."""
+    import random
+
+    width = 48
+    window = choose_window(width, 0.999)  # higher rate -> visible stalls
+    machine = VlsaMachine(width, window=window)
+    rng = random.Random(5)
+    ops = 30000
+    trace = machine.run([(rng.getrandbits(width), rng.getrandbits(width))
+                         for _ in range(ops)])
+
+    from repro.analysis import detector_flag_probability
+
+    p_flag = detector_flag_probability(width, window)
+    measured = trace.stall_count / ops
+    assert measured == pytest.approx(p_flag, rel=0.5, abs=2e-4)
+    p_err = aca_error_probability(width, window)
+    spec_wrong = sum(1 for r in trace.results
+                     if not r.speculative_correct) / ops
+    assert spec_wrong <= measured
+    assert spec_wrong == pytest.approx(p_err, rel=0.6, abs=2e-4)
+
+
+def test_gate_level_and_functional_agree_on_vlsa_outputs(rng):
+    """The VLSA datapath circuit and the AcaModel the machine uses must
+    agree bit for bit, including the error flag."""
+    from repro.mc import AcaModel, detector_flag
+
+    width, window = 20, 5
+    circuit = build_vlsa_datapath(width, window)
+    model = AcaModel(width, window)
+    for _ in range(300):
+        a, b = rng.getrandbits(width), rng.getrandbits(width)
+        out = simulate_bus_ints(circuit, {"a": a, "b": b})
+        s, cout = model.add(a, b)
+        assert (out["sum"], out["cout"]) == (s, cout)
+        assert out["err"] == int(model.flags_error(a, b))
+        assert (out["sum_exact"], out["cout_exact"]) == model.exact(a, b)
+
+
+def test_timing_story_is_self_consistent():
+    """Fig. 8 invariants at one width, checked end to end."""
+    width = 128
+    window = choose_window(width)
+    best = build_best_traditional(width, UMC180)
+    aca_delay = analyze_timing(build_aca(width, window),
+                               UMC180).critical_delay
+    assert aca_delay < best.delay
+    # The UNIT-depth prediction must match the analytic formula.
+    from repro.analysis import aca_depth, prefix_adder_depth
+    from repro.circuit import UNIT
+
+    assert analyze_timing(build_aca(width, window),
+                          UNIT).critical_delay == aca_depth(width, window)
+    assert prefix_adder_depth(width) > aca_depth(width, window)

@@ -1,0 +1,75 @@
+"""Reporting helpers: tables, ASCII charts, artifact files."""
+
+import os
+
+import pytest
+
+from repro.reporting import Table, ascii_chart, results_dir, save_artifact
+
+
+def test_table_render_alignment():
+    t = Table("Demo", ["name", "value"])
+    t.add_row("alpha", 1)
+    t.add_row("a-much-longer-name", 123456)
+    text = t.render()
+    lines = text.splitlines()
+    assert lines[0] == "Demo"
+    assert "alpha" in text and "123456" in text
+    # All data rows share one width.
+    widths = {len(line) for line in lines[2:5]}
+    assert len(widths) == 1
+
+
+def test_table_formatting_rules():
+    t = Table("F", ["x"])
+    t.add_row(0.000012)
+    t.add_row(1234567.0)
+    t.add_row(3.14159)
+    t.add_row("literal")
+    col = [r[0] for r in t.rows]
+    assert col[0] == "1.200e-05"
+    assert col[1] == "1.235e+06"
+    assert col[2] == "3.142"
+    assert col[3] == "literal"
+
+
+def test_table_row_arity_checked():
+    t = Table("T", ["a", "b"])
+    with pytest.raises(ValueError):
+        t.add_row(1)
+
+
+def test_table_note_and_csv():
+    t = Table("T", ["a", "b"])
+    t.add_row("x,y", 2)
+    t.note = "a note"
+    assert "a note" in t.render()
+    csv = t.to_csv()
+    assert csv.splitlines()[0] == "a,b"
+    assert '"x,y"' in csv
+
+
+def test_ascii_chart_basic():
+    chart = ascii_chart("C", ["64", "128"], {"s1": [1.0, 2.0],
+                                             "s2": [2.0, 4.0]})
+    assert "C" in chart
+    assert "legend" in chart
+    assert "s1" in chart and "s2" in chart
+    assert "64" in chart and "128" in chart
+
+
+def test_ascii_chart_validation_and_degenerate():
+    with pytest.raises(ValueError):
+        ascii_chart("C", ["a"], {"s": [1.0, 2.0]})
+    flat = ascii_chart("C", ["a", "b"], {"s": [5.0, 5.0]})
+    assert "legend" in flat
+    empty = ascii_chart("C", [], {})
+    assert "no data" in empty
+
+
+def test_artifacts_env_override(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "r"))
+    path = save_artifact("x.txt", "hello")
+    assert path.startswith(str(tmp_path / "r"))
+    assert open(path).read() == "hello"
+    assert results_dir() == str(tmp_path / "r")
