@@ -2,10 +2,13 @@
 
 PY ?= python
 
-.PHONY: install test bench bench-quick examples experiments clean
+.PHONY: install lint test bench bench-quick examples experiments clean
 
 install:
 	pip install -e .
+
+lint:
+	ruff check src tests benchmarks examples
 
 test:
 	$(PY) -m pytest tests/

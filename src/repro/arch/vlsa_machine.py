@@ -16,12 +16,14 @@ million-operation streams cheap while staying faithful.
 
 from __future__ import annotations
 
+import contextlib
 import math
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..analysis.error_model import choose_window
-from ..mc.fastsim import AcaModel
+from ..engine.context import RunContext
+from ..engine.functional import functional_model
 from .clocking import ClockDomain
 from .vcd import VcdWriter
 
@@ -156,15 +158,23 @@ class VlsaMachine:
         clock_period: Clock period in ns — by Fig. 6 this should be just
             above the error-detection path delay; default 1.0 (abstract
             cycles).
+        ctx: Optional :class:`repro.engine.RunContext`; streams update
+            its ``vlsa_ops``/``vlsa_stalls`` counters and the
+            ``vlsa_run`` phase timer.
     """
 
     def __init__(self, width: int, window: Optional[int] = None,
-                 recovery_cycles: int = 1, clock_period: float = 1.0):
+                 recovery_cycles: int = 1, clock_period: float = 1.0,
+                 ctx: Optional[RunContext] = None):
         if window is None:
             window = choose_window(width)
         if recovery_cycles < 1:
             raise ValueError("recovery needs at least one extra cycle")
-        self.model = AcaModel(width, min(window, width))
+        self.ctx = ctx
+        # The functional fast path, resolved through the engine registry
+        # (bit-equivalence with the gate-level ACA is proven in tests).
+        self.model = functional_model("aca", width=width,
+                                      window=min(window, width))
         self.width = width
         self.window = self.model.window
         self.recovery_cycles = recovery_cycles
@@ -184,6 +194,17 @@ class VlsaMachine:
         trace = VlsaTrace(self.width, self.window, self.clock.period,
                           self.recovery_cycles)
         self.clock.reset()
+        timer = (self.ctx.phase("vlsa_run") if self.ctx is not None
+                 else contextlib.nullcontext())
+        with timer:
+            self._run_stream(pairs, trace)
+        if self.ctx is not None:
+            self.ctx.add("vlsa_ops", trace.operations)
+            self.ctx.add("vlsa_stalls", trace.stall_count)
+        return trace
+
+    def _run_stream(self, pairs: Iterable[Tuple[int, int]],
+                    trace: VlsaTrace) -> None:
         for index, (a, b) in enumerate(pairs):
             accept_cycle = self.clock.cycle
             self._op_a.set_next(a)
@@ -215,4 +236,3 @@ class VlsaMachine:
                 latency_cycles=latency, accept_cycle=accept_cycle))
             self._busy.set_next(0)
         trace.total_cycles = self.clock.cycle
-        return trace

@@ -34,6 +34,7 @@ from .simulate import (
     random_stimulus,
     simulate,
     simulate_bus_ints,
+    simulate_interpreted,
     simulate_words,
 )
 from .timing import TimingReport, analyze_timing, critical_path_delay, output_arrivals
@@ -78,7 +79,7 @@ __all__ = [
     "GATE_SPECS", "GateSpec", "gate_spec", "is_input_op", "is_state_op",
     "and_tree", "or_tree", "xor_tree", "reduce_tree",
     "pg_preprocess", "carry_combine", "carry_combine_g", "sum_postprocess",
-    "simulate", "simulate_words", "simulate_bus_ints",
+    "simulate", "simulate_interpreted", "simulate_words", "simulate_bus_ints",
     "bus_to_int", "int_to_bus", "random_stimulus",
     "TimingReport", "analyze_timing", "critical_path_delay", "output_arrivals",
     "AreaReport", "analyze_area", "total_area",

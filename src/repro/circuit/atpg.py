@@ -135,16 +135,12 @@ def _detects(circuit: Circuit, vectors: List[Dict[str, int]],
     """Which *faults* are detected by *vectors* (bit-parallel)."""
     if not vectors:
         return [False] * len(faults)
+    from ..engine.pack import pack_vectors
+
     count = len(vectors)
-    stim: Dict[str, List[int]] = {}
-    for name, bus in circuit.inputs.items():
-        words = []
-        for bit in range(len(bus)):
-            word = 0
-            for j, vec in enumerate(vectors):
-                word |= ((vec[name] >> bit) & 1) << j
-            words.append(word)
-        stim[name] = words
+    stim: Dict[str, List[int]] = {
+        name: pack_vectors([vec[name] for vec in vectors], len(bus))
+        for name, bus in circuit.inputs.items()}
     golden = simulate_words(circuit, stim, count)
     hits = []
     for fault in faults:

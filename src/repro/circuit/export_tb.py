@@ -16,7 +16,6 @@ import numpy as np
 
 from .export_verilog import _sanitize, to_verilog
 from .netlist import Circuit, CircuitError
-from .simulate import bus_to_int, int_to_bus, simulate
 
 __all__ = ["to_verilog_testbench"]
 
@@ -69,27 +68,16 @@ def to_verilog_testbench(circuit: Circuit, num_vectors: int = 32,
     if not vecs:
         raise CircuitError("need at least one test vector")
 
-    # Golden responses via bit-parallel simulation.
+    # Golden responses via the compiled engine (bit-parallel).
+    from ..engine import execute_ints
+
     count = len(vecs)
-    stim = {}
-    for name, bus in circuit.inputs.items():
-        words = []
-        for bit in range(len(bus)):
-            word = 0
-            for j, vec in enumerate(vecs):
-                word |= ((vec[name] >> bit) & 1) << j
-            words.append(word)
-        stim[name] = words
-    out_words = simulate(circuit, stim, num_vectors=count)
-    responses: List[Dict[str, int]] = []
-    for j in range(count):
-        resp = {}
-        for name, words in out_words.items():
-            value = 0
-            for bit, word in enumerate(words):
-                value |= ((word >> j) & 1) << bit
-            resp[name] = value
-        responses.append(resp)
+    out_ints = execute_ints(
+        circuit, {name: [vec[name] for vec in vecs]
+                  for name in circuit.inputs})
+    responses: List[Dict[str, int]] = [
+        {name: out_ints[name][j] for name in circuit.outputs}
+        for j in range(count)]
 
     dut = _sanitize(module_name or circuit.name)
     lines: List[str] = [

@@ -11,11 +11,10 @@ relied on as a fault detector — the fault benchmark quantifies this).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 import numpy as np
 
-from .gates import GATE_SPECS, is_input_op
 from .netlist import Circuit, CircuitError
 from .simulate import random_stimulus, simulate_words
 
@@ -53,34 +52,24 @@ def enumerate_faults(circuit: Circuit,
 def simulate_with_fault(circuit: Circuit, fault: StuckAtFault,
                         stimulus: Mapping[str, Sequence[int]],
                         num_vectors: int) -> Dict[str, List[int]]:
-    """Bit-parallel simulation with one net forced to a constant."""
+    """Bit-parallel simulation with one net forced to a constant.
+
+    Runs on the engine's force path: an **unfused** compiled plan (one
+    slot per live net, no NOT/BUF aliasing, so every fault site stays
+    observable) with the faulty slot re-forced after its producing step.
+    A fault on a net that is dead in the plan cannot reach an output, so
+    the fault-free response is returned directly.
+    """
     if not (0 <= fault.nid < len(circuit.nets)):
         raise CircuitError(f"fault on missing net {fault.nid}")
-    mask = (1 << num_vectors) - 1
-    forced = mask if fault.value else 0
+    from ..engine import compiled_plan, execute
 
-    values: List[Optional[int]] = [None] * len(circuit.nets)
-    for name, bus in circuit.inputs.items():
-        words = stimulus[name]
-        for nid, word in zip(bus, words):
-            values[nid] = word
-
-    for net in circuit.topological_nets():
-        if net.op == "INPUT":
-            pass
-        elif net.op == "CONST0":
-            values[net.nid] = 0
-        elif net.op == "CONST1":
-            values[net.nid] = mask
-        else:
-            spec = GATE_SPECS[net.op]
-            values[net.nid] = spec.evaluate(
-                mask, *[values[f] for f in net.fanins])
-        if net.nid == fault.nid:
-            values[net.nid] = forced
-
-    return {name: [values[nid] for nid in bus]
-            for name, bus in circuit.outputs.items()}
+    plan = compiled_plan(circuit, fuse=False)
+    if plan.nid_to_slot[fault.nid] < 0:  # dead net: unobservable fault
+        return execute(circuit, stimulus, num_vectors=num_vectors,
+                       backend="bigint")
+    return execute(circuit, stimulus, num_vectors=num_vectors,
+                   force={fault.nid: fault.value})
 
 
 @dataclass

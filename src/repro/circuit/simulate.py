@@ -1,6 +1,6 @@
-"""Levelized bit-parallel simulation of combinational circuits.
+"""Bit-parallel simulation of combinational circuits.
 
-Two evaluation modes share the same code path:
+Two evaluation modes share the same front-end API:
 
 * **Scalar words** — each input value is a Python ``int`` whose bit ``j``
   carries the stimulus of test vector ``j``.  With 64 vectors per word this
@@ -9,8 +9,13 @@ Two evaluation modes share the same code path:
 * **NumPy vectors** — inputs are ``numpy.ndarray`` of an unsigned dtype; all
   gate evaluations become element-wise array ops.
 
-Because nets are stored in topological order, simulation is a single linear
-pass.
+Since PR 1 the heavy lifting happens in :mod:`repro.engine`:
+:func:`simulate` compiles the circuit once (memoised) into a flat op
+tape with pre-resolved kernels and dispatches to the configured engine
+backend (``bigint``/``numpy``/``sharded``).  The original per-gate
+interpreter survives as :func:`simulate_interpreted` — it is the
+reference implementation the engine is differentially tested against,
+and the baseline of ``benchmarks/bench_engine_throughput.py``.
 """
 
 from __future__ import annotations
@@ -19,11 +24,12 @@ from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
-from .gates import GATE_SPECS, is_input_op
+from .gates import GATE_SPECS, is_input_op  # noqa: F401  (re-export compat)
 from .netlist import Circuit, CircuitError
 
 __all__ = [
     "simulate",
+    "simulate_interpreted",
     "simulate_words",
     "simulate_bus_ints",
     "bus_to_int",
@@ -33,23 +39,39 @@ __all__ = [
 
 Word = Union[int, np.ndarray]
 
+_ZERO = ord("0")
+
 
 def int_to_bus(value: int, width: int) -> List[int]:
-    """Split *value* into *width* single-bit words, LSB first."""
-    return [(value >> i) & 1 for i in range(width)]
+    """Split *value* into *width* single-bit words, LSB first.
+
+    Bits above *width* are truncated; negative values contribute their
+    two's-complement bit pattern (as arbitrary-precision ints do under
+    ``>>``/``&``).  One string render instead of *width* big-int shifts
+    keeps this O(width) even for multi-thousand-bit buses.
+    """
+    if width <= 0:
+        return []
+    bits = format(value & ((1 << width) - 1), f"0{width}b").encode()
+    return [b - _ZERO for b in bits[::-1]]
 
 
 def bus_to_int(bits: Sequence[int]) -> int:
-    """Assemble single-bit words (LSB first) into one integer."""
-    out = 0
-    for i, b in enumerate(bits):
-        out |= (b & 1) << i
-    return out
+    """Assemble single-bit words (LSB first) into one integer.
+
+    Only bit 0 of each word is read, matching the historical semantics
+    (words may be packed multi-vector values; the caller selects the
+    vector by shifting first).
+    """
+    if not bits:
+        return 0
+    return int("".join("1" if (b & 1) else "0" for b in reversed(bits)), 2)
 
 
 def simulate(circuit: Circuit, stimulus: Mapping[str, Sequence[Word]],
-             num_vectors: Optional[int] = None) -> Dict[str, List[Word]]:
-    """Simulate *circuit* on bit-parallel stimulus.
+             num_vectors: Optional[int] = None,
+             backend: Optional[str] = None) -> Dict[str, List[Word]]:
+    """Simulate *circuit* on bit-parallel stimulus (compiled engine).
 
     Args:
         circuit: Circuit to evaluate.
@@ -58,9 +80,83 @@ def simulate(circuit: Circuit, stimulus: Mapping[str, Sequence[Word]],
         num_vectors: Number of packed test vectors.  Required for Python-int
             words (it defines the negation mask); inferred from the dtype
             for NumPy words.
+        backend: Engine backend override (default: ``numpy`` for array
+            stimulus, otherwise the run context's backend).
 
     Returns:
         Mapping from output bus name to per-bit words, LSB first.
+    """
+    from ..engine import api as _api
+
+    sample = _first_word(circuit, stimulus)
+    if isinstance(sample, np.ndarray):
+        return _simulate_arrays(circuit, stimulus, sample)
+    return _api.execute(circuit, stimulus, num_vectors=num_vectors,
+                        backend=backend)
+
+
+def _first_word(circuit: Circuit,
+                stimulus: Mapping[str, Sequence[Word]]) -> Optional[Word]:
+    for name, bus in circuit.inputs.items():
+        if name not in stimulus:
+            raise CircuitError(f"missing stimulus for input {name!r}")
+        if len(stimulus[name]) != len(bus):
+            raise CircuitError(
+                f"input {name!r} expects {len(bus)} bit-words, "
+                f"got {len(stimulus[name])}")
+        for word in stimulus[name]:
+            return word
+    return None
+
+
+def _simulate_arrays(circuit: Circuit,
+                     stimulus: Mapping[str, Sequence[Word]],
+                     sample: np.ndarray) -> Dict[str, List[np.ndarray]]:
+    """Element-wise array mode: every array element is an independent
+    word of ``dtype``-many vectors.  Bitwise gate semantics are position
+    independent, so the engine evaluates the byte-identical uint64 view
+    and the results are cast back to the caller's dtype and shape."""
+    from ..engine import api as _api
+    from ..engine.backends import NumpyBackend, get_backend
+
+    dtype = sample.dtype
+    shape = sample.shape
+    nbytes_elem = dtype.itemsize
+    total_bytes = sample.size * nbytes_elem
+    nwords = (total_bytes + 7) // 8
+
+    def to_u64(arr: np.ndarray) -> np.ndarray:
+        if arr.dtype != dtype or arr.shape != shape:
+            raise CircuitError("mixed stimulus dtypes/shapes")
+        raw = np.ascontiguousarray(arr).tobytes()
+        raw += b"\x00" * (nwords * 8 - len(raw))
+        return np.frombuffer(raw, dtype="<u8").copy()
+
+    rows = {name: [to_u64(np.asarray(w)) for w in stimulus[name]]
+            for name in circuit.inputs}
+    backend = get_backend("numpy")
+    if not isinstance(backend, NumpyBackend):  # pragma: no cover - custom
+        backend = NumpyBackend()
+    plan = _api.compiled_plan(circuit)
+    out = backend.run_u64(plan, rows, nwords)
+
+    def from_u64(arr: np.ndarray) -> np.ndarray:
+        raw = arr.tobytes()[:total_bytes]
+        return np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+
+    return {name: [from_u64(a) for a in words]
+            for name, words in out.items()}
+
+
+def simulate_interpreted(circuit: Circuit,
+                         stimulus: Mapping[str, Sequence[Word]],
+                         num_vectors: Optional[int] = None
+                         ) -> Dict[str, List[Word]]:
+    """Reference per-gate interpreter (the pre-engine ``simulate``).
+
+    Walks the net list with Python-level dispatch on every gate.  Kept
+    as the differential-testing oracle for the compiled engine and as
+    the benchmark baseline; new code should call :func:`simulate`.
     """
     values: List[Optional[Word]] = [None] * len(circuit.nets)
     mask: Optional[Word] = None
@@ -126,9 +222,11 @@ def _copy(mask: Word) -> Word:
 
 
 def simulate_words(circuit: Circuit, stimulus: Mapping[str, Sequence[int]],
-                   num_vectors: int) -> Dict[str, List[int]]:
+                   num_vectors: int,
+                   backend: Optional[str] = None) -> Dict[str, List[int]]:
     """Alias of :func:`simulate` for Python-int words (explicit vector count)."""
-    return simulate(circuit, stimulus, num_vectors=num_vectors)
+    return simulate(circuit, stimulus, num_vectors=num_vectors,
+                    backend=backend)
 
 
 def simulate_bus_ints(circuit: Circuit,
@@ -159,23 +257,19 @@ def random_stimulus(circuit: Circuit, num_vectors: int,
     Args:
         circuit: Circuit whose inputs are to be driven.
         num_vectors: Number of packed random test vectors.
-        rng: Optional NumPy generator for reproducibility.
+        rng: NumPy generator.  When omitted, draws from the process run
+            context's seeded generator (see
+            :func:`repro.engine.resolve_rng`) — never from an unseeded
+            source, so whole-process runs stay bit-reproducible.
 
     Returns:
         Stimulus mapping suitable for :func:`simulate_words`.
     """
-    rng = rng or np.random.default_rng()
-    stim: Dict[str, List[int]] = {}
-    for name, bus in circuit.inputs.items():
-        words = []
-        for _ in bus:
-            word = 0
-            # Draw 62-bit chunks to stay clear of signed-int pitfalls.
-            remaining = num_vectors
-            while remaining > 0:
-                take = min(62, remaining)
-                word = (word << take) | int(rng.integers(0, 1 << take))
-                remaining -= take
-            words.append(word)
-        stim[name] = words
-    return stim
+    from ..engine.context import resolve_rng
+    from ..engine.pack import random_word
+
+    rng = resolve_rng(rng)
+    return {
+        name: [random_word(rng, num_vectors) for _ in bus]
+        for name, bus in circuit.inputs.items()
+    }

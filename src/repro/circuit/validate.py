@@ -11,9 +11,8 @@ from typing import Callable, Dict, Mapping, Optional
 
 import numpy as np
 
-from .gates import gate_spec, is_input_op
+from .gates import gate_spec
 from .netlist import Circuit, CircuitError
-from .simulate import bus_to_int, int_to_bus, simulate_words
 
 __all__ = [
     "check_structure",
@@ -64,27 +63,13 @@ def check_structure(circuit: Circuit) -> None:
 
 def _run_vectors(circuit: Circuit, vectors: Mapping[str, np.ndarray],
                  count: int) -> Dict[str, np.ndarray]:
-    """Pack integer vectors into words, simulate, unpack output integers."""
-    stim: Dict[str, list] = {}
-    for name, bus in circuit.inputs.items():
-        vals = vectors[name]
-        words = []
-        for bit in range(len(bus)):
-            word = 0
-            for j in range(count):
-                word |= ((int(vals[j]) >> bit) & 1) << j
-            words.append(word)
-        stim[name] = words
-    out_words = simulate_words(circuit, stim, num_vectors=count)
-    outs: Dict[str, np.ndarray] = {}
-    for name, words in out_words.items():
-        vals = np.zeros(count, dtype=object)
-        for bit, word in enumerate(words):
-            for j in range(count):
-                if (word >> j) & 1:
-                    vals[j] = int(vals[j]) | (1 << bit)
-        outs[name] = vals
-    return outs
+    """Evaluate per-vector integers through the compiled engine."""
+    from ..engine import execute_ints
+
+    ints = {name: [int(v) for v in vectors[name]] for name in circuit.inputs}
+    out = execute_ints(circuit, ints)
+    return {name: np.array(vals, dtype=object)
+            for name, vals in out.items()}
 
 
 def assert_equivalent_exhaustive(
@@ -143,15 +128,11 @@ def assert_equivalent_random(
     vectors: Dict[str, np.ndarray] = {}
     for n in names:
         w = len(circuit.inputs[n])
+        nbytes = (w + 7) // 8
+        mask = (1 << w) - 1
         vals = np.zeros(num_vectors, dtype=object)
         for j in range(num_vectors):
-            v = 0
-            remaining = w
-            while remaining > 0:
-                take = min(62, remaining)
-                v = (v << take) | int(rng.integers(0, 1 << take))
-                remaining -= take
-            vals[j] = v
+            vals[j] = int.from_bytes(rng.bytes(nbytes), "little") & mask
         vectors[n] = vals
     outs = _run_vectors(circuit, vectors, num_vectors)
     for idx in range(num_vectors):

@@ -4,11 +4,17 @@ Usage::
 
     python -m repro table1
     python -m repro fig8 --widths 64,128,256
-    python -m repro fig7 --ops 200000
+    python -m repro fig7 --ops 200000 --seed 1
+    python -m repro crosscheck --backend numpy
     python -m repro all
 
 Results are printed and also written under ``results/`` (or
-``$REPRO_RESULTS_DIR``).
+``$REPRO_RESULTS_DIR``).  Every command runs inside an instrumented
+:class:`repro.engine.RunContext`: ``--seed`` roots all randomness,
+``--backend`` selects the engine backend for gate-level simulation, and
+``--manifest`` additionally writes ``results/<command>_manifest.json``
+recording the seed, backend, gate-eval counters and per-phase wall
+times of the run.
 """
 
 from __future__ import annotations
@@ -18,7 +24,9 @@ import sys
 from typing import Callable, Dict, List, Optional
 
 from . import experiments as ex
-from .reporting import save_artifact
+from .engine import RunContext, available_backends, set_default_context
+from .engine.context import DEFAULT_SEED
+from .reporting import save_artifact, save_json
 
 __all__ = ["main"]
 
@@ -29,64 +37,72 @@ def _parse_widths(spec: Optional[str], default) -> List[int]:
     return [int(tok) for tok in spec.split(",") if tok]
 
 
-def _cmd_table1(args) -> str:
+def _cmd_table1(args, ctx) -> str:
     return ex.table1(_parse_widths(args.widths,
                                    (16, 32, 64, 128, 256, 512, 1024,
-                                    2048, 4096))).render()
+                                    2048, 4096)), ctx=ctx).render()
 
 
-def _cmd_theorem1(args) -> str:
-    return ex.theorem1(max_k=args.max_k).render()
+def _cmd_theorem1(args, ctx) -> str:
+    return ex.theorem1(max_k=args.max_k, seed=args.seed, ctx=ctx).render()
 
 
-def _cmd_schilling(args) -> str:
-    return ex.schilling_table().render()
+def _cmd_schilling(args, ctx) -> str:
+    return ex.schilling_table(ctx=ctx).render()
 
 
-def _cmd_fig8(args) -> str:
+def _cmd_fig8(args, ctx) -> str:
     widths = _parse_widths(args.widths, ex.DEFAULT_BITWIDTHS)
-    delay, area, chart_d, chart_a = ex.fig8_tables(bitwidths=widths)
+    delay, area, chart_d, chart_a = ex.fig8_tables(bitwidths=widths, ctx=ctx)
     return "\n\n".join([delay.render(), area.render(), chart_d, chart_a])
 
 
-def _cmd_fig7(args) -> str:
-    table, diagram = ex.fig7_trace(width=args.width, operations=args.ops)
+def _cmd_fig7(args, ctx) -> str:
+    table, diagram = ex.fig7_trace(width=args.width, operations=args.ops,
+                                   seed=args.seed, ctx=ctx)
     return table.render() + "\n\nTiming diagram (first ops):\n" + diagram
 
 
-def _cmd_errors(args) -> str:
+def _cmd_errors(args, ctx) -> str:
     widths = _parse_widths(args.widths, (64, 128, 256, 512, 1024))
-    return ex.error_rate_table(widths, samples=args.samples).render()
+    return ex.error_rate_table(widths, samples=args.samples,
+                               seed=args.seed, ctx=ctx).render()
 
 
-def _cmd_sharing(args) -> str:
+def _cmd_sharing(args, ctx) -> str:
     widths = _parse_widths(args.widths, (64, 128, 256, 512))
-    return ex.sharing_ablation(widths).render()
+    return ex.sharing_ablation(widths, ctx=ctx).render()
 
 
-def _cmd_window(args) -> str:
-    return ex.window_sweep(width=args.width).render()
+def _cmd_window(args, ctx) -> str:
+    return ex.window_sweep(width=args.width, ctx=ctx).render()
 
 
-def _cmd_attack(args) -> str:
+def _cmd_attack(args, ctx) -> str:
     return ex.crypto_attack_experiment(
-        corpus_bytes=args.corpus, key_bits=args.key_bits).render()
+        corpus_bytes=args.corpus, key_bits=args.key_bits, ctx=ctx).render()
 
 
-def _cmd_futurework(args) -> str:
-    return ex.future_work_table().render()
+def _cmd_futurework(args, ctx) -> str:
+    return ex.future_work_table(ctx=ctx).render()
 
 
-def _cmd_faults(args) -> str:
-    return ex.fault_table(width=min(args.width, 16)).render()
+def _cmd_faults(args, ctx) -> str:
+    return ex.fault_table(width=min(args.width, 16), ctx=ctx).render()
 
 
-def _cmd_cpu(args) -> str:
-    return ex.processor_table(width=args.width).render()
+def _cmd_cpu(args, ctx) -> str:
+    return ex.processor_table(width=args.width, ctx=ctx).render()
 
 
-def _cmd_dsp(args) -> str:
-    return ex.dsp_table().render()
+def _cmd_dsp(args, ctx) -> str:
+    return ex.dsp_table(ctx=ctx).render()
+
+
+def _cmd_crosscheck(args, ctx) -> str:
+    widths = _parse_widths(args.widths, (16, 32, 64))
+    return ex.crosscheck_table(widths, vectors=args.samples,
+                               ctx=ctx).render()
 
 
 _COMMANDS: Dict[str, Callable] = {
@@ -103,7 +119,32 @@ _COMMANDS: Dict[str, Callable] = {
     "faults": _cmd_faults,
     "cpu": _cmd_cpu,
     "dsp": _cmd_dsp,
+    "crosscheck": _cmd_crosscheck,
 }
+
+
+def _add_common_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--backend", choices=available_backends(),
+                   default="bigint",
+                   help="engine backend for gate-level simulation")
+    p.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                   help="root RNG seed (default: %(default)s)")
+    p.add_argument("--manifest", action="store_true",
+                   help="also write results/<command>_manifest.json")
+    p.add_argument("--no-save", action="store_true",
+                   help="print only, skip writing results/")
+
+
+def _run_command(name: str, args) -> str:
+    """Run one experiment command inside a fresh instrumented context."""
+    ctx = RunContext(seed=args.seed, backend=args.backend, label=name)
+    set_default_context(ctx)
+    with ctx.phase(name):
+        text = _COMMANDS[name](args, ctx)
+    if args.manifest and not args.no_save:
+        path = save_json(f"{name}_manifest.json", ctx.as_manifest())
+        print(f"[manifest: {path}]", file=sys.stderr)
+    return text
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -122,10 +163,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         p.add_argument("--max-k", dest="max_k", type=int, default=12)
         p.add_argument("--corpus", type=int, default=4096)
         p.add_argument("--key-bits", dest="key_bits", type=int, default=8)
-        p.add_argument("--no-save", action="store_true",
-                       help="print only, skip writing results/")
+        _add_common_flags(p)
     all_p = sub.add_parser("all", help="run every experiment")
-    all_p.add_argument("--no-save", action="store_true")
+    _add_common_flags(all_p)
 
     exp = sub.add_parser(
         "export", help="generate RTL for a design (the paper's tool)")
@@ -149,19 +189,22 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "all":
         chunks = []
-        defaults = parser.parse_args(["table1"])
-        for name, fn in _COMMANDS.items():
+        defaults = parser.parse_args(
+            ["table1", "--backend", args.backend, "--seed", str(args.seed)]
+            + (["--manifest"] if args.manifest else [])
+            + (["--no-save"] if args.no_save else []))
+        for name in _COMMANDS:
             defaults.command = name
-            text = fn(defaults)
+            text = _run_command(name, defaults)
             chunks.append(f"==== {name} ====\n{text}")
             if not args.no_save:
                 save_artifact(f"{name}.txt", text)
         print("\n\n".join(chunks))
         return 0
 
-    text = _COMMANDS[args.command](args)
+    text = _run_command(args.command, args)
     print(text)
-    if not getattr(args, "no_save", False):
+    if not args.no_save:
         path = save_artifact(f"{args.command}.txt", text)
         print(f"\n[saved to {path}]", file=sys.stderr)
     return 0

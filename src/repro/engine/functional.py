@@ -1,0 +1,67 @@
+"""Functional fast-path registry.
+
+Gate-level circuits are the ground truth, but the Monte Carlo layers run
+on *functional* models (closed-form big-int arithmetic) that are orders
+of magnitude faster.  The registry makes that substitution explicit and
+checkable: a functional model registers under a kind name (e.g.
+``"aca"``), exposes the **same bus-level interface** as the circuit it
+stands in for (``run_ints``: input bus ints -> output bus ints), and the
+test suite cross-checks the two by construction through
+:func:`repro.engine.execute_ints`.
+
+:mod:`repro.mc.fastsim` registers the ACA model on import; lookup of an
+unknown kind imports :mod:`repro.mc` first, so
+``functional_model("aca", width=64, window=18)`` always works.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+__all__ = [
+    "register_functional",
+    "functional_model",
+    "available_functionals",
+]
+
+#: kind -> factory(**params) -> model with a ``run_ints`` method.
+_FUNCTIONALS: Dict[str, Callable[..., Any]] = {}
+
+
+def register_functional(kind: str,
+                        factory: Callable[..., Any]) -> Callable[..., Any]:
+    """Register *factory* as the functional model for *kind*."""
+    _FUNCTIONALS[kind] = factory
+    return factory
+
+
+def available_functionals() -> List[str]:
+    """Registered functional model kinds."""
+    _ensure_builtin()
+    return sorted(_FUNCTIONALS)
+
+
+def _ensure_builtin() -> None:
+    if "aca" not in _FUNCTIONALS:
+        # Importing repro.mc triggers its registration.
+        from .. import mc  # noqa: F401
+
+
+def functional_model(kind: str, **params: Any) -> Any:
+    """Instantiate the functional model registered for *kind*.
+
+    Args:
+        kind: Registered model kind (e.g. ``"aca"``).
+        **params: Forwarded to the factory (e.g. ``width``, ``window``).
+
+    Raises:
+        KeyError: If no model is registered for *kind*.
+    """
+    _ensure_builtin()
+    try:
+        factory = _FUNCTIONALS[kind]
+    except KeyError:
+        raise KeyError(
+            f"no functional model registered for {kind!r}; available: "
+            f"{', '.join(sorted(_FUNCTIONALS))}") from None
+    return factory(**params)

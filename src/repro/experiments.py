@@ -9,9 +9,11 @@ re-derived with one command.
 
 from __future__ import annotations
 
-import random
+import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from .adders import build_best_traditional, build_ripple_adder
 from .analysis import (
@@ -39,6 +41,7 @@ from .core import (
     characterize_vlsa,
     naive_aca_window_products,
 )
+from .engine import RunContext, get_default_context
 from .mc import sample_error_rate
 from .reporting import Table, ascii_chart
 
@@ -58,10 +61,31 @@ __all__ = [
     "fault_table",
     "processor_table",
     "dsp_table",
+    "crosscheck_table",
 ]
 
 #: Fig. 8's x axis in the paper.
 DEFAULT_BITWIDTHS: Tuple[int, ...] = (64, 128, 256, 512, 1024, 2048)
+
+
+def _rand_bits(rng: np.random.Generator, bits: int) -> int:
+    """Uniform *bits*-bit integer from a NumPy generator.
+
+    All experiment randomness flows through seeded NumPy generators (one
+    RNG family process-wide, plumbed from the CLI's ``--seed`` via the
+    run context) instead of the historical mix of ``random.Random`` and
+    ``np.random``.
+    """
+    if bits <= 0:
+        return 0
+    return int.from_bytes(rng.bytes((bits + 7) // 8), "little") & (
+        (1 << bits) - 1)
+
+
+def _finish(table: Table, ctx: Optional[RunContext]) -> Table:
+    """Attach the run context's provenance snapshot to *table*."""
+    table.provenance = (ctx or get_default_context()).snapshot()
+    return table
 
 
 # ----------------------------------------------------------------------
@@ -69,7 +93,8 @@ DEFAULT_BITWIDTHS: Tuple[int, ...] = (64, 128, 256, 512, 1024, 2048)
 # ----------------------------------------------------------------------
 def table1(bitwidths: Sequence[int] = (16, 32, 64, 128, 256, 512, 1024,
                                        2048, 4096),
-           probabilities: Sequence[float] = (0.99, 0.9999)) -> Table:
+           probabilities: Sequence[float] = (0.99, 0.9999),
+           ctx: Optional[RunContext] = None) -> Table:
     """Reproduce Table 1: run bounds holding with 99 % / 99.99 %."""
     table = Table(
         "Table 1 - longest run of 1s bounds (exact A_n(x) recurrence)",
@@ -79,17 +104,15 @@ def table1(bitwidths: Sequence[int] = (16, 32, 64, 128, 256, 512, 1024,
         table.add_row(n, *bounds)
     table.note = ("Paper: bounds grow like log2(n); raising the bound by ~7 "
                   "bits turns 99% into 99.99% (Gordon et al. tail).")
-    return table
+    return _finish(table, ctx)
 
 
 # ----------------------------------------------------------------------
 # TH1: Theorem 1 — expected flips for a run of k heads
 # ----------------------------------------------------------------------
 def theorem1(max_k: int = 12, mc_trials: int = 2000,
-             seed: int = 0) -> Table:
+             seed: int = 0, ctx: Optional[RunContext] = None) -> Table:
     """Check Theorem 1 three ways: closed form, linear solve, Monte Carlo."""
-    import numpy as np
-
     table = Table("Theorem 1 - E[flips to k consecutive heads] = 2^(k+1) - 2",
                   ["k", "closed form", "markov solve", "monte carlo"])
     rng = np.random.default_rng(seed)
@@ -99,13 +122,14 @@ def theorem1(max_k: int = 12, mc_trials: int = 2000,
         mc = (expected_flips_monte_carlo(k, trials=mc_trials, rng=rng)
               if k <= 10 else float("nan"))
         table.add_row(k, closed, round(solved, 3), round(mc, 1))
-    return table
+    return _finish(table, ctx)
 
 
 # ----------------------------------------------------------------------
 # Schilling asymptotics (supporting analysis for Section 3.1)
 # ----------------------------------------------------------------------
-def schilling_table(bitwidths: Sequence[int] = (16, 64, 256, 1024)) -> Table:
+def schilling_table(bitwidths: Sequence[int] = (16, 64, 256, 1024),
+                    ctx: Optional[RunContext] = None) -> Table:
     """Exact E/Var of the longest run versus Schilling's asymptotics."""
     table = Table(
         "Longest-run statistics: exact vs Schilling log2(n) - 2/3",
@@ -116,7 +140,7 @@ def schilling_table(bitwidths: Sequence[int] = (16, 64, 256, 1024)) -> Table:
                       round(variance_longest_run(n), 4))
     table.note = ("Exact variance approaches pi^2/(6 ln^2 2) + 1/12 ~ 3.507 "
                   "(the paper's text quotes 1.873; see EXPERIMENTS.md).")
-    return table
+    return _finish(table, ctx)
 
 
 # ----------------------------------------------------------------------
@@ -164,10 +188,13 @@ class Fig8Row:
 
 def fig8_rows(bitwidths: Sequence[int] = DEFAULT_BITWIDTHS,
               library: TechLibrary = UMC180,
-              accuracy: float = 0.9999) -> List[Fig8Row]:
+              accuracy: float = 0.9999,
+              ctx: Optional[RunContext] = None) -> List[Fig8Row]:
     """Build and characterise the four circuits at every bitwidth."""
+    ctx = ctx or get_default_context()
     rows: List[Fig8Row] = []
     for n in bitwidths:
+        ctx.add("fig8_widths", 1)
         w = choose_window(n, accuracy)
         best = build_best_traditional(n, library)
         aca = build_aca(n, w)
@@ -193,11 +220,12 @@ def fig8_rows(bitwidths: Sequence[int] = DEFAULT_BITWIDTHS,
 
 def fig8_tables(rows: Optional[List[Fig8Row]] = None,
                 bitwidths: Sequence[int] = DEFAULT_BITWIDTHS,
-                library: TechLibrary = UMC180
+                library: TechLibrary = UMC180,
+                ctx: Optional[RunContext] = None
                 ) -> Tuple[Table, Table, str, str]:
     """Fig. 8 as two tables (delay, area) and two ASCII charts."""
     if rows is None:
-        rows = fig8_rows(bitwidths, library)
+        rows = fig8_rows(bitwidths, library, ctx=ctx)
     delay = Table(
         f"Fig. 8 (left) - critical-path delay [ns], library={library.name}",
         ["bitwidth", "window", "traditional", "arch", "ACA",
@@ -245,21 +273,23 @@ def fig8_tables(rows: Optional[List[Fig8Row]] = None,
             "ACA+recovery": [r.recovery_area / r.traditional_area
                              for r in rows],
         })
-    return delay, area, delay_chart, area_chart
+    return _finish(delay, ctx), _finish(area, ctx), delay_chart, area_chart
 
 
 # ----------------------------------------------------------------------
 # F7: Fig. 7 — VLSA timing diagram and average latency
 # ----------------------------------------------------------------------
 def fig7_trace(width: int = 64, operations: int = 100000,
-               seed: int = 0) -> Tuple[Table, str]:
+               seed: int = 0,
+               ctx: Optional[RunContext] = None) -> Tuple[Table, str]:
     """Run the VLSA machine on a stream and reproduce Fig. 7.
 
     The first few operands recreate the paper's scenario (ok, stall, ok)
     before switching to a uniform random stream for the latency average.
     """
-    rng = random.Random(seed)
-    machine = VlsaMachine(width)
+    ctx = ctx or get_default_context()
+    rng = np.random.default_rng(seed)
+    machine = VlsaMachine(width, ctx=ctx)
     w = machine.window
     mask = (1 << width) - 1
 
@@ -268,7 +298,7 @@ def fig7_trace(width: int = 64, operations: int = 100000,
     a2 = (0x5 << (width - 4)) | 1  # bit 0 generates into ...
     b2 = (~a2) & mask              # ... an all-propagate chain
     scripted = [(1, 2), (a2 | 1, b2 | 1), (3, 4)]
-    stream = scripted + [(rng.getrandbits(width), rng.getrandbits(width))
+    stream = scripted + [(_rand_bits(rng, width), _rand_bits(rng, width))
                          for _ in range(operations - len(scripted))]
     trace = machine.run(stream)
 
@@ -286,7 +316,7 @@ def fig7_trace(width: int = 64, operations: int = 100000,
     table.note = ("Paper: average latency ~1.0002 cycles at 99.99% "
                   "accuracy; stalls are detector flags, a superset of "
                   "actual errors.")
-    return table, trace.timing_diagram()
+    return _finish(table, ctx), trace.timing_diagram()
 
 
 # ----------------------------------------------------------------------
@@ -294,8 +324,10 @@ def fig7_trace(width: int = 64, operations: int = 100000,
 # ----------------------------------------------------------------------
 def error_rate_table(bitwidths: Sequence[int] = (64, 128, 256, 512, 1024),
                      accuracy: float = 0.9999,
-                     samples: int = 20000, seed: int = 0) -> Table:
+                     samples: int = 20000, seed: int = 0,
+                     ctx: Optional[RunContext] = None) -> Table:
     """P(ACA wrong) and P(detector fires): exact DP vs Monte Carlo."""
+    ctx = ctx or get_default_context()
     table = Table(
         "ACA error rates at the 99.99% window",
         ["bitwidth", "window", "P(error) exact", "P(flag) exact",
@@ -304,12 +336,12 @@ def error_rate_table(bitwidths: Sequence[int] = (64, 128, 256, 512, 1024),
         w = choose_window(n, accuracy)
         p_err = aca_error_probability(n, w)
         p_flag = detector_flag_probability(n, w)
-        mc = sample_error_rate(n, w, samples=samples, seed=seed)
+        mc = sample_error_rate(n, w, samples=samples, seed=seed, ctx=ctx)
         table.add_row(n, w, f"{p_err:.3e}", f"{p_flag:.3e}", f"{mc:.3e}",
                       f"{expected_latency_cycles(p_flag):.6f}")
     table.note = ("Detector flags (stalls) upper-bound errors; both stay "
                   "below 1e-4 by construction of the window.")
-    return table
+    return _finish(table, ctx)
 
 
 # ----------------------------------------------------------------------
@@ -317,7 +349,8 @@ def error_rate_table(bitwidths: Sequence[int] = (64, 128, 256, 512, 1024),
 # ----------------------------------------------------------------------
 def sharing_ablation(bitwidths: Sequence[int] = (64, 128, 256, 512),
                      library: TechLibrary = UMC180,
-                     accuracy: float = 0.9999) -> Table:
+                     accuracy: float = 0.9999,
+                     ctx: Optional[RunContext] = None) -> Table:
     """Shared-strip ACA vs naive per-window small adders (Fig. 3/4).
 
     Demonstrates the paper's area argument: naive windows cost O(n*w)
@@ -341,7 +374,7 @@ def sharing_ablation(bitwidths: Sequence[int] = (64, 128, 256, 512),
             shared.max_fanout(), naive.max_fanout())
     table.note = ("Paper: sharing keeps the ACA near-linear "
                   "(O(n log log n)) with every product used <= 3 times.")
-    return table
+    return _finish(table, ctx)
 
 
 # ----------------------------------------------------------------------
@@ -349,7 +382,8 @@ def sharing_ablation(bitwidths: Sequence[int] = (64, 128, 256, 512),
 # ----------------------------------------------------------------------
 def window_sweep(width: int = 1024,
                  windows: Optional[Sequence[int]] = None,
-                 library: TechLibrary = UMC180) -> Table:
+                 library: TechLibrary = UMC180,
+                 ctx: Optional[RunContext] = None) -> Table:
     """Accuracy/delay/area trade-off as the speculation window varies."""
     if windows is None:
         q99 = quantile_longest_run(width, 0.99) + 1
@@ -376,7 +410,7 @@ def window_sweep(width: int = 1024,
                       round(a / best.area, 3))
     table.note = ("Small windows are fast but stall often; beyond the "
                   "99.99% window extra bits buy little.")
-    return table
+    return _finish(table, ctx)
 
 
 # ----------------------------------------------------------------------
@@ -385,15 +419,16 @@ def window_sweep(width: int = 1024,
 def crypto_attack_experiment(corpus_bytes: int = 4096,
                              key_bits: int = 8,
                              window: int = 8,
-                             seed: int = 7) -> Table:
+                             seed: int = 7,
+                             ctx: Optional[RunContext] = None) -> Table:
     """Frequency-analysis attack with exact vs speculative decryption.
 
     The candidate key space is the paper's "pruned set of potential keys";
     per-add latencies use the measured 64-bit ACA-vs-traditional delay
     ratio (~2x), so the time column shows the attack-level payoff.
     """
-    rng = random.Random(seed)
-    true_key = rng.getrandbits(key_bits) | 1
+    rng = np.random.default_rng(seed)
+    true_key = _rand_bits(rng, key_bits) | 1
     plaintext = sample_corpus(corpus_bytes, seed=seed)
     ciphertext = ArxCipher(true_key).encrypt_bytes(plaintext)
     candidates = list(range(1 << key_bits))
@@ -420,7 +455,7 @@ def crypto_attack_experiment(corpus_bytes: int = 4096,
     table.note = ("Paper Section 1: a few wrongly decrypted blocks cannot "
                   "shift corpus letter frequencies, so the attack still "
                   "recovers the key at ACA speed.")
-    return table
+    return _finish(table, ctx)
 
 
 # ----------------------------------------------------------------------
@@ -429,7 +464,8 @@ def crypto_attack_experiment(corpus_bytes: int = 4096,
 def future_work_table(mul_width: int = 32, multiop_width: int = 128,
                       operands: int = 4,
                       library: TechLibrary = UMC180,
-                      samples: int = 300) -> Table:
+                      samples: int = 300,
+                      ctx: Optional[RunContext] = None) -> Table:
     """Speculative multiplier and multi-operand adder vs exact versions.
 
     Reproduces the paper's closing claim that the paradigm extends to
@@ -485,14 +521,15 @@ def future_work_table(mul_width: int = 32, multiop_width: int = 128,
     table.note = ("Only the final carry-propagate addition speculates; "
                   "the CSA tree is exact, so all errors stay guarded by "
                   "the detector.")
-    return table
+    return _finish(table, ctx)
 
 
 # ----------------------------------------------------------------------
 # FLT: stuck-at fault study of the VLSA
 # ----------------------------------------------------------------------
 def fault_table(width: int = 12, window: int = 4,
-                vectors: int = 256) -> Table:
+                vectors: int = 256,
+                ctx: Optional[RunContext] = None) -> Table:
     """Random-pattern stuck-at coverage of the VLSA datapath.
 
     Quantifies the caveat that the VLSA's ER flag guards *speculation*
@@ -520,13 +557,14 @@ def fault_table(width: int = 12, window: int = 4,
     table.note = ("The error flag is not a fault detector — defects need "
                   "ordinary test patterns (cf. Razor-style approaches "
                   "the paper contrasts with in Section 2).")
-    return table
+    return _finish(table, ctx)
 
 
 # ----------------------------------------------------------------------
 # CPU: Section 4.2's processor context
 # ----------------------------------------------------------------------
-def processor_table(width: int = 32, iterations: int = 200) -> Table:
+def processor_table(width: int = 32, iterations: int = 200,
+                    ctx: Optional[RunContext] = None) -> Table:
     """Cycle counts of a small program on the VLSA-ALU vs exact-ALU CPU."""
     from .arch import Instruction, TinyCpu
 
@@ -555,14 +593,14 @@ def processor_table(width: int = 32, iterations: int = 200) -> Table:
     table.note = (f"VLSA ALU finishes the program {speed:.2f}x faster in "
                   "cycles of the same (short) clock; stalls are the rare "
                   "detector flags (Section 4.2/4.3).")
-    return table
+    return _finish(table, ctx)
 
 
 # ----------------------------------------------------------------------
 # DSP: soft-DSP workload dependence (extension finding)
 # ----------------------------------------------------------------------
-def dsp_table(samples: int = 400, windows: Sequence[int] = (12, 18, 24, 30)
-              ) -> Table:
+def dsp_table(samples: int = 400, windows: Sequence[int] = (12, 18, 24, 30),
+              ctx: Optional[RunContext] = None) -> Table:
     """FIR accumulation: measured stall rates vs the uniform model.
 
     Extension experiment: signed small-magnitude data produces long
@@ -601,4 +639,53 @@ def dsp_table(samples: int = 400, windows: Sequence[int] = (12, 18, 24, 30)
     table.note = ("Signed data violates the uniform-operand assumption "
                   "(sign-extension bits are propagate-heavy); see "
                   "repro.analysis.biased for the matching model.")
-    return table
+    return _finish(table, ctx)
+
+
+# ----------------------------------------------------------------------
+# XCK: engine backends vs functional model cross-check
+# ----------------------------------------------------------------------
+def crosscheck_table(widths: Sequence[int] = (16, 32, 64),
+                     vectors: int = 2048,
+                     ctx: Optional[RunContext] = None) -> Table:
+    """Cross-check every engine backend against the functional ACA model.
+
+    For each width the gate-level ACA (at the 99.99 % window) runs the
+    same random vectors through every registered backend; results must be
+    bit-identical to :class:`repro.mc.fastsim.AcaModel` — the fast path
+    the Monte Carlo layers trust.  Also reports per-backend throughput,
+    making this the quickest way to sanity-check a ``--backend`` choice.
+    """
+    from .engine import available_backends, execute_ints, functional_model
+
+    ctx = ctx or get_default_context()
+    rng = np.random.default_rng(ctx.spawn_seed("crosscheck"))
+    table = Table(
+        f"Engine cross-check: gate-level backends vs functional ACA "
+        f"({vectors} vectors)",
+        ["bitwidth", "window", "backend", "matches functional", "Mvec/s"])
+    # The context's backend (the CLI's --backend) is checked first.
+    order = [ctx.backend] + [b for b in available_backends()
+                             if b != ctx.backend]
+    for n in widths:
+        w = choose_window(n)
+        circuit = build_aca(n, w)
+        vecs = {"a": [_rand_bits(rng, n) for _ in range(vectors)],
+                "b": [_rand_bits(rng, n) for _ in range(vectors)]}
+        expected = functional_model("aca", width=n, window=w).run_ints(vecs)
+        for backend in order:
+            with ctx.phase(f"crosscheck_{backend}"):
+                t0 = time.perf_counter()
+                got = execute_ints(circuit, vecs, backend=backend, ctx=ctx)
+                dt = time.perf_counter() - t0
+            ok = got == expected
+            table.add_row(n, w, backend, "yes" if ok else "NO",
+                          round(vectors / dt / 1e6, 3))
+            if not ok:
+                raise AssertionError(
+                    f"backend {backend!r} disagrees with the functional "
+                    f"model at width {n}")
+    table.note = ("All backends must agree bit-for-bit with the functional "
+                  "model (proven equivalent to the gates in tests); "
+                  "throughput is indicative, not a benchmark.")
+    return _finish(table, ctx)

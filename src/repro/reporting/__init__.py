@@ -1,12 +1,14 @@
 """Text tables, ASCII figures and result-file helpers."""
 
+import json
 import os
-from typing import Optional
+from typing import Any, Optional
 
 from .tables import Table
 from .figures import ascii_chart
 
-__all__ = ["Table", "ascii_chart", "save_artifact", "results_dir"]
+__all__ = ["Table", "ascii_chart", "save_artifact", "save_json",
+           "results_dir"]
 
 
 def results_dir() -> str:
@@ -23,4 +25,13 @@ def save_artifact(name: str, text: str) -> str:
     path = os.path.join(results_dir(), name)
     with open(path, "w", encoding="utf-8") as f:
         f.write(text)
+    return path
+
+
+def save_json(name: str, payload: Any) -> str:
+    """Write *payload* as pretty-printed JSON under the results directory."""
+    path = os.path.join(results_dir(), name)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
     return path

@@ -8,7 +8,7 @@ diff-friendly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 __all__ = ["Table"]
 
@@ -38,6 +38,9 @@ class Table:
     headers: List[str]
     rows: List[List[str]] = field(default_factory=list)
     note: Optional[str] = None
+    #: Run-context snapshot (seed, backend, counters, phase timings) set
+    #: by the experiment drivers; rendered only into the JSON manifest.
+    provenance: Optional[Dict[str, Any]] = None
 
     def add_row(self, *values: Any) -> None:
         """Append a row; values are formatted with sensible defaults."""

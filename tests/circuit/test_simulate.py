@@ -113,3 +113,33 @@ def test_random_stimulus_shape_and_range():
         assert 0 <= word < (1 << 100)
     out = simulate_words(c, stim, num_vectors=100)
     assert out["y"][0] == stim["a"][0]
+
+
+def test_int_to_bus_width_edge_cases():
+    assert int_to_bus(1, 1) == [1]
+    assert int_to_bus(0, 1) == [0]
+    assert int_to_bus(5, 0) == []  # zero-width bus
+    # MSB set: highest word carries the sign-position bit.
+    assert int_to_bus(1 << 7, 8) == [0] * 7 + [1]
+    # Value wider than the bus: high bits truncate away.
+    assert int_to_bus(0b1_0110, 4) == [0, 1, 1, 0]
+    assert int_to_bus((1 << 200) | 0b11, 2) == [1, 1]
+    # Negative values contribute their two's-complement pattern.
+    assert int_to_bus(-1, 4) == [1, 1, 1, 1]
+
+
+def test_bus_to_int_edge_cases():
+    assert bus_to_int([]) == 0
+    assert bus_to_int([1]) == 1
+    assert bus_to_int([0] * 63 + [1]) == 1 << 63
+    # Only bit 0 of each word is read (words may be packed vectors).
+    assert bus_to_int([0b10, 0b11]) == 0b10
+    assert bus_to_int(int_to_bus(1 << 64, 65)) == 1 << 64
+
+
+def test_int_bus_round_trip_wide_random():
+    rng = np.random.default_rng(2)
+    for width in (1, 2, 63, 64, 65, 1000):
+        value = int.from_bytes(rng.bytes((width + 7) // 8), "little") & (
+            (1 << width) - 1)
+        assert bus_to_int(int_to_bus(value, width)) == value

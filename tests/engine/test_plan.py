@@ -1,0 +1,153 @@
+"""Compiler invariants: fusion, lowering, dead logic, plan caching."""
+
+import pytest
+
+from repro.circuit import Circuit, CircuitError, simulate_interpreted
+from repro.engine import compile_circuit, compiled_plan, execute_ints
+from repro.engine.plan import OP_AND, OP_COPY
+
+
+def _not_of_and():
+    c = Circuit("not_of_and")
+    a = c.add_input("a")
+    b = c.add_input("b")
+    g = c.add_gate("AND", a, b)
+    c.set_output("y", c.add_gate("NOT", g))
+    return c
+
+
+def test_not_fusion_flips_invert_flag():
+    plan = compile_circuit(_not_of_and())
+    # One AND step with invert absorbed; no COPY step for the NOT.
+    gate_steps = [s for s in plan.steps]
+    assert len(gate_steps) == 1
+    opcode, _out, _ins, inv = gate_steps[0]
+    assert opcode == OP_AND and inv is True
+    assert execute_ints(_not_of_and(), {"a": [1, 1, 0], "b": [1, 0, 0]})[
+        "y"] == [0, 1, 1]
+
+
+def test_not_fusion_skipped_for_multi_consumer():
+    c = Circuit("shared")
+    a = c.add_input("a")
+    b = c.add_input("b")
+    g = c.add_gate("AND", a, b)
+    c.set_output("y", c.add_gate("NOT", g))
+    c.set_output("z", g)  # second consumer: fusion must not flip g
+    plan = compile_circuit(c)
+    out = execute_ints(c, {"a": [1], "b": [1]})
+    assert out == {"y": [0], "z": [1]}
+    assert not plan.inverted_nids  # nothing complemented in place
+
+
+def test_not_of_input_is_explicit_copy():
+    c = Circuit("inv_in")
+    a = c.add_input("a")
+    c.set_output("y", c.add_gate("NOT", a))
+    plan = compile_circuit(c)
+    assert [s[0] for s in plan.steps] == [OP_COPY]
+    assert plan.steps[0][3] is True
+    assert execute_ints(c, {"a": [0, 1]})["y"] == [1, 0]
+
+
+def test_buf_aliases_without_step():
+    c = Circuit("buf")
+    a = c.add_input("a")
+    c.set_output("y", c.add_gate("BUF", a))
+    plan = compile_circuit(c)
+    assert plan.steps == []
+    assert plan.output_slots["y"] == plan.input_slots["a"]
+
+
+def test_variadic_decomposes_to_binary_chain():
+    c = Circuit("wide_or")
+    ins = [c.add_input(n) for n in "abcd"]
+    c.set_output("y", c.add_gate("NOR", *ins))
+    plan = compile_circuit(c)
+    assert len(plan.steps) == 3  # 4-input OR -> 3 binary ORs
+    assert plan.steps[-1][3] is True  # invert lands on the last step only
+    assert all(s[3] is False for s in plan.steps[:-1])
+    stim = {n: [v] for n, v in zip("abcd", [0, 0, 0, 0])}
+    assert execute_ints(c, stim)["y"] == [1]
+
+
+def test_dead_logic_eliminated():
+    c = Circuit("dead")
+    a = c.add_input("a")
+    b = c.add_input("b")
+    live = c.add_gate("XOR", a, b)
+    c.add_gate("AND", a, b)  # never drives an output
+    c.set_output("y", live)
+    plan = compile_circuit(c)
+    assert len(plan.steps) == 1
+    dead = [n.nid for n in c.nets if n.op == "AND"][0]
+    with pytest.raises(CircuitError):
+        plan.slot_of(dead)
+
+
+def test_constants_preset_not_evaluated():
+    # fold_constants=False so AND(a, 1) is not simplified away at build time.
+    c = Circuit("consts", fold_constants=False)
+    a = c.add_input("a")
+    c.set_output("y", c.add_gate("AND", a, c.const(1)))
+    plan = compile_circuit(c)
+    assert len(plan.const_slots) == 1
+    assert plan.const_slots[0][1] == 1
+    assert execute_ints(c, {"a": [0, 1]})["y"] == [0, 1]
+
+
+def test_sequential_rejected_like_interpreter():
+    c = Circuit("seq")
+    a = c.add_input("a")
+    d = c.add_dff("q_reg")
+    c.connect_dff(d, a)
+    c.set_output("q", d)
+    with pytest.raises(RuntimeError):
+        compile_circuit(c)
+
+
+def test_plan_cache_hit_and_invalidation():
+    c = Circuit("cache")
+    a = c.add_input("a")
+    b = c.add_input("b")
+    c.set_output("y", c.add_gate("AND", a, b))
+    p1 = compiled_plan(c)
+    assert compiled_plan(c) is p1  # identity hit
+    # Growing the circuit invalidates the cached plan.
+    c.set_output("z", c.add_gate("OR", a, b))
+    p2 = compiled_plan(c)
+    assert p2 is not p1
+    assert "z" in p2.output_slots
+
+
+def test_unfused_plan_keeps_every_live_net_observable():
+    c = _not_of_and()
+    plan = compile_circuit(c, fuse=False)
+    assert not plan.fused
+    for net in c.nets:
+        assert plan.nid_to_slot[net.nid] >= 0
+    assert not plan.inverted_nids
+
+
+def test_compiled_matches_interpreter_on_all_gate_types():
+    c = Circuit("zoo")
+    a = c.add_input("a")
+    b = c.add_input("b")
+    s = c.add_input("s")
+    nodes = [
+        c.add_gate("AND", a, b), c.add_gate("NAND", a, b),
+        c.add_gate("OR", a, b), c.add_gate("NOR", a, b),
+        c.add_gate("XOR", a, b), c.add_gate("XNOR", a, b),
+        c.add_gate("AO21", a, b, s), c.add_gate("OA21", a, b, s),
+        c.add_gate("MUX2", s, a, b), c.add_gate("MAJ3", a, b, s),
+        c.add_gate("NOT", a), c.add_gate("BUF", b),
+        c.add_gate("AND", a, b, s), c.add_gate("XOR", a, b, s),
+    ]
+    for i, n in enumerate(nodes):
+        c.set_output(f"o{i}", n)
+    n = 8  # exhaustive over 3 inputs
+    stim = {"a": [0b10101010], "b": [0b11001100], "s": [0b11110000]}
+    from repro.circuit import simulate
+
+    assert simulate(c, stim, num_vectors=n) == simulate_interpreted(
+        c, stim, num_vectors=n)
