@@ -1,4 +1,5 @@
-"""Command-line interface: regenerate any paper table or figure.
+"""Command-line interface: regenerate any paper table or figure, or run
+the serving layer.
 
 Usage::
 
@@ -6,23 +7,26 @@ Usage::
     python -m repro fig8 --widths 64,128,256
     python -m repro fig7 --ops 200000 --seed 1
     python -m repro crosscheck --backend numpy
+    python -m repro loadgen --ops 100000 --workload biased
+    python -m repro serve --port 8471
     python -m repro all
 
 Results are printed and also written under ``results/`` (or
-``$REPRO_RESULTS_DIR``).  Every command runs inside an instrumented
-:class:`repro.engine.RunContext`: ``--seed`` roots all randomness,
-``--backend`` selects the engine backend for gate-level simulation, and
-``--manifest`` additionally writes ``results/<command>_manifest.json``
-recording the seed, backend, gate-eval counters and per-phase wall
-times of the run.
+``$REPRO_RESULTS_DIR``).  Every experiment command runs inside an
+instrumented :class:`repro.engine.RunContext`: ``--seed`` roots all
+randomness and ``--backend`` selects the engine backend for gate-level
+simulation.  Unless ``--no-save`` is given, every command also writes
+``results/<command>_manifest.json`` recording the seed, backend,
+gate-eval counters, per-phase wall times and trace events of the run.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
+from . import __version__
 from . import experiments as ex
 from .engine import RunContext, available_backends, set_default_context
 from .engine.context import DEFAULT_SEED
@@ -105,22 +109,163 @@ def _cmd_crosscheck(args, ctx) -> str:
                                ctx=ctx).render()
 
 
-_COMMANDS: Dict[str, Callable] = {
-    "table1": _cmd_table1,
-    "theorem1": _cmd_theorem1,
-    "schilling": _cmd_schilling,
-    "fig8": _cmd_fig8,
-    "fig7": _cmd_fig7,
-    "errors": _cmd_errors,
-    "sharing": _cmd_sharing,
-    "window": _cmd_window,
-    "attack": _cmd_attack,
-    "futurework": _cmd_futurework,
-    "faults": _cmd_faults,
-    "cpu": _cmd_cpu,
-    "dsp": _cmd_dsp,
-    "crosscheck": _cmd_crosscheck,
+def _cmd_loadgen(args, ctx) -> str:
+    from .service import run_loadgen
+
+    report = run_loadgen(
+        workload=args.workload, ops=args.ops, width=args.width,
+        window=args.window, chunk=args.chunk,
+        concurrency=args.concurrency, queue_capacity=args.queue_capacity,
+        max_batch_ops=args.max_batch, backend=args.service_backend,
+        alpha=args.alpha, adversarial_fraction=args.adversarial_fraction,
+        ctx=ctx)
+    if not args.no_save:
+        path = save_json("loadgen_metrics.json", report.as_dict())
+        print(f"[metrics: {path}]", file=sys.stderr)
+    return report.render()
+
+
+# name -> (handler, help text, extra per-command flags)
+_COMMANDS: Dict[str, Tuple[Callable, str, Tuple[str, ...]]] = {
+    "table1": (_cmd_table1,
+               "Table 1: longest-run-of-ones bounds per bitwidth",
+               ("widths",)),
+    "theorem1": (_cmd_theorem1,
+                 "Theorem 1: E[flips to k heads] three ways "
+                 "(closed form / solve / Monte Carlo)",
+                 ("max_k",)),
+    "schilling": (_cmd_schilling,
+                  "Schilling statistics of the longest head run",
+                  ()),
+    "fig8": (_cmd_fig8,
+             "Fig. 8: delay and area versus bitwidth for every adder",
+             ("widths",)),
+    "fig7": (_cmd_fig7,
+             "Fig. 7: VLSA timing diagram and average latency",
+             ("width", "ops")),
+    "errors": (_cmd_errors,
+               "ACA error rates: exact model versus Monte Carlo",
+               ("widths", "samples")),
+    "sharing": (_cmd_sharing,
+                "Fig. 4: area saved by sharing ACA strips with the "
+                "detector/recovery logic",
+                ("widths",)),
+    "window": (_cmd_window,
+               "Window sweep: error probability and delay versus "
+               "speculation window",
+               ("width",)),
+    "attack": (_cmd_attack,
+               "Section 1: ciphertext-only attack with exact versus "
+               "speculative adders",
+               ("corpus", "key_bits")),
+    "futurework": (_cmd_futurework,
+                   "Section 6: speculative multiplier and friends",
+                   ()),
+    "faults": (_cmd_faults,
+               "Stuck-at fault coverage of the ACA via ATPG",
+               ("width",)),
+    "cpu": (_cmd_cpu,
+            "TinyCpu with a VLSA ALU: CPI versus a fixed-latency adder",
+            ("width",)),
+    "dsp": (_cmd_dsp,
+            "Fixed-point FIR on speculative adders: stall-rate "
+            "workload dependence",
+            ("width",)),
+    "crosscheck": (_cmd_crosscheck,
+                   "Every engine backend versus the functional model",
+                   ("widths", "samples")),
+    "loadgen": (_cmd_loadgen,
+                "Drive a workload through the in-process VLSA service "
+                "and report latency/throughput metrics",
+                ("width", "ops", "loadgen")),
 }
+
+# Reusable per-command flag groups (attached only where relevant).
+_FLAG_BUILDERS: Dict[str, Callable[[argparse.ArgumentParser], None]] = {}
+
+
+def _flag(name: str):
+    def register(fn):
+        _FLAG_BUILDERS[name] = fn
+        return fn
+    return register
+
+
+@_flag("widths")
+def _add_widths(p):
+    p.add_argument("--widths", metavar="N,N,...",
+                   help="comma-separated bitwidths to sweep "
+                        "(default: the command's paper sweep)")
+
+
+@_flag("width")
+def _add_width(p):
+    p.add_argument("--width", type=int, default=64,
+                   help="operand bitwidth (default: %(default)s)")
+
+
+@_flag("ops")
+def _add_ops(p):
+    p.add_argument("--ops", type=int, default=100000,
+                   help="operations to stream (default: %(default)s)")
+
+
+@_flag("samples")
+def _add_samples(p):
+    p.add_argument("--samples", type=int, default=20000,
+                   help="Monte Carlo samples (default: %(default)s)")
+
+
+@_flag("max_k")
+def _add_max_k(p):
+    p.add_argument("--max-k", dest="max_k", type=int, default=12,
+                   help="largest run length k to tabulate "
+                        "(default: %(default)s)")
+
+
+@_flag("corpus")
+def _add_corpus(p):
+    p.add_argument("--corpus", type=int, default=4096,
+                   help="plaintext corpus size in bytes "
+                        "(default: %(default)s)")
+
+
+@_flag("key_bits")
+def _add_key_bits(p):
+    p.add_argument("--key-bits", dest="key_bits", type=int, default=8,
+                   help="candidate key-space size in bits "
+                        "(default: %(default)s)")
+
+
+@_flag("loadgen")
+def _add_loadgen(p):
+    from .service import EXECUTOR_BACKENDS, WORKLOADS
+
+    p.add_argument("--workload", choices=WORKLOADS, default="uniform",
+                   help="operand distribution (default: %(default)s)")
+    p.add_argument("--window", type=int, default=None,
+                   help="speculation window (default: 99.99%% window)")
+    p.add_argument("--chunk", type=int, default=1024,
+                   help="additions per client batch (default: %(default)s)")
+    p.add_argument("--concurrency", type=int, default=4,
+                   help="concurrent client tasks (default: %(default)s)")
+    p.add_argument("--queue-capacity", dest="queue_capacity", type=int,
+                   default=64,
+                   help="admission queue capacity (default: %(default)s)")
+    p.add_argument("--max-batch", dest="max_batch", type=int, default=8192,
+                   help="max additions per coalesced service batch "
+                        "(default: %(default)s)")
+    p.add_argument("--service-backend", dest="service_backend",
+                   choices=EXECUTOR_BACKENDS, default=None,
+                   help="service executor backend (default: numpy when "
+                        "the width fits a machine word)")
+    p.add_argument("--alpha", type=float, default=0.75,
+                   help="per-bit one-probability for the biased workload "
+                        "(default: %(default)s)")
+    p.add_argument("--adversarial-fraction", dest="adversarial_fraction",
+                   type=float, default=0.1,
+                   help="stalling fraction for the mixed workload "
+                        "(default: %(default)s)")
 
 
 def _add_common_flags(p: argparse.ArgumentParser) -> None:
@@ -130,7 +275,9 @@ def _add_common_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--seed", type=int, default=DEFAULT_SEED,
                    help="root RNG seed (default: %(default)s)")
     p.add_argument("--manifest", action="store_true",
-                   help="also write results/<command>_manifest.json")
+                   help="write results/<command>_manifest.json even "
+                        "with --no-save (manifests are otherwise "
+                        "written by default)")
     p.add_argument("--no-save", action="store_true",
                    help="print only, skip writing results/")
 
@@ -139,43 +286,112 @@ def _run_command(name: str, args) -> str:
     """Run one experiment command inside a fresh instrumented context."""
     ctx = RunContext(seed=args.seed, backend=args.backend, label=name)
     set_default_context(ctx)
+    handler = _COMMANDS[name][0]
     with ctx.phase(name):
-        text = _COMMANDS[name](args, ctx)
-    if args.manifest and not args.no_save:
+        text = handler(args, ctx)
+    if args.manifest or not args.no_save:
         path = save_json(f"{name}_manifest.json", ctx.as_manifest())
         print(f"[manifest: {path}]", file=sys.stderr)
     return text
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="vlsa-repro",
-        description="Regenerate tables/figures of the VLSA paper (DATE'08).")
+        description="Regenerate tables/figures of the VLSA paper "
+                    "(DATE'08), or serve the speculative adder.")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    for name in _COMMANDS:
-        p = sub.add_parser(name)
-        p.add_argument("--widths", help="comma-separated bitwidths")
-        p.add_argument("--width", type=int, default=64)
-        p.add_argument("--ops", type=int, default=100000)
-        p.add_argument("--samples", type=int, default=20000)
-        p.add_argument("--max-k", dest="max_k", type=int, default=12)
-        p.add_argument("--corpus", type=int, default=4096)
-        p.add_argument("--key-bits", dest="key_bits", type=int, default=8)
+    for name, (_, help_text, flags) in _COMMANDS.items():
+        p = sub.add_parser(name, help=help_text, description=help_text)
+        for flag in flags:
+            _FLAG_BUILDERS[flag](p)
         _add_common_flags(p)
-    all_p = sub.add_parser("all", help="run every experiment")
+
+    all_p = sub.add_parser(
+        "all", help="run every experiment with its default arguments",
+        description="Run every experiment command in sequence, saving "
+                    "each artifact and manifest under results/.")
     _add_common_flags(all_p)
 
     exp = sub.add_parser(
-        "export", help="generate RTL for a design (the paper's tool)")
+        "export", help="generate RTL for a design (the paper's tool)",
+        description="Emit synthesizable VHDL/Verilog for a design.")
     exp.add_argument("kind", help="design kind, e.g. aca, vlsa, detector, "
                                   "recovery, multiplier, or any adder name")
-    exp.add_argument("--width", type=int, default=64)
-    exp.add_argument("--window", type=int, default=None)
-    exp.add_argument("--out", default="rtl_out")
-    exp.add_argument("--library", default="umc180")
+    exp.add_argument("--width", type=int, default=64,
+                     help="operand bitwidth (default: %(default)s)")
+    exp.add_argument("--window", type=int, default=None,
+                     help="speculation window (default: 99.99%% window)")
+    exp.add_argument("--out", default="rtl_out",
+                     help="output directory (default: %(default)s)")
+    exp.add_argument("--library", default="umc180",
+                     help="technology library (default: %(default)s)")
 
+    srv = sub.add_parser(
+        "serve", help="serve the VLSA over TCP (newline-delimited JSON)",
+        description="Run a VlsaService behind a TCP front-end.  One JSON "
+                    'object per line: {"a": 1, "b": 2} -> '
+                    '{"sum": 3, ...}; {"cmd": "metrics"} returns the '
+                    "metrics registry.")
+    srv.add_argument("--host", default="127.0.0.1",
+                     help="bind address (default: %(default)s)")
+    srv.add_argument("--port", type=int, default=8471,
+                     help="TCP port, 0 = ephemeral (default: %(default)s)")
+    srv.add_argument("--width", type=int, default=64,
+                     help="operand bitwidth (default: %(default)s)")
+    srv.add_argument("--window", type=int, default=None,
+                     help="speculation window (default: 99.99%% window)")
+    srv.add_argument("--recovery-cycles", dest="recovery_cycles", type=int,
+                     default=1,
+                     help="recovery penalty in cycles (default: %(default)s)")
+    srv.add_argument("--queue-capacity", dest="queue_capacity", type=int,
+                     default=1024,
+                     help="admission queue capacity (default: %(default)s)")
+    srv.add_argument("--max-batch", dest="max_batch", type=int,
+                     default=8192,
+                     help="max additions per coalesced batch "
+                          "(default: %(default)s)")
+    srv.add_argument("--service-backend", dest="service_backend",
+                     default=None,
+                     help="executor backend: numpy or bigint "
+                          "(default: automatic)")
+    srv.add_argument("--duration", type=float, default=None,
+                     help="seconds to serve before exiting "
+                          "(default: run until interrupted)")
+    srv.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                     help="root RNG seed (default: %(default)s)")
+    return parser
+
+
+def _run_serve(args) -> int:
+    import asyncio
+
+    from .service import VlsaService, serve_tcp
+
+    ctx = RunContext(seed=args.seed, label="serve")
+    service = VlsaService(width=args.width, window=args.window,
+                          recovery_cycles=args.recovery_cycles,
+                          queue_capacity=args.queue_capacity,
+                          max_batch_ops=args.max_batch,
+                          backend=args.service_backend, ctx=ctx)
+    print(f"serving VLSA width={service.width} window={service.window} "
+          f"backend={service.executor.backend} on "
+          f"{args.host}:{args.port or '(ephemeral)'}", file=sys.stderr)
+    try:
+        asyncio.run(serve_tcp(service, host=args.host, port=args.port,
+                              duration=args.duration))
+    except KeyboardInterrupt:
+        print("interrupted; shutting down", file=sys.stderr)
+    print(service.metrics_prometheus(), end="")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
     args = parser.parse_args(argv)
 
     if args.command == "export":
@@ -187,14 +403,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(path)
         return 0
 
+    if args.command == "serve":
+        return _run_serve(args)
+
     if args.command == "all":
         chunks = []
-        defaults = parser.parse_args(
-            ["table1", "--backend", args.backend, "--seed", str(args.seed)]
-            + (["--manifest"] if args.manifest else [])
-            + (["--no-save"] if args.no_save else []))
         for name in _COMMANDS:
-            defaults.command = name
+            defaults = parser.parse_args(
+                [name, "--backend", args.backend, "--seed", str(args.seed)]
+                + (["--manifest"] if args.manifest else [])
+                + (["--no-save"] if args.no_save else []))
             text = _run_command(name, defaults)
             chunks.append(f"==== {name} ====\n{text}")
             if not args.no_save:

@@ -37,6 +37,9 @@ __all__ = [
 #: Root seed used when neither a context nor an explicit seed is given.
 DEFAULT_SEED = 0
 
+#: Trace events retained per context; later events only bump a counter.
+MAX_EVENTS = 256
+
 
 def spawn_seeds(root_seed: int, count: int) -> List[int]:
     """*count* independent 64-bit child seeds derived from *root_seed*.
@@ -65,6 +68,8 @@ class RunContext:
         self.label = label
         self.counters: Dict[str, int] = {}
         self.phases: Dict[str, float] = {}
+        self.events: List[Dict[str, Any]] = []
+        self.events_dropped = 0
         self._rng: Optional[np.random.Generator] = None
         self._spawned: List[Dict[str, Any]] = []
 
@@ -93,6 +98,22 @@ class RunContext:
         """Total gate-kernel evaluations recorded so far."""
         return self.counters.get("gate_evals", 0)
 
+    # -- trace events ---------------------------------------------------
+    def record_event(self, kind: str, **fields: Any) -> None:
+        """Append a structured trace event (bounded by :data:`MAX_EVENTS`).
+
+        The serving layer's :class:`~repro.service.Tracer` forwards its
+        events here so a run manifest carries the head of the trace;
+        beyond the cap only ``events_dropped`` grows, keeping manifests
+        bounded no matter how long a load test runs.
+        """
+        if len(self.events) >= MAX_EVENTS:
+            self.events_dropped += 1
+            return
+        event: Dict[str, Any] = {"kind": kind}
+        event.update(fields)
+        self.events.append(event)
+
     # -- phase timers ---------------------------------------------------
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -115,6 +136,8 @@ class RunContext:
             "counters": dict(self.counters),
             "phase_seconds": {k: round(v, 6) for k, v in self.phases.items()},
             "spawned_seeds": list(self._spawned),
+            "events": [dict(e) for e in self.events],
+            "events_dropped": self.events_dropped,
         }
 
     as_manifest = snapshot

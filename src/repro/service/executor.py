@@ -1,0 +1,204 @@
+"""Batched VLSA evaluation backing the service's micro-batcher.
+
+One coalesced batch of operand pairs is evaluated in a single call,
+mirroring the engine's backend split:
+
+* ``numpy`` — vectorised ``uint64`` kernel for widths up to 64 bits
+  (the throughput path: exact sums, detector flags and speculative-error
+  flags for a whole batch in a handful of array ops);
+* ``bigint`` — per-pair :class:`~repro.mc.fastsim.AcaModel` loop, the
+  fallback for arbitrary widths and the reference the numpy kernel is
+  cross-checked against in the tests.
+
+Latency semantics are exactly those of
+:class:`~repro.arch.vlsa_machine.VlsaMachine`: the VLSA always returns
+the **correct** sum; what varies is the cycle count — 1 cycle when the
+detector stays silent (the speculative result is then provably right),
+``1 + recovery_cycles`` when it fires.  The service's virtual cycle
+clock therefore advances by ``n + recovery_cycles * stalls`` per batch,
+and per-request accounting never needs the (slow) speculative sum at
+all — only the detector word.  The tests cross-check this equivalence
+against a real ``VlsaMachine`` run, operand for operand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.error_model import choose_window
+from ..engine.context import RunContext
+from ..engine.functional import functional_model
+
+__all__ = ["BatchOutcome", "VlsaBatchExecutor", "EXECUTOR_BACKENDS"]
+
+#: Executor backend names (mirrors the engine backend vocabulary).
+EXECUTOR_BACKENDS = ("numpy", "bigint")
+
+
+@dataclass
+class BatchOutcome:
+    """Result of one coalesced batch through the speculative datapath.
+
+    Attributes:
+        sums: Final (always correct) sums, one per pair.
+        couts: Final carry-outs, one per pair.
+        stalled: Per-pair detector decision (True = recovery taken).
+        spec_errors: Per-pair "speculative sum was actually wrong"
+            (a subset of ``stalled``; the detector is conservative).
+        latencies: Per-pair latency in cycles (1 or 1 + recovery).
+        cycles: Total cycles the batch occupied the accelerator.
+    """
+
+    sums: List[int]
+    couts: List[int]
+    stalled: List[bool]
+    spec_errors: List[bool]
+    latencies: List[int]
+    cycles: int
+
+    @property
+    def size(self) -> int:
+        return len(self.sums)
+
+    @property
+    def stall_count(self) -> int:
+        return sum(self.stalled)
+
+    @property
+    def spec_error_count(self) -> int:
+        return sum(self.spec_errors)
+
+
+def _window_all_ones_np(word: np.ndarray, window: int) -> np.ndarray:
+    """Vectorised :func:`repro.mc.fastsim.window_all_ones` on uint64."""
+    certified = 1
+    out = word.copy()
+    while certified < window:
+        step = min(certified, window - certified)
+        out &= out >> np.uint64(step)
+        certified += step
+    return out
+
+
+class VlsaBatchExecutor:
+    """Evaluates coalesced operand batches with VLSA latency semantics.
+
+    Args:
+        width: Operand bitwidth.
+        window: Speculation window (default: the 99.99 % window).
+        recovery_cycles: Cycles added when the detector fires.
+        backend: ``"numpy"``, ``"bigint"``, or ``None`` for automatic
+            (numpy when the width fits a machine word).
+        ctx: Optional run context; batches bump its ``service_ops`` /
+            ``service_stalls`` counters and the ``service_execute``
+            phase timer.
+    """
+
+    def __init__(self, width: int, window: Optional[int] = None,
+                 recovery_cycles: int = 1, backend: Optional[str] = None,
+                 ctx: Optional[RunContext] = None):
+        if width <= 0:
+            raise ValueError("width must be positive")
+        if recovery_cycles < 1:
+            raise ValueError("recovery needs at least one extra cycle")
+        if window is None:
+            window = choose_window(width)
+        window = min(window, width)
+        if backend is None:
+            backend = "numpy" if width <= 64 else "bigint"
+        if backend not in EXECUTOR_BACKENDS:
+            raise ValueError(f"unknown executor backend {backend!r}; "
+                             f"expected one of {EXECUTOR_BACKENDS}")
+        if backend == "numpy" and width > 64:
+            raise ValueError("numpy executor supports widths up to 64 bits"
+                             " — use the bigint fallback")
+        self.width = width
+        self.window = window
+        self.recovery_cycles = recovery_cycles
+        self.backend = backend
+        self.ctx = ctx
+        # Functional reference model (shared with VlsaMachine).
+        self.model = functional_model("aca", width=width, window=window)
+
+    # ------------------------------------------------------------------
+    def execute(self, pairs: Sequence[Tuple[int, int]]) -> BatchOutcome:
+        """Evaluate every ``(a, b)`` pair in *pairs* as one batch."""
+        if self.ctx is not None:
+            with self.ctx.phase("service_execute"):
+                outcome = self._dispatch(pairs)
+            self.ctx.add("service_ops", outcome.size)
+            self.ctx.add("service_stalls", outcome.stall_count)
+            self.ctx.add("service_batches")
+            return outcome
+        return self._dispatch(pairs)
+
+    def _dispatch(self, pairs: Sequence[Tuple[int, int]]) -> BatchOutcome:
+        if not pairs:
+            return BatchOutcome([], [], [], [], [], 0)
+        if self.backend == "numpy":
+            return self._execute_numpy(pairs)
+        return self._execute_bigint(pairs)
+
+    # -- numpy fast path ------------------------------------------------
+    def _execute_numpy(self, pairs: Sequence[Tuple[int, int]]
+                       ) -> BatchOutcome:
+        width, window = self.width, self.window
+        mask = np.uint64((1 << width) - 1 if width < 64
+                         else 0xFFFFFFFFFFFFFFFF)
+        arr = np.asarray(pairs, dtype=np.uint64)
+        a = arr[:, 0] & mask
+        b = arr[:, 1] & mask
+        s = (a + b) & mask  # uint64 wraparound == mod 2^64 at width 64
+        if width < 64:
+            couts = ((a + b) >> np.uint64(width)).astype(np.uint64)
+        else:
+            couts = (s < a).astype(np.uint64)  # wrapped iff sum < operand
+        p = a ^ b
+        if window >= width:
+            flags = np.zeros(len(a), dtype=bool)
+            spec_err = np.zeros(len(a), dtype=bool)
+        else:
+            starts = _window_all_ones_np(p, window)
+            flags = starts != 0
+            # Speculation is actually wrong iff an all-propagate window
+            # (not anchored at bit 0) receives a carry: carry into bit i
+            # is bit i of (a + b) ^ a ^ b, which depends only on lower
+            # bits, so the wrapped uint64 sum is exact for it.
+            carries = s ^ p
+            spec_err = (starts & carries & ~np.uint64(1)) != 0
+        latencies = np.where(flags, 1 + self.recovery_cycles, 1)
+        return BatchOutcome(
+            sums=s.tolist(),
+            couts=couts.tolist(),
+            stalled=flags.tolist(),
+            spec_errors=spec_err.tolist(),
+            latencies=latencies.tolist(),
+            cycles=int(latencies.sum()),
+        )
+
+    # -- bigint fallback ------------------------------------------------
+    def _execute_bigint(self, pairs: Sequence[Tuple[int, int]]
+                        ) -> BatchOutcome:
+        model = self.model
+        sums: List[int] = []
+        couts: List[int] = []
+        stalled: List[bool] = []
+        spec_errors: List[bool] = []
+        latencies: List[int] = []
+        cycles = 0
+        for a, b in pairs:
+            flagged = model.flags_error(a, b)
+            exact_sum, exact_cout = model.exact(a, b)
+            spec_wrong = flagged and not model.is_correct(a, b)
+            latency = 1 + (self.recovery_cycles if flagged else 0)
+            sums.append(exact_sum)
+            couts.append(exact_cout)
+            stalled.append(flagged)
+            spec_errors.append(spec_wrong)
+            latencies.append(latency)
+            cycles += latency
+        return BatchOutcome(sums, couts, stalled, spec_errors,
+                            latencies, cycles)

@@ -1,0 +1,402 @@
+"""Workload generator and load driver for :class:`VlsaService`.
+
+Workloads (operand-pair streams) cover the distributions the related
+work cares about:
+
+* ``uniform`` — i.i.d. uniform operands, the paper's own assumption;
+  the observed stall rate must match
+  :func:`~repro.analysis.error_model.detector_flag_probability`.
+* ``biased`` — per-bit one-probability ``alpha`` approximated by
+  AND/OR-combining uniform words (supported alphas ``1/2^k`` and
+  ``1 - 1/2^k``; the closest is chosen).  The analytic stall rate comes
+  from the biased Markov model in :mod:`repro.analysis.biased` — Kedem-
+  style workload-dependent accuracy, now measurable end to end.
+* ``adversarial`` — every pair carries a maximal propagate chain with a
+  generate feeding it, so the detector fires on *every* addition (the
+  worst case an attacker can force; mean latency pins at
+  ``1 + recovery``).
+* ``attack`` — the additions the Section-1 ciphertext-only attack
+  actually performs, captured by running :func:`repro.apps.run_attack`
+  with a recording adder and replayed verbatim (32-bit ARX traffic —
+  correlated, non-uniform, the cipher workload the paper motivates).
+* ``mixed`` — uniform with a configurable adversarial fraction, for
+  SLO-under-attack experiments.
+
+:func:`run_loadgen` drives any workload through an in-process service
+with a configurable number of concurrent clients submitting chunked
+batches, and returns a :class:`LoadgenReport` comparing observed mean
+latency against the analytic ``1 + P(stall) * recovery_cycles``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..analysis.biased import (
+    pg_probabilities,
+    run_at_least_probability_biased,
+)
+from ..analysis.error_model import expected_latency_cycles
+from ..engine.context import RunContext, resolve_rng
+from .metrics import MetricsRegistry
+from .service import VlsaService
+
+__all__ = ["WORKLOADS", "LoadgenReport", "make_workload", "run_loadgen"]
+
+WORKLOADS = ("uniform", "biased", "adversarial", "attack", "mixed")
+
+PairChunk = List[Tuple[int, int]]
+
+
+def _uniform_words(rng: np.random.Generator, n: int) -> np.ndarray:
+    return rng.integers(0, np.iinfo(np.uint64).max, size=n,
+                        dtype=np.uint64, endpoint=True)
+
+
+def _chunk_uniform(rng: np.random.Generator, width: int,
+                   n: int) -> PairChunk:
+    mask = (1 << width) - 1
+    if width <= 64:
+        word_mask = np.uint64(mask)
+        a = (_uniform_words(rng, n) & word_mask).tolist()
+        b = (_uniform_words(rng, n) & word_mask).tolist()
+        return list(zip(a, b))
+    words = (width + 63) // 64
+    a_parts = [p.tolist() for p in
+               (_uniform_words(rng, n) for _ in range(words))]
+    b_parts = [p.tolist() for p in
+               (_uniform_words(rng, n) for _ in range(words))]
+
+    def glue(parts, i):
+        value = 0
+        for w, part in enumerate(parts):
+            value |= part[i] << (64 * w)
+        return value & mask
+
+    return [(glue(a_parts, i), glue(b_parts, i)) for i in range(n)]
+
+
+def _bias_combine(rng: np.random.Generator, n: int,
+                  alpha: float) -> Tuple[np.ndarray, float]:
+    """Words whose bits are one with probability ≈ *alpha*.
+
+    AND-ing k uniform words gives ``2^-k``; OR-ing gives ``1 - 2^-k``.
+    Returns the words and the alpha actually achieved.
+    """
+    if not (0.0 < alpha < 1.0):
+        raise ValueError("alpha must be in (0, 1)")
+    candidates = [(abs(alpha - 0.5 ** k), "and", k) for k in range(1, 7)]
+    candidates += [(abs(alpha - (1 - 0.5 ** k)), "or", k)
+                   for k in range(2, 7)]
+    _, mode, k = min(candidates)
+    out = _uniform_words(rng, n)
+    for _ in range(k - 1):
+        extra = _uniform_words(rng, n)
+        out = (out & extra) if mode == "and" else (out | extra)
+    achieved = 0.5 ** k if mode == "and" else 1 - 0.5 ** k
+    return out, achieved
+
+
+@dataclass
+class Workload:
+    """A named operand-pair stream plus its analytic stall probability."""
+
+    name: str
+    width: int
+    chunks: Iterator[PairChunk]
+    analytic_stall_probability: Optional[float] = None
+    params: Dict[str, Any] = field(default_factory=dict)
+
+
+def make_workload(name: str, width: int, window: int, ops: int,
+                  chunk: int = 1024, alpha: float = 0.75,
+                  adversarial_fraction: float = 0.1,
+                  rng: Optional[np.random.Generator] = None,
+                  ctx: Optional[RunContext] = None) -> Workload:
+    """Build the operand stream for workload *name*.
+
+    Args:
+        name: One of :data:`WORKLOADS`.
+        width: Operand bitwidth (``attack`` forces 32 — ARX block size).
+        window: Speculation window (for the analytic stall probability).
+        ops: Total additions to generate.
+        chunk: Additions per submitted batch.
+        alpha: Per-bit one-probability target (``biased`` only).
+        adversarial_fraction: Stalling fraction (``mixed`` only).
+        rng: Seeded generator (default: from *ctx* / process default).
+        ctx: Optional run context for RNG resolution.
+    """
+    if name not in WORKLOADS:
+        raise ValueError(f"unknown workload {name!r}; "
+                         f"expected one of {WORKLOADS}")
+    rng = resolve_rng(rng, ctx)
+    from ..analysis.error_model import detector_flag_probability
+
+    if name == "uniform":
+        def gen() -> Iterator[PairChunk]:
+            done = 0
+            while done < ops:
+                n = min(chunk, ops - done)
+                yield _chunk_uniform(rng, width, n)
+                done += n
+        return Workload(name, width, gen(),
+                        detector_flag_probability(width, window))
+
+    if name == "biased":
+        def gen_biased() -> Iterator[PairChunk]:
+            word_mask = np.uint64((1 << width) - 1)
+            done = 0
+            while done < ops:
+                n = min(chunk, ops - done)
+                a_words, _ = _bias_combine(rng, n, alpha)
+                b_words, _ = _bias_combine(rng, n, alpha)
+                yield list(zip((a_words & word_mask).tolist(),
+                               (b_words & word_mask).tolist()))
+                done += n
+        if width > 64:
+            raise ValueError("biased workload supports widths up to 64")
+        # Probe once so the achieved alpha is known up front.
+        _, achieved = _bias_combine(np.random.default_rng(0), 1, alpha)
+        p_prop, _, _ = pg_probabilities(achieved, achieved)
+        analytic = run_at_least_probability_biased(width, window, p_prop)
+        return Workload(name, width, gen_biased(), analytic,
+                        params={"alpha": achieved, "p_propagate": p_prop})
+
+    if name == "adversarial":
+        def gen_adv() -> Iterator[PairChunk]:
+            mask = (1 << width) - 1
+            done = 0
+            while done < ops:
+                n = min(chunk, ops - done)
+                out: PairChunk = []
+                for _ in range(n):
+                    # 0111…1 + 1: a full-width propagate chain fed by a
+                    # generate at bit 0 — detector fires, recovery runs.
+                    noise = int(rng.integers(0, 4))
+                    out.append(((mask >> 1) ^ noise, 1 | noise))
+                yield out
+                done += n
+        return Workload(name, width, gen_adv(), 1.0)
+
+    if name == "mixed":
+        frac = adversarial_fraction
+        if not (0.0 <= frac <= 1.0):
+            raise ValueError("adversarial_fraction must be in [0, 1]")
+        p_uni = detector_flag_probability(width, window)
+        analytic = frac * 1.0 + (1 - frac) * p_uni
+
+        def gen_mixed() -> Iterator[PairChunk]:
+            mask = (1 << width) - 1
+            done = 0
+            while done < ops:
+                n = min(chunk, ops - done)
+                pairs = _chunk_uniform(rng, width, n)
+                hits = rng.random(n) < frac
+                pairs = [((mask >> 1, 1) if hits[i] else pairs[i])
+                         for i in range(n)]
+                yield pairs
+                done += n
+        return Workload(name, width, gen_mixed(), analytic,
+                        params={"adversarial_fraction": frac})
+
+    # attack: capture the ARX cipher's actual add stream and replay it.
+    pairs = _capture_attack_pairs(ops, rng)
+
+    def gen_attack() -> Iterator[PairChunk]:
+        for lo in range(0, len(pairs), chunk):
+            yield pairs[lo:lo + chunk]
+    return Workload("attack", 32, gen_attack(), None,
+                    params={"captured_ops": len(pairs)})
+
+
+def _capture_attack_pairs(ops: int,
+                          rng: np.random.Generator) -> PairChunk:
+    """The (a, b) streams the ciphertext-only attack really adds.
+
+    Runs :func:`repro.apps.attack.run_attack` on a small corpus with a
+    recording adder; repeats (with fresh keys) until *ops* pairs are
+    captured.
+    """
+    from ..apps.attack import run_attack
+    from ..apps.blockcipher import ArxCipher, exact_adder
+
+    captured: PairChunk = []
+    while len(captured) < ops:
+        key = int(rng.integers(0, 1 << 16))
+        cipher = ArxCipher(key, rounds=4)
+        plaintext = bytes(int(x) for x in rng.integers(97, 123, size=256))
+        ciphertext = cipher.encrypt_bytes(plaintext)
+
+        def recording_adder(a: int, b: int) -> int:
+            if len(captured) < ops:
+                captured.append((a & 0xFFFFFFFF, b & 0xFFFFFFFF))
+            return exact_adder(a, b)
+
+        candidates = [key, (key + 1) & 0xFFFF, (key ^ 0x5A5A) & 0xFFFF,
+                      (key + 7) & 0xFFFF]
+        run_attack(ciphertext, key, candidates, adder=recording_adder,
+                   rounds=4)
+    return captured[:ops]
+
+
+@dataclass
+class LoadgenReport:
+    """Aggregate outcome of one load-generation run."""
+
+    workload: str
+    width: int
+    window: int
+    backend: str
+    ops: int
+    wall_seconds: float
+    adds_per_second: float
+    mean_latency_cycles: float
+    analytic_latency_cycles: Optional[float]
+    stall_rate: float
+    analytic_stall_rate: Optional[float]
+    spec_error_rate: float
+    total_cycles: int
+    rejected: int
+    timeouts: int
+    retries: int
+    queue_depth_peak: float
+    p50_wall_ms: float
+    p95_wall_ms: float
+    p99_wall_ms: float
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        out = dict(self.__dict__)
+        out["wall_seconds"] = round(self.wall_seconds, 6)
+        out["adds_per_second"] = round(self.adds_per_second, 1)
+        return out
+
+    def render(self) -> str:
+        """Human-readable summary table."""
+        ana_lat = ("n/a" if self.analytic_latency_cycles is None
+                   else f"{self.analytic_latency_cycles:.6f}")
+        ana_stall = ("n/a" if self.analytic_stall_rate is None
+                     else f"{self.analytic_stall_rate:.3e}")
+        lines = [
+            f"loadgen: workload={self.workload} width={self.width} "
+            f"window={self.window} backend={self.backend}",
+            f"  ops                  {self.ops}",
+            f"  wall seconds         {self.wall_seconds:.3f}",
+            f"  adds/second          {self.adds_per_second:,.0f}",
+            f"  mean latency cycles  {self.mean_latency_cycles:.6f}"
+            f"   (analytic {ana_lat})",
+            f"  stall rate           {self.stall_rate:.3e}"
+            f"   (analytic {ana_stall})",
+            f"  spec error rate      {self.spec_error_rate:.3e}",
+            f"  total cycles         {self.total_cycles}",
+            f"  request wall ms      p50={self.p50_wall_ms:.3f} "
+            f"p95={self.p95_wall_ms:.3f} p99={self.p99_wall_ms:.3f}",
+            f"  rejected/timeouts    {self.rejected}/{self.timeouts}"
+            f"  (retries {self.retries})",
+            f"  queue depth peak     {self.queue_depth_peak:.0f}",
+        ]
+        if self.params:
+            lines.append(f"  params               {self.params}")
+        return "\n".join(lines)
+
+
+async def _drive(service: VlsaService, workload: Workload,
+                 concurrency: int, timeout: Optional[float],
+                 retries: int) -> None:
+    chunk_iter = workload.chunks
+    lock = asyncio.Lock()
+
+    async def client() -> None:
+        while True:
+            async with lock:
+                try:
+                    chunk = next(chunk_iter)
+                except StopIteration:
+                    return
+            await service.submit_batch(chunk, timeout=timeout,
+                                       retries=retries)
+
+    await asyncio.gather(*(client() for _ in range(concurrency)))
+
+
+def run_loadgen(workload: str = "uniform", ops: int = 100000,
+                width: int = 64, window: Optional[int] = None,
+                chunk: int = 1024, concurrency: int = 4,
+                queue_capacity: int = 64, max_batch_ops: int = 8192,
+                recovery_cycles: int = 1, backend: Optional[str] = None,
+                alpha: float = 0.75, adversarial_fraction: float = 0.1,
+                timeout: Optional[float] = 30.0, retries: int = 8,
+                ctx: Optional[RunContext] = None,
+                registry: Optional[MetricsRegistry] = None
+                ) -> LoadgenReport:
+    """Drive *ops* additions through an in-process :class:`VlsaService`.
+
+    Returns:
+        A :class:`LoadgenReport`; ``report.metrics`` holds the full
+        registry snapshot (also what ``results/BENCH_service.json`` is
+        built from).
+    """
+    if workload == "attack":
+        width = 32
+    service = VlsaService(width=width, window=window,
+                          recovery_cycles=recovery_cycles,
+                          queue_capacity=queue_capacity,
+                          max_batch_ops=max_batch_ops, backend=backend,
+                          ctx=ctx, registry=registry)
+    wl = make_workload(workload, service.width, service.window, ops,
+                       chunk=chunk, alpha=alpha,
+                       adversarial_fraction=adversarial_fraction, ctx=ctx)
+
+    async def main() -> float:
+        async with service:
+            t0 = time.perf_counter()
+            await _drive(service, wl, concurrency, timeout, retries)
+            return time.perf_counter() - t0
+
+    phase = ctx.phase("loadgen") if ctx is not None else None
+    if phase is not None:
+        with phase:
+            wall = asyncio.run(main())
+    else:
+        wall = asyncio.run(main())
+
+    served = service.m_ops.value
+    stalls = service.m_stalls.value
+    analytic_stall = wl.analytic_stall_probability
+    analytic_latency = (
+        None if analytic_stall is None
+        else expected_latency_cycles(analytic_stall, recovery_cycles))
+    wall_hist = service.h_wall
+    report = LoadgenReport(
+        workload=workload, width=service.width, window=service.window,
+        backend=service.executor.backend, ops=served,
+        wall_seconds=wall,
+        adds_per_second=served / wall if wall > 0 else 0.0,
+        mean_latency_cycles=service.mean_latency_cycles,
+        analytic_latency_cycles=analytic_latency,
+        stall_rate=stalls / served if served else 0.0,
+        analytic_stall_rate=analytic_stall,
+        spec_error_rate=(service.m_spec_errors.value / served
+                         if served else 0.0),
+        total_cycles=service.cycle,
+        rejected=service.m_rejected.value,
+        timeouts=service.m_timeouts.value,
+        retries=service.m_retries.value,
+        queue_depth_peak=service.m_queue_depth.peak,
+        p50_wall_ms=wall_hist.quantile(0.5) * 1e3,
+        p95_wall_ms=wall_hist.quantile(0.95) * 1e3,
+        p99_wall_ms=wall_hist.quantile(0.99) * 1e3,
+        metrics=service.metrics_json(),
+        params=wl.params,
+    )
+    if ctx is not None:
+        ctx.add("loadgen_ops", served)
+        ctx.record_event("loadgen_done", workload=workload, ops=served,
+                         adds_per_second=round(report.adds_per_second, 1))
+    return report

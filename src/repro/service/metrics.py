@@ -1,0 +1,258 @@
+"""Metrics registry for the serving layer: counters, gauges, histograms.
+
+The service layer needs the observability primitives every production
+serving stack grows: monotonically increasing **counters** (operations,
+stalls, rejections), point-in-time **gauges** with high-water marks
+(queue depth, in-flight batch size) and **histograms** with quantile
+estimates (request latency, batch size).  Everything is plain Python —
+no external client library — and exports in two formats:
+
+* :meth:`MetricsRegistry.to_json` — a nested dict for manifests and
+  ``results/`` artifacts;
+* :meth:`MetricsRegistry.to_prometheus` — Prometheus text exposition
+  format, so a scraper pointed at the TCP front-end's ``metrics``
+  command sees standard ``# TYPE``/``# HELP`` output.
+
+Histograms keep exact count/sum/min/max plus a bounded reservoir
+(Vitter's algorithm R with a *seeded* RNG, so quantiles are reproducible
+run-to-run) from which p50/p95/p99 are computed.  Recording is O(1) and
+memory is bounded regardless of how many samples a load test pushes.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+def _fmt(value: float) -> str:
+    """Prometheus-friendly number formatting (ints stay ints)."""
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class Counter:
+    """A monotonically increasing counter.
+
+    Args:
+        name: Metric name (``snake_case``, no unit suffix enforcement).
+        help: One-line description for the Prometheus exposition.
+    """
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add *amount* (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"type": self.kind, "value": self.value}
+
+    def sample_lines(self) -> List[str]:
+        return [f"{self.name} {_fmt(self.value)}"]
+
+
+class Gauge:
+    """A point-in-time value that also tracks its high-water mark."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value: float = 0
+        self.peak: float = 0
+
+    def set(self, value: float) -> None:
+        """Set the gauge (the peak is updated automatically)."""
+        self.value = value
+        if value > self.peak:
+            self.peak = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.set(self.value + amount)
+
+    def dec(self, amount: float = 1) -> None:
+        self.value -= amount
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"type": self.kind, "value": self.value, "peak": self.peak}
+
+    def sample_lines(self) -> List[str]:
+        return [f"{self.name} {_fmt(self.value)}",
+                f"{self.name}_peak {_fmt(self.peak)}"]
+
+
+class Histogram:
+    """Streaming histogram with bounded memory and seeded quantiles.
+
+    Keeps exact ``count``/``sum``/``min``/``max`` and a reservoir of at
+    most *reservoir_size* samples maintained by Vitter's algorithm R.
+    The reservoir RNG is seeded per histogram, so two runs that record
+    the same sample stream report identical quantiles.
+
+    :meth:`record` accepts a ``count`` so integer-valued distributions
+    (e.g. latency in cycles, which is almost always exactly 1) can be
+    recorded in bulk without a million calls.
+    """
+
+    kind = "histogram"
+
+    #: Default quantiles reported by :meth:`to_json`/:meth:`sample_lines`.
+    QUANTILES: Tuple[float, ...] = (0.5, 0.95, 0.99)
+
+    def __init__(self, name: str, help: str = "",
+                 reservoir_size: int = 8192, seed: int = 0):
+        if reservoir_size <= 0:
+            raise ValueError("reservoir_size must be positive")
+        self.name = name
+        self.help = help
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._reservoir: List[float] = []
+        self._capacity = reservoir_size
+        self._rng = random.Random(seed)
+
+    def record(self, value: float, count: int = 1) -> None:
+        """Record *value* occurring *count* times."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        value = float(value)
+        self.sum += value * count
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for _ in range(count):
+            self.count += 1
+            if len(self._reservoir) < self._capacity:
+                self._reservoir.append(value)
+            else:
+                slot = self._rng.randrange(self.count)
+                if slot < self._capacity:
+                    self._reservoir[slot] = value
+
+    def record_many(self, values: Sequence[float]) -> None:
+        """Record every element of *values*."""
+        for v in values:
+            self.record(v)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated *q*-quantile (nearest-rank over the reservoir)."""
+        if not (0.0 <= q <= 1.0):
+            raise ValueError("quantile must be in [0, 1]")
+        if not self._reservoir:
+            return 0.0
+        ordered = sorted(self._reservoir)
+        rank = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[rank]
+
+    def to_json(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "type": self.kind,
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+        }
+        for q in self.QUANTILES:
+            out[f"p{int(q * 100)}"] = self.quantile(q)
+        return out
+
+    def sample_lines(self) -> List[str]:
+        lines = [f"{self.name}_count {_fmt(self.count)}",
+                 f"{self.name}_sum {_fmt(self.sum)}"]
+        for q in self.QUANTILES:
+            lines.append(
+                f'{self.name}{{quantile="{q}"}} {_fmt(self.quantile(q))}')
+        return lines
+
+
+class MetricsRegistry:
+    """A named collection of metrics with idempotent registration.
+
+    ``counter``/``gauge``/``histogram`` return the existing instrument
+    when one with that name is already registered (mismatched kinds
+    raise), so independent components can share the registry without
+    coordination.  Thread-safe registration; instrument updates are
+    single-threaded by design (the service owns one event loop).
+    """
+
+    def __init__(self, namespace: str = "vlsa"):
+        self.namespace = namespace
+        self._metrics: "Dict[str, Any]" = {}
+        self._lock = threading.Lock()
+
+    def _get_or_make(self, cls, name: str, **kwargs):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise TypeError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}")
+                return existing
+            metric = cls(name, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get or create the counter *name*."""
+        return self._get_or_make(Counter, name, help=help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get or create the gauge *name*."""
+        return self._get_or_make(Gauge, name, help=help)
+
+    def histogram(self, name: str, help: str = "",
+                  reservoir_size: int = 8192, seed: int = 0) -> Histogram:
+        """Get or create the histogram *name*."""
+        return self._get_or_make(Histogram, name, help=help,
+                                 reservoir_size=reservoir_size, seed=seed)
+
+    def get(self, name: str):
+        """The registered metric, or ``None``."""
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    # -- export ---------------------------------------------------------
+    def to_json(self) -> Dict[str, Any]:
+        """``{metric_name: snapshot}`` for manifests and results files."""
+        return {name: self._metrics[name].to_json()
+                for name in sorted(self._metrics)}
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition of every registered metric."""
+        lines: List[str] = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            full = f"{self.namespace}_{name}"
+            if metric.help:
+                lines.append(f"# HELP {full} {metric.help}")
+            kind = "summary" if metric.kind == "histogram" else metric.kind
+            lines.append(f"# TYPE {full} {kind}")
+            for sample in metric.sample_lines():
+                lines.append(f"{self.namespace}_{sample}")
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,486 @@
+"""`VlsaService` — the VLSA as a shared, asynchronously served accelerator.
+
+The paper's variable-latency datapath has exactly the shape of a
+latency-SLO serving problem: almost every request completes in one fast
+cycle, a rare detector fire costs recovery cycles, and the *average*
+service time is what wins.  This module turns the reproduction into that
+service:
+
+* **Bounded admission queue.**  ``queue_capacity`` requests may wait at
+  once; a full queue **rejects** immediately (`ServiceOverloadedError`),
+  so memory stays bounded under any offered load and the caller — not
+  the service — decides whether to retry.  Rejections, timeouts and
+  cancellations are all counted in the metrics registry; nothing is
+  dropped silently.
+* **Dynamic micro-batcher.**  A single consumer task drains whatever is
+  queued (up to ``max_batch_ops`` additions) and evaluates it as one
+  coalesced batch on the :class:`~repro.service.executor.VlsaBatchExecutor`
+  (numpy kernel for throughput, bigint fallback for arbitrary widths).
+  Under light load batches are small and latency is minimal; under heavy
+  load batches grow toward the cap and throughput dominates — no tuning
+  knob needs turning.
+* **Variable-latency accounting.**  A virtual cycle clock models the
+  accelerator serially, reusing the
+  :class:`~repro.arch.vlsa_machine.VlsaMachine` semantics: each addition
+  is accepted at the current cycle and costs 1 cycle, plus
+  ``recovery_cycles`` when the error detector fires.  Per-request
+  responses carry ``accept_cycle`` and ``latency_cycles``; the mean over
+  a uniform stream reproduces the paper's ~1.0002.
+* **Timeout / retry / cancellation.**  `submit(..., timeout=)` resolves
+  to `RequestTimeoutError` if the response is not ready in time;
+  `submit(..., retries=N)` retries admission after overload with
+  exponential backoff; cancelling the awaiting task abandons the
+  request, and the batcher skips abandoned work without double-answering
+  anything (property-tested under random cancellation).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..analysis.error_model import (
+    detector_flag_probability,
+    expected_latency_cycles,
+)
+from ..engine.context import RunContext
+from .executor import VlsaBatchExecutor
+from .metrics import MetricsRegistry
+from .tracing import Tracer
+
+__all__ = [
+    "ServiceError",
+    "ServiceClosedError",
+    "ServiceOverloadedError",
+    "RequestTimeoutError",
+    "AddResponse",
+    "BatchResponse",
+    "VlsaService",
+]
+
+
+class ServiceError(Exception):
+    """Base class for serving-layer failures."""
+
+
+class ServiceClosedError(ServiceError):
+    """The service is not running (never started, or already stopped)."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """Admission queue full — request rejected for backpressure."""
+
+
+class RequestTimeoutError(ServiceError):
+    """The caller's deadline expired before the response was ready."""
+
+
+@dataclass
+class AddResponse:
+    """Outcome of one addition served by the VLSA.
+
+    Mirrors :class:`~repro.arch.vlsa_machine.VlsaOpResult`: the sum is
+    always correct; the *latency* is what varies.
+    """
+
+    a: int
+    b: int
+    sum_out: int
+    cout: int
+    stalled: bool
+    latency_cycles: int
+    accept_cycle: int
+
+
+@dataclass
+class BatchResponse:
+    """Outcome of a client-side batch submitted as one request.
+
+    Per-addition results stay as parallel lists (a million-op load test
+    should not allocate a million dataclasses); aggregate accounting is
+    precomputed.
+    """
+
+    sums: List[int]
+    couts: List[int]
+    stalled: List[bool]
+    latencies: List[int]
+    accept_cycle: int
+    cycles: int = 0
+    stall_count: int = 0
+
+    @property
+    def size(self) -> int:
+        return len(self.sums)
+
+
+@dataclass
+class _Pending:
+    """One admitted queue entry (a scalar add or a client batch)."""
+
+    pairs: Sequence[Tuple[int, int]]
+    future: "asyncio.Future"
+    scalar: bool
+    enqueued_at: float = 0.0
+    id: int = 0
+
+    @property
+    def ops(self) -> int:
+        return len(self.pairs)
+
+
+_SHUTDOWN = object()
+
+
+class VlsaService:
+    """Async batched serving front-end over the speculative adder.
+
+    Args:
+        width: Operand bitwidth.
+        window: Speculation window (default: 99.99 % window for *width*).
+        recovery_cycles: Extra cycles when the detector fires.
+        queue_capacity: Max requests waiting for the batcher (Q); further
+            submissions are rejected with :class:`ServiceOverloadedError`.
+        max_batch_ops: Max additions coalesced into one executor batch.
+        backend: Executor backend (``"numpy"``/``"bigint"``/``None`` =
+            automatic).
+        ctx: Optional run context (counters, phase timers, trace events).
+        registry: Metrics registry to record into (default: a fresh one).
+
+    Use as an async context manager, or call :meth:`start`/:meth:`stop`::
+
+        async with VlsaService(width=64) as svc:
+            resp = await svc.submit(123, 456)
+    """
+
+    def __init__(self, width: int = 64, window: Optional[int] = None,
+                 recovery_cycles: int = 1, queue_capacity: int = 1024,
+                 max_batch_ops: int = 4096, backend: Optional[str] = None,
+                 ctx: Optional[RunContext] = None,
+                 registry: Optional[MetricsRegistry] = None):
+        if queue_capacity < 1:
+            raise ValueError("queue_capacity must be at least 1")
+        if max_batch_ops < 1:
+            raise ValueError("max_batch_ops must be at least 1")
+        self.executor = VlsaBatchExecutor(width, window=window,
+                                          recovery_cycles=recovery_cycles,
+                                          backend=backend, ctx=ctx)
+        self.width = self.executor.width
+        self.window = self.executor.window
+        self.recovery_cycles = recovery_cycles
+        self.queue_capacity = queue_capacity
+        self.max_batch_ops = max_batch_ops
+        self.ctx = ctx
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = Tracer(ctx=ctx)
+        self._queue: "Optional[asyncio.Queue]" = None
+        self._batcher: "Optional[asyncio.Task]" = None
+        self._cycle = 0
+        self._ids = itertools.count()
+        self._make_metrics()
+
+    def _make_metrics(self) -> None:
+        reg = self.registry
+        self.m_ops = reg.counter(
+            "ops_total", "additions served to completion")
+        self.m_requests = reg.counter(
+            "requests_total", "requests admitted to the queue")
+        self.m_stalls = reg.counter(
+            "stalls_total", "additions that took the recovery path")
+        self.m_spec_errors = reg.counter(
+            "speculative_errors_total",
+            "additions whose speculative sum was actually wrong")
+        self.m_batches = reg.counter(
+            "batches_total", "coalesced executor batches run")
+        self.m_rejected = reg.counter(
+            "rejected_total", "submissions refused because the queue was full")
+        self.m_timeouts = reg.counter(
+            "timeouts_total", "requests abandoned by caller deadline")
+        self.m_cancelled = reg.counter(
+            "cancelled_total", "requests abandoned by caller cancellation")
+        self.m_retries = reg.counter(
+            "retries_total", "admission retries after overload")
+        self.m_queue_depth = reg.gauge(
+            "queue_depth", "requests waiting for the batcher")
+        self.m_inflight = reg.gauge(
+            "inflight_requests", "requests admitted but not yet resolved")
+        self.m_cycles = reg.gauge(
+            "accelerator_cycles", "virtual cycles consumed by the datapath")
+        self.h_batch = reg.histogram(
+            "batch_size_ops", "additions per coalesced batch")
+        self.h_latency = reg.histogram(
+            "latency_cycles", "per-addition latency in cycles")
+        self.h_wall = reg.histogram(
+            "request_wall_seconds", "request wall time, admission to response")
+
+    # -- analytic model -------------------------------------------------
+    @property
+    def analytic_stall_probability(self) -> float:
+        """P(detector fires) for uniform operands at this configuration."""
+        return detector_flag_probability(self.width, self.window)
+
+    @property
+    def analytic_latency_cycles(self) -> float:
+        """Expected per-addition latency: ``1 + P(stall) * recovery``."""
+        return expected_latency_cycles(self.analytic_stall_probability,
+                                       self.recovery_cycles)
+
+    @property
+    def cycle(self) -> int:
+        """Current virtual accelerator cycle."""
+        return self._cycle
+
+    @property
+    def running(self) -> bool:
+        return self._batcher is not None and not self._batcher.done()
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting for the batcher."""
+        return self._queue.qsize() if self._queue is not None else 0
+
+    # -- lifecycle ------------------------------------------------------
+    async def start(self) -> "VlsaService":
+        """Start the micro-batcher task (idempotent)."""
+        if self.running:
+            return self
+        self._queue = asyncio.Queue(maxsize=self.queue_capacity)
+        self._batcher = asyncio.get_running_loop().create_task(
+            self._batch_loop(), name="vlsa-service-batcher")
+        self.tracer.emit("service_start", width=self.width,
+                         window=self.window,
+                         backend=self.executor.backend,
+                         queue_capacity=self.queue_capacity,
+                         max_batch_ops=self.max_batch_ops)
+        return self
+
+    async def stop(self) -> None:
+        """Drain already-admitted work, then stop the batcher."""
+        if self._queue is None or self._batcher is None:
+            return
+        queue = self._queue
+        await queue.put(_SHUTDOWN)
+        await self._batcher
+        self._batcher = None
+        self._queue = None
+        # Anything admitted after shutdown was signalled is failed
+        # explicitly — its submitter sees ServiceClosedError, not a hang.
+        while True:
+            try:
+                leftover = queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if leftover is _SHUTDOWN or leftover.future.done():
+                continue
+            leftover.future.set_exception(
+                ServiceClosedError("service stopped"))
+        self.tracer.emit("service_stop", cycles=self._cycle,
+                         ops=self.m_ops.value)
+
+    async def __aenter__(self) -> "VlsaService":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- submission -----------------------------------------------------
+    def _admit(self, pairs: Sequence[Tuple[int, int]],
+               scalar: bool) -> _Pending:
+        if self._queue is None:
+            raise ServiceClosedError("service is not running; use "
+                                     "'async with VlsaService(...)'")
+        loop = asyncio.get_running_loop()
+        pending = _Pending(pairs=pairs, future=loop.create_future(),
+                           scalar=scalar, enqueued_at=loop.time(),
+                           id=next(self._ids))
+        try:
+            self._queue.put_nowait(pending)
+        except asyncio.QueueFull:
+            self.m_rejected.inc()
+            self.tracer.emit("request_rejected", id=pending.id,
+                             ops=pending.ops, depth=self._queue.qsize())
+            raise ServiceOverloadedError(
+                f"admission queue full ({self.queue_capacity} waiting)"
+            ) from None
+        self.m_requests.inc()
+        self.m_queue_depth.set(self._queue.qsize())
+        self.m_inflight.inc()
+        return pending
+
+    async def _await_response(self, pending: _Pending,
+                              timeout: Optional[float]):
+        try:
+            if timeout is None:
+                return await pending.future
+            return await asyncio.wait_for(
+                asyncio.shield(pending.future), timeout)
+        except asyncio.TimeoutError:
+            self.m_timeouts.inc()
+            self.tracer.emit("request_timeout", id=pending.id)
+            pending.future.cancel()
+            raise RequestTimeoutError(
+                f"no response within {timeout}s") from None
+        except asyncio.CancelledError:
+            # Awaiting directly (no timeout) cancels the future itself;
+            # the shielded path leaves it pending — handle both.
+            if pending.future.cancelled() or not pending.future.done():
+                pending.future.cancel()
+                self.m_cancelled.inc()
+                self.tracer.emit("request_cancelled", id=pending.id)
+            raise
+        finally:
+            self.m_inflight.dec()
+
+    async def submit(self, a: int, b: int, timeout: Optional[float] = None,
+                     retries: int = 0,
+                     retry_backoff: float = 0.005) -> AddResponse:
+        """Serve one addition.
+
+        Args:
+            a, b: Operands (masked to the service width).
+            timeout: Optional response deadline in seconds.
+            retries: Admission retries after overload rejection.
+            retry_backoff: Base backoff; doubles per retry.
+
+        Raises:
+            ServiceOverloadedError: Queue full and retries exhausted.
+            RequestTimeoutError: Deadline expired.
+            ServiceClosedError: Service not running.
+        """
+        for attempt in range(retries + 1):
+            try:
+                pending = self._admit(((a, b),), scalar=True)
+                break
+            except ServiceOverloadedError:
+                if attempt == retries:
+                    raise
+                self.m_retries.inc()
+                await asyncio.sleep(retry_backoff * (1 << attempt))
+        return await self._await_response(pending, timeout)
+
+    async def submit_batch(self, pairs: Sequence[Tuple[int, int]],
+                           timeout: Optional[float] = None,
+                           retries: int = 0,
+                           retry_backoff: float = 0.005) -> BatchResponse:
+        """Serve a client-side batch of additions as one queued request.
+
+        Args / raises: as :meth:`submit`.  The whole batch is admitted,
+        evaluated and resolved as a unit (it may still be coalesced with
+        other pending requests into a larger executor batch).
+        """
+        pairs = list(pairs)
+        if not pairs:
+            return BatchResponse([], [], [], [], accept_cycle=self._cycle)
+        for attempt in range(retries + 1):
+            try:
+                pending = self._admit(pairs, scalar=False)
+                break
+            except ServiceOverloadedError:
+                if attempt == retries:
+                    raise
+                self.m_retries.inc()
+                await asyncio.sleep(retry_backoff * (1 << attempt))
+        return await self._await_response(pending, timeout)
+
+    # -- the micro-batcher ----------------------------------------------
+    async def _batch_loop(self) -> None:
+        queue = self._queue
+        assert queue is not None
+        while True:
+            item = await queue.get()
+            if item is _SHUTDOWN:
+                return
+            batch: List[_Pending] = [item]
+            ops = item.ops
+            # Dynamic coalescing: drain whatever else is already queued,
+            # up to the op cap — small batches under light load, large
+            # ones under pressure, no timer needed.
+            while ops < self.max_batch_ops:
+                try:
+                    nxt = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if nxt is _SHUTDOWN:
+                    self._execute_batch(batch)
+                    return
+                batch.append(nxt)
+                ops += nxt.ops
+            self.m_queue_depth.set(queue.qsize())
+            self._execute_batch(batch)
+
+    def _execute_batch(self, batch: List[_Pending]) -> None:
+        loop = asyncio.get_running_loop()
+        live = [p for p in batch if not p.future.done()]
+        if not live:
+            return
+        pairs: List[Tuple[int, int]] = []
+        for pending in live:
+            pairs.extend(pending.pairs)
+        outcome = self.executor.execute(pairs)
+
+        # Serial accelerator accounting (VlsaMachine semantics): ops are
+        # accepted back-to-back; each costs 1 cycle plus recovery when
+        # its detector fired.
+        start_cycle = self._cycle
+        self._cycle += outcome.cycles
+        self.m_cycles.set(self._cycle)
+        self.m_ops.inc(outcome.size)
+        self.m_stalls.inc(outcome.stall_count)
+        self.m_spec_errors.inc(outcome.spec_error_count)
+        self.m_batches.inc()
+        self.h_batch.record(outcome.size)
+        ones = outcome.size - outcome.stall_count
+        if ones:
+            self.h_latency.record(1, count=ones)
+        if outcome.stall_count:
+            self.h_latency.record(1 + self.recovery_cycles,
+                                  count=outcome.stall_count)
+        self.tracer.emit("batch_executed", requests=len(live),
+                         ops=outcome.size, stalls=outcome.stall_count,
+                         cycles=outcome.cycles, start_cycle=start_cycle)
+
+        now = loop.time()
+        offset = 0
+        cycle = start_cycle
+        for pending in live:
+            n = pending.ops
+            sl = slice(offset, offset + n)
+            accept = cycle
+            cycle += sum(outcome.latencies[sl])
+            offset += n
+            if pending.future.done():  # cancelled while executing
+                continue
+            self.h_wall.record(now - pending.enqueued_at)
+            if pending.scalar:
+                a, b = pending.pairs[0]
+                response: object = AddResponse(
+                    a=a, b=b, sum_out=outcome.sums[sl][0],
+                    cout=outcome.couts[sl][0],
+                    stalled=outcome.stalled[sl][0],
+                    latency_cycles=outcome.latencies[sl][0],
+                    accept_cycle=accept)
+            else:
+                response = BatchResponse(
+                    sums=outcome.sums[sl], couts=outcome.couts[sl],
+                    stalled=outcome.stalled[sl],
+                    latencies=outcome.latencies[sl],
+                    accept_cycle=accept,
+                    cycles=sum(outcome.latencies[sl]),
+                    stall_count=sum(outcome.stalled[sl]))
+            pending.future.set_result(response)
+
+    # -- reporting ------------------------------------------------------
+    def metrics_json(self) -> dict:
+        """Snapshot of the metrics registry as a nested dict."""
+        return self.registry.to_json()
+
+    def metrics_prometheus(self) -> str:
+        """Prometheus text exposition of the registry."""
+        return self.registry.to_prometheus()
+
+    @property
+    def mean_latency_cycles(self) -> float:
+        """Observed mean per-addition latency so far."""
+        return self.h_latency.mean if self.h_latency.count else 0.0

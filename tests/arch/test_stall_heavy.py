@@ -1,0 +1,144 @@
+"""Stall-heavy streams: clocking and VCD under back-to-back detector fires.
+
+An adversarial all-propagate stream makes the detector fire on every
+operation, which is the worst case for the VALID/STALL handshake: the
+busy register must hold through every recovery window, the clock must
+account for every stall cycle, and the VCD stall wire must toggle once
+per operation without ever merging adjacent pulses.
+"""
+
+import pytest
+
+from repro.arch import ClockDomain, VlsaMachine
+
+
+def _all_propagate_pairs(width, count):
+    """Pairs whose carry chain spans the whole word (detector always fires)."""
+    return [((1 << width) - 2, 1)] * count
+
+
+def _parse_vcd_changes(text, name):
+    """Return [(time, value)] for the named scalar signal in VCD *text*."""
+    ident = None
+    for line in text.splitlines():
+        if line.startswith("$var") and f" {name} " in line:
+            ident = line.split()[3]
+            break
+    assert ident is not None, f"signal {name} not declared"
+    changes, time = [], None
+    for line in text.splitlines():
+        if line.startswith("#"):
+            time = int(line[1:])
+        elif time is not None and line.endswith(ident) and len(line) == 1 + len(ident):
+            changes.append((time, int(line[0])))
+    return changes
+
+
+def test_every_op_stalls_and_cycles_add_up():
+    n, recovery = 50, 2
+    machine = VlsaMachine(8, window=2, recovery_cycles=recovery)
+    # 0xFF + 1 generates at bit 0 and propagates across the whole word,
+    # so every speculation is genuinely wrong and every op stalls.
+    trace = machine.run([(0xFF, 1)] * n)
+    assert trace.stall_count == n
+    assert all(r.latency_cycles == 1 + recovery for r in trace.results)
+    assert trace.total_cycles == n * (1 + recovery)
+    assert trace.average_latency_cycles == pytest.approx(1 + recovery)
+    # Recovery still presents the exact result every time.
+    assert all(r.sum_out == 0 and r.cout == 1 for r in trace.results)
+    assert all(not r.speculative_correct for r in trace.results)
+
+
+def test_accept_cycles_spaced_by_full_stall_latency():
+    recovery = 3
+    machine = VlsaMachine(8, window=2, recovery_cycles=recovery)
+    trace = machine.run(_all_propagate_pairs(8, 10))
+    accepts = [r.accept_cycle for r in trace.results]
+    assert accepts == [i * (1 + recovery) for i in range(10)]
+
+
+def test_clock_time_advances_with_stall_cycles():
+    period = 2.5
+    machine = VlsaMachine(8, window=2, recovery_cycles=1, clock_period=period)
+    trace = machine.run(_all_propagate_pairs(8, 20))
+    assert machine.clock.cycle == trace.total_cycles == 40
+    assert machine.clock.now == pytest.approx(40 * period)
+    assert trace.average_latency_time == pytest.approx(2 * period)
+
+
+def test_busy_register_holds_through_recovery():
+    """The busy flop must stay asserted for every stall cycle (Fig. 6)."""
+    clk = ClockDomain()
+    busy = clk.register(0, "busy")
+    observed = []
+    busy.set_next(1)
+    clk.tick()  # accept
+    for _ in range(3):  # recovery window: explicit re-assert each cycle
+        observed.append(busy.q)
+        busy.set_next(1)
+        clk.tick()
+    observed.append(busy.q)
+    busy.set_next(0)
+    clk.tick()
+    observed.append(busy.q)
+    assert observed == [1, 1, 1, 1, 0]
+
+
+def test_register_hold_keeps_value_across_many_edges():
+    clk = ClockDomain()
+    r = clk.register(0xAB, "op")
+    for _ in range(5):
+        r.hold()
+        clk.tick()
+    assert r.q == 0xAB
+    assert clk.cycle == 5
+
+
+def test_mixed_stream_interleaves_stall_and_fast_ops():
+    machine = VlsaMachine(8, window=3, recovery_cycles=2)
+    # Propagate runs: 2, 8, 2, 8, 2 bits against a 3-bit window.
+    pairs = [(1, 2), (0xFE, 1), (4, 2), (0xFE, 1), (2, 1)]
+    trace = machine.run(pairs)
+    assert [r.stalled for r in trace.results] == [False, True, False,
+                                                  True, False]
+    assert trace.total_cycles == 3 * 1 + 2 * 3
+    accepts = [r.accept_cycle for r in trace.results]
+    assert accepts == [0, 1, 4, 5, 8]
+
+
+def test_vcd_stall_pulses_stay_distinct_back_to_back():
+    """Adjacent stall pulses must not merge: 0 -> 1 at accept+1, 1 -> 0
+    exactly when the corrected sum goes VALID, for every operation."""
+    n, recovery = 5, 2
+    machine = VlsaMachine(8, window=2, recovery_cycles=recovery)
+    trace = machine.run(_all_propagate_pairs(8, n))
+    stall = _parse_vcd_changes(trace.to_vcd(), "stall")
+    expected = [(0, 0)]
+    for r in trace.results:
+        expected.append((r.accept_cycle + 1, 1))
+        expected.append((r.accept_cycle + r.latency_cycles, 0))
+    assert stall == expected
+    # Strictly alternating values at strictly increasing timestamps.
+    times = [t for t, _ in stall]
+    values = [v for _, v in stall]
+    assert times == sorted(times) and len(set(times)) == len(times)
+    assert all(x != y for x, y in zip(values, values[1:]))
+
+
+def test_vcd_valid_fires_once_per_op_under_stalls():
+    n = 4
+    machine = VlsaMachine(8, window=2, recovery_cycles=1)
+    trace = machine.run(_all_propagate_pairs(8, n))
+    valid = _parse_vcd_changes(trace.to_vcd(), "valid")
+    rises = [t for t, v in valid if v == 1]
+    assert rises == [r.accept_cycle + r.latency_cycles
+                     for r in trace.results]
+
+
+def test_vcd_renders_vector_sum_after_recovery():
+    machine = VlsaMachine(8, window=2, recovery_cycles=1)
+    trace = machine.run([(0xFE, 1)])
+    text = trace.to_vcd()
+    # Corrected sum 0xFF appears at the recovery timestamp, not cycle 1.
+    assert "#2" in text
+    assert "b11111111" in text.split("#2")[1]

@@ -1,0 +1,73 @@
+"""Property: the micro-batcher never loses or double-answers a request.
+
+Under any interleaving of admissions, queue-full rejections and caller
+cancellations, every submitted request has exactly one fate — answered
+correctly, rejected with `ServiceOverloadedError`, or cancelled — and
+answered requests complete in admission order (monotone accept cycles).
+"""
+
+import asyncio
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service import ServiceOverloadedError, VlsaService
+
+WIDTH = 16
+MASK = (1 << WIDTH) - 1
+
+request_list = st.lists(
+    st.tuples(st.integers(0, MASK), st.integers(0, MASK),
+              st.booleans()),  # (a, b, cancel_before_execution)
+    min_size=1, max_size=24)
+
+
+@given(requests=request_list, capacity=st.integers(1, 8),
+       max_batch=st.integers(1, 16))
+@settings(max_examples=40, deadline=None)
+def test_no_request_lost_or_double_answered(requests, capacity, max_batch):
+    async def main():
+        svc = VlsaService(width=WIDTH, window=3, queue_capacity=capacity,
+                          max_batch_ops=max_batch)
+        await svc.start()
+        loop = asyncio.get_running_loop()
+        # Count every future resolution to prove nothing resolves twice
+        # (a second set_result would raise InvalidStateError and kill
+        # the batcher; we also assert it stays alive).
+        tasks = [loop.create_task(svc.submit(a, b))
+                 for (a, b, _) in requests]
+        await asyncio.sleep(0)  # all admissions/rejections happen
+        assert svc.queue_depth <= capacity
+        for task, (_, _, cancel) in zip(tasks, requests):
+            if cancel:
+                task.cancel()
+        results = await asyncio.gather(*tasks, return_exceptions=True)
+        batcher_alive = not svc._batcher.done()
+        await svc.stop()
+        return svc, results, batcher_alive
+
+    svc, results, batcher_alive = asyncio.run(main())
+    assert batcher_alive, "batcher task died (double answer?)"
+
+    answered = rejected = cancelled = 0
+    last_accept = -1
+    for (a, b, was_cancelled), outcome in zip(requests, results):
+        if isinstance(outcome, ServiceOverloadedError):
+            rejected += 1
+        elif isinstance(outcome, asyncio.CancelledError):
+            assert was_cancelled
+            cancelled += 1
+        else:
+            # Exactly-once, correct, in admission order.
+            assert outcome.sum_out == (a + b) & MASK
+            assert outcome.cout == (a + b) >> WIDTH
+            assert outcome.accept_cycle > last_accept
+            last_accept = outcome.accept_cycle
+            answered += 1
+
+    # Every request has exactly one fate; none dropped silently.
+    assert answered + rejected + cancelled == len(requests)
+    assert svc.m_rejected.value == rejected
+    assert svc.m_cancelled.value == cancelled
+    assert svc.m_ops.value == answered
+    assert svc.m_queue_depth.peak <= capacity

@@ -1,0 +1,116 @@
+"""Batch executor: numpy kernel vs bigint fallback vs VlsaMachine."""
+
+import pytest
+
+from repro.arch import VlsaMachine
+from repro.mc.fastsim import detector_flag
+from repro.service import VlsaBatchExecutor
+
+
+def _pairs(rng, width, count):
+    return [(rng.getrandbits(width), rng.getrandbits(width))
+            for _ in range(count)]
+
+
+@pytest.mark.parametrize("width,window", [(8, 2), (16, 4), (32, 8),
+                                          (63, 10), (64, 12)])
+def test_numpy_matches_bigint(rng, width, window):
+    pairs = _pairs(rng, width, 400)
+    np_out = VlsaBatchExecutor(width, window=window,
+                               backend="numpy").execute(pairs)
+    bi_out = VlsaBatchExecutor(width, window=window,
+                               backend="bigint").execute(pairs)
+    assert np_out.sums == bi_out.sums
+    assert np_out.couts == bi_out.couts
+    assert np_out.stalled == bi_out.stalled
+    assert np_out.spec_errors == bi_out.spec_errors
+    assert np_out.latencies == bi_out.latencies
+    assert np_out.cycles == bi_out.cycles
+
+
+def test_sums_always_exact(rng):
+    width = 64
+    executor = VlsaBatchExecutor(width, window=6)  # frequent stalls
+    pairs = _pairs(rng, width, 300)
+    out = executor.execute(pairs)
+    mask = (1 << width) - 1
+    for (a, b), s, c in zip(pairs, out.sums, out.couts):
+        assert s == (a + b) & mask
+        assert c == (a + b) >> width
+    assert out.stall_count > 0
+
+
+def test_matches_vlsa_machine_semantics(rng):
+    """Per-op latency/stall accounting must equal the Fig. 6 machine."""
+    width, window, recovery = 16, 3, 2
+    pairs = _pairs(rng, width, 250)
+    machine = VlsaMachine(width, window=window, recovery_cycles=recovery)
+    trace = machine.run(pairs)
+    out = VlsaBatchExecutor(width, window=window,
+                            recovery_cycles=recovery).execute(pairs)
+    assert out.stalled == [r.stalled for r in trace.results]
+    assert out.latencies == [r.latency_cycles for r in trace.results]
+    assert out.sums == [r.sum_out for r in trace.results]
+    assert out.couts == [r.cout for r in trace.results]
+    assert out.cycles == trace.total_cycles
+
+
+def test_stall_iff_detector_fires(rng):
+    width, window = 32, 5
+    pairs = _pairs(rng, width, 200)
+    out = VlsaBatchExecutor(width, window=window).execute(pairs)
+    for (a, b), stalled in zip(pairs, out.stalled):
+        assert stalled == detector_flag(a, b, width, window)
+
+
+def test_spec_errors_subset_of_stalls(rng):
+    out = VlsaBatchExecutor(16, window=3).execute(_pairs(rng, 16, 500))
+    for err, stall in zip(out.spec_errors, out.stalled):
+        assert not err or stall  # detector never misses a real error
+    assert out.spec_error_count <= out.stall_count
+
+
+def test_wide_bigint_fallback(rng):
+    """Widths beyond a machine word run on the bigint path."""
+    executor = VlsaBatchExecutor(128, window=8)
+    assert executor.backend == "bigint"
+    pairs = _pairs(rng, 128, 50)
+    out = executor.execute(pairs)
+    mask = (1 << 128) - 1
+    for (a, b), s in zip(pairs, out.sums):
+        assert s == (a + b) & mask
+
+
+def test_empty_batch():
+    out = VlsaBatchExecutor(64).execute([])
+    assert out.size == 0
+    assert out.cycles == 0
+
+
+def test_configuration_validation():
+    with pytest.raises(ValueError):
+        VlsaBatchExecutor(0)
+    with pytest.raises(ValueError):
+        VlsaBatchExecutor(64, recovery_cycles=0)
+    with pytest.raises(ValueError):
+        VlsaBatchExecutor(64, backend="sharded")
+    with pytest.raises(ValueError):
+        VlsaBatchExecutor(128, backend="numpy")
+
+
+def test_window_at_least_width_never_stalls(rng):
+    out = VlsaBatchExecutor(8, window=8).execute(_pairs(rng, 8, 100))
+    assert out.stall_count == 0
+    assert out.cycles == 100
+
+
+def test_executor_counters_flow_into_context():
+    from repro.engine import RunContext
+
+    ctx = RunContext(seed=0)
+    executor = VlsaBatchExecutor(16, window=3, ctx=ctx)
+    executor.execute([(0x7FFF, 1), (1, 2)])
+    assert ctx.counters["service_ops"] == 2
+    assert ctx.counters["service_stalls"] == 1
+    assert ctx.counters["service_batches"] == 1
+    assert "service_execute" in ctx.phases

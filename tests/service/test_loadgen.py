@@ -1,0 +1,103 @@
+"""Load generator: workloads, analytic agreement, reporting."""
+
+import numpy as np
+import pytest
+
+from repro.engine import RunContext
+from repro.service import make_workload, run_loadgen
+
+
+def test_uniform_loadgen_matches_analytic_latency():
+    report = run_loadgen("uniform", ops=60000, width=64, chunk=2048,
+                         concurrency=4, ctx=RunContext(seed=1))
+    assert report.ops == 60000
+    assert report.analytic_latency_cycles is not None
+    # The acceptance bound: mean latency within 5% of 1 + P * recovery.
+    assert report.mean_latency_cycles == pytest.approx(
+        report.analytic_latency_cycles, rel=0.05)
+    assert report.total_cycles == (
+        60000 + round(report.stall_rate * 60000))
+    assert report.rejected == 0
+
+
+def test_adversarial_loadgen_pins_latency_at_worst_case():
+    report = run_loadgen("adversarial", ops=4000, width=32, chunk=512,
+                         recovery_cycles=2, ctx=RunContext(seed=2))
+    assert report.stall_rate == 1.0
+    assert report.mean_latency_cycles == pytest.approx(3.0)
+    assert report.analytic_stall_rate == 1.0
+    assert report.total_cycles == 3 * 4000
+
+
+def test_biased_loadgen_matches_biased_markov_model():
+    # alpha=0.5 degenerates to uniform; use a strong bias instead.
+    report = run_loadgen("biased", ops=40000, width=32, window=4,
+                         alpha=0.75, chunk=2048, ctx=RunContext(seed=3))
+    assert report.params["alpha"] == pytest.approx(0.75)
+    assert report.analytic_stall_rate is not None
+    # Biased traffic stalls far more than uniform at this window.
+    assert report.stall_rate == pytest.approx(report.analytic_stall_rate,
+                                              rel=0.15)
+    assert report.stall_rate > 0.01
+
+
+def test_attack_workload_replays_cipher_traffic():
+    report = run_loadgen("attack", ops=3000, chunk=512,
+                         ctx=RunContext(seed=4))
+    assert report.width == 32  # ARX block halves
+    assert report.ops == 3000
+    assert report.analytic_stall_rate is None  # correlated, no closed form
+    assert report.mean_latency_cycles >= 1.0
+
+
+def test_mixed_workload_analytic_blend():
+    report = run_loadgen("mixed", ops=20000, width=64,
+                         adversarial_fraction=0.25, chunk=1024,
+                         ctx=RunContext(seed=5))
+    assert report.analytic_stall_rate == pytest.approx(0.25, rel=0.01)
+    assert report.stall_rate == pytest.approx(0.25, rel=0.2)
+
+
+def test_bigint_backend_loadgen():
+    report = run_loadgen("uniform", ops=2000, width=96, chunk=256,
+                         backend="bigint", ctx=RunContext(seed=6))
+    assert report.backend == "bigint"
+    assert report.ops == 2000
+
+
+def test_report_serializes_and_renders():
+    report = run_loadgen("uniform", ops=1000, chunk=256,
+                         ctx=RunContext(seed=7))
+    payload = report.as_dict()
+    assert payload["workload"] == "uniform"
+    assert payload["metrics"]["ops_total"]["value"] == 1000
+    text = report.render()
+    assert "adds/second" in text
+    assert "p50=" in text
+
+
+def test_loadgen_records_context_events():
+    ctx = RunContext(seed=8, label="loadgen-test")
+    run_loadgen("uniform", ops=500, chunk=128, ctx=ctx)
+    assert ctx.counters["loadgen_ops"] == 500
+    assert any(e["kind"] == "loadgen_done" for e in ctx.events)
+    assert "loadgen" in ctx.phases
+
+
+def test_make_workload_validation():
+    with pytest.raises(ValueError):
+        make_workload("nope", 64, 18, 100)
+    with pytest.raises(ValueError):
+        make_workload("biased", 128, 18, 100)
+    with pytest.raises(ValueError):
+        make_workload("mixed", 64, 18, 100, adversarial_fraction=1.5)
+
+
+def test_workload_streams_are_seeded():
+    def chunks(seed):
+        rng = np.random.default_rng(seed)
+        wl = make_workload("uniform", 64, 18, 512, chunk=256, rng=rng)
+        return [pair for chunk in wl.chunks for pair in chunk]
+
+    assert chunks(0) == chunks(0)
+    assert chunks(0) != chunks(1)

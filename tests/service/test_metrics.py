@@ -1,0 +1,112 @@
+"""Metrics registry: counters, gauges, histograms, exports."""
+
+import pytest
+
+from repro.service import Counter, Gauge, Histogram, MetricsRegistry
+
+
+def test_counter_monotonic():
+    c = Counter("ops_total")
+    c.inc()
+    c.inc(41)
+    assert c.value == 42
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_gauge_tracks_peak():
+    g = Gauge("depth")
+    g.set(3)
+    g.set(7)
+    g.set(2)
+    assert g.value == 2
+    assert g.peak == 7
+    g.inc(10)
+    assert g.value == 12
+    assert g.peak == 12
+    g.dec(5)
+    assert g.value == 7
+    assert g.peak == 12  # dec never lowers the peak
+
+
+def test_histogram_exact_aggregates():
+    h = Histogram("lat")
+    for v in (1.0, 2.0, 3.0, 4.0):
+        h.record(v)
+    assert h.count == 4
+    assert h.sum == pytest.approx(10.0)
+    assert h.mean == pytest.approx(2.5)
+    assert h.min == 1.0
+    assert h.max == 4.0
+
+
+def test_histogram_bulk_record_and_quantiles():
+    h = Histogram("cycles")
+    h.record(1, count=9900)
+    h.record(2, count=100)
+    assert h.count == 10000
+    assert h.mean == pytest.approx(1.01)
+    assert h.quantile(0.5) == 1.0
+    assert h.quantile(0.99) in (1.0, 2.0)
+    assert h.quantile(1.0) == 2.0
+
+
+def test_histogram_reservoir_bounded_and_deterministic():
+    h1 = Histogram("x", reservoir_size=64, seed=7)
+    h2 = Histogram("x", reservoir_size=64, seed=7)
+    for i in range(10000):
+        h1.record(i % 97)
+        h2.record(i % 97)
+    assert len(h1._reservoir) == 64
+    # Same seed, same stream -> identical quantiles (reproducibility).
+    for q in (0.5, 0.95, 0.99):
+        assert h1.quantile(q) == h2.quantile(q)
+
+
+def test_histogram_validation():
+    h = Histogram("x")
+    with pytest.raises(ValueError):
+        h.record(1.0, count=0)
+    with pytest.raises(ValueError):
+        h.quantile(1.5)
+    with pytest.raises(ValueError):
+        Histogram("x", reservoir_size=0)
+
+
+def test_registry_idempotent_and_kind_checked():
+    reg = MetricsRegistry()
+    c1 = reg.counter("ops_total")
+    c2 = reg.counter("ops_total")
+    assert c1 is c2
+    with pytest.raises(TypeError):
+        reg.gauge("ops_total")
+    assert reg.get("missing") is None
+    assert reg.names() == ["ops_total"]
+
+
+def test_json_export_shapes():
+    reg = MetricsRegistry()
+    reg.counter("a").inc(3)
+    reg.gauge("b").set(1.5)
+    reg.histogram("c").record(2.0)
+    out = reg.to_json()
+    assert out["a"] == {"type": "counter", "value": 3}
+    assert out["b"] == {"type": "gauge", "value": 1.5, "peak": 1.5}
+    assert out["c"]["count"] == 1
+    assert set(out["c"]) >= {"p50", "p95", "p99", "mean", "sum"}
+
+
+def test_prometheus_export_format():
+    reg = MetricsRegistry(namespace="vlsa")
+    reg.counter("ops_total", help="ops served").inc(5)
+    reg.gauge("queue_depth").set(2)
+    reg.histogram("latency_seconds").record(0.25)
+    text = reg.to_prometheus()
+    assert "# HELP vlsa_ops_total ops served" in text
+    assert "# TYPE vlsa_ops_total counter" in text
+    assert "vlsa_ops_total 5" in text
+    assert "vlsa_queue_depth 2" in text
+    assert "vlsa_queue_depth_peak 2" in text
+    assert "# TYPE vlsa_latency_seconds summary" in text
+    assert 'vlsa_latency_seconds{quantile="0.5"} 0.25' in text
+    assert "vlsa_latency_seconds_count 1" in text

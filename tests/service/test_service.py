@@ -1,0 +1,268 @@
+"""VlsaService: serving, backpressure, timeouts, cancellation, accounting."""
+
+import asyncio
+
+import pytest
+
+from repro.arch import VlsaMachine
+from repro.service import (
+    RequestTimeoutError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+    VlsaService,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_submit_returns_correct_sum():
+    async def main():
+        async with VlsaService(width=64) as svc:
+            resp = await svc.submit(123, 456)
+            assert resp.sum_out == 579
+            assert resp.cout == 0
+            assert resp.latency_cycles == 1
+            assert not resp.stalled
+            return svc
+    svc = run(main())
+    assert svc.m_ops.value == 1
+    assert svc.m_requests.value == 1
+
+
+def test_adversarial_pair_stalls_and_costs_recovery():
+    async def main():
+        async with VlsaService(width=32, window=6,
+                               recovery_cycles=2) as svc:
+            resp = await svc.submit((1 << 31) - 1, 1)  # full carry chain
+            assert resp.stalled
+            assert resp.latency_cycles == 3
+            assert resp.sum_out == 1 << 31
+            assert svc.cycle == 3
+    run(main())
+
+
+def test_submit_batch_parallel_lists():
+    async def main():
+        async with VlsaService(width=16) as svc:
+            reply = await svc.submit_batch([(1, 2), (0xFFFF, 1), (7, 8)])
+            assert reply.sums == [3, 0, 15]
+            assert reply.couts == [0, 1, 0]
+            assert reply.size == 3
+            assert reply.cycles == sum(reply.latencies)
+            empty = await svc.submit_batch([])
+            assert empty.size == 0
+    run(main())
+
+
+def test_service_matches_vlsa_machine_accounting(rng):
+    """Cycle accounting through the service == the Fig. 6 machine."""
+    width, window, recovery = 16, 3, 2
+    pairs = [(rng.getrandbits(width), rng.getrandbits(width))
+             for _ in range(300)]
+    trace = VlsaMachine(width, window=window,
+                        recovery_cycles=recovery).run(pairs)
+
+    async def main():
+        async with VlsaService(width=width, window=window,
+                               recovery_cycles=recovery) as svc:
+            reply = await svc.submit_batch(pairs)
+            assert reply.latencies == [r.latency_cycles
+                                       for r in trace.results]
+            assert reply.sums == [r.sum_out for r in trace.results]
+            assert svc.cycle == trace.total_cycles
+            assert svc.mean_latency_cycles == pytest.approx(
+                trace.average_latency_cycles)
+    run(main())
+
+
+def test_backpressure_bounded_queue_and_counted_rejections():
+    """With capacity Q: depth never exceeds Q; overflow is rejected and
+    counted in the registry — never silently dropped."""
+    q = 4
+    n = 10
+
+    async def main():
+        svc = VlsaService(width=64, queue_capacity=q)
+        await svc.start()
+        # Tasks admit in creation order before the batcher gets a turn,
+        # so the queue deterministically overflows.
+        tasks = [asyncio.get_running_loop().create_task(svc.submit(i, i))
+                 for i in range(n)]
+        await asyncio.sleep(0)
+        assert svc.queue_depth <= q
+        results = await asyncio.gather(*tasks, return_exceptions=True)
+        await svc.stop()
+        return svc, results
+
+    svc, results = run(main())
+    ok = [r for r in results if not isinstance(r, Exception)]
+    rejected = [r for r in results if isinstance(r, ServiceOverloadedError)]
+    assert len(ok) == q
+    assert len(rejected) == n - q
+    assert svc.m_rejected.value == n - q
+    assert svc.m_ops.value == q
+    assert svc.m_queue_depth.peak <= q
+    # Accounting is complete: admitted + rejected == offered.
+    assert svc.m_requests.value + svc.m_rejected.value == n
+
+
+def test_retry_after_overload_eventually_succeeds():
+    async def main():
+        svc = VlsaService(width=64, queue_capacity=1)
+        await svc.start()
+        loop = asyncio.get_running_loop()
+        blocker = loop.create_task(svc.submit(1, 1))
+        overflow = loop.create_task(svc.submit(2, 2))
+        await asyncio.sleep(0)
+        # Queue is full; a retried submit succeeds once it drains.
+        resp = await svc.submit(3, 4, retries=10, retry_backoff=0.001)
+        assert resp.sum_out == 7
+        results = await asyncio.gather(blocker, overflow,
+                                       return_exceptions=True)
+        assert results[0].sum_out == 2
+        assert isinstance(results[1], ServiceOverloadedError)
+        await svc.stop()
+        return svc
+    svc = run(main())
+    assert svc.m_retries.value >= 1
+
+
+def test_timeout_counted_and_not_double_answered():
+    async def main():
+        svc = VlsaService(width=64)
+        await svc.start()
+        # Swallow execution so responses never arrive.
+        real_execute = svc._execute_batch
+        svc._execute_batch = lambda batch: None
+        with pytest.raises(RequestTimeoutError):
+            await svc.submit(1, 2, timeout=0.02)
+        svc._execute_batch = real_execute
+        # Service still healthy afterwards.
+        resp = await svc.submit(2, 3)
+        assert resp.sum_out == 5
+        await svc.stop()
+        return svc
+    svc = run(main())
+    assert svc.m_timeouts.value == 1
+    assert svc.m_ops.value == 1  # the timed-out op was never executed
+
+
+def test_cancellation_counted_and_skipped():
+    async def main():
+        svc = VlsaService(width=64)
+        await svc.start()
+        real_execute = svc._execute_batch
+        svc._execute_batch = lambda batch: None
+        task = asyncio.get_running_loop().create_task(svc.submit(9, 9))
+        await asyncio.sleep(0)
+        task.cancel()
+        with pytest.raises(asyncio.CancelledError):
+            await task
+        svc._execute_batch = real_execute
+        resp = await svc.submit(4, 5)
+        assert resp.sum_out == 9
+        await svc.stop()
+        return svc
+    svc = run(main())
+    assert svc.m_cancelled.value == 1
+    assert svc.m_ops.value == 1
+
+
+def test_submit_without_start_raises():
+    async def main():
+        svc = VlsaService(width=64)
+        with pytest.raises(ServiceClosedError):
+            await svc.submit(1, 2)
+    run(main())
+
+
+def test_stop_is_idempotent_and_drains():
+    async def main():
+        svc = VlsaService(width=64)
+        await svc.start()
+        task = asyncio.get_running_loop().create_task(svc.submit(1, 2))
+        await asyncio.sleep(0)
+        await svc.stop()
+        await svc.stop()  # second stop is a no-op
+        resp = await task  # admitted before stop -> still answered
+        assert resp.sum_out == 3
+    run(main())
+
+
+def test_micro_batcher_coalesces_pending_requests():
+    async def main():
+        svc = VlsaService(width=64, queue_capacity=64)
+        await svc.start()
+        loop = asyncio.get_running_loop()
+        tasks = [loop.create_task(svc.submit(i, 1)) for i in range(16)]
+        results = await asyncio.gather(*tasks)
+        await svc.stop()
+        assert [r.sum_out for r in results] == [i + 1 for i in range(16)]
+        return svc
+    svc = run(main())
+    # All 16 admitted before the batcher ran -> one coalesced batch.
+    assert svc.m_batches.value == 1
+    assert svc.h_batch.max == 16
+
+
+def test_max_batch_ops_caps_coalescing():
+    async def main():
+        svc = VlsaService(width=64, queue_capacity=64, max_batch_ops=4)
+        await svc.start()
+        loop = asyncio.get_running_loop()
+        tasks = [loop.create_task(svc.submit(i, 1)) for i in range(10)]
+        await asyncio.gather(*tasks)
+        await svc.stop()
+        return svc
+    svc = run(main())
+    assert svc.h_batch.max <= 4
+    assert svc.m_ops.value == 10
+
+
+def test_accept_cycles_monotone_in_admission_order():
+    async def main():
+        async with VlsaService(width=64) as svc:
+            loop = asyncio.get_running_loop()
+            tasks = [loop.create_task(svc.submit(i, i)) for i in range(8)]
+            results = await asyncio.gather(*tasks)
+            cycles = [r.accept_cycle for r in results]
+            assert cycles == sorted(cycles)
+            assert len(set(cycles)) == len(cycles)
+    run(main())
+
+
+def test_metrics_and_trace_flow_through_run_context():
+    from repro.engine import RunContext
+
+    ctx = RunContext(seed=0, label="svc-test")
+
+    async def main():
+        async with VlsaService(width=64, ctx=ctx) as svc:
+            await svc.submit(1, 2)
+    run(main())
+    assert ctx.counters["service_ops"] == 1
+    kinds = [e["kind"] for e in ctx.events]
+    assert "service_start" in kinds
+    assert "batch_executed" in kinds
+    assert "service_stop" in kinds
+    manifest = ctx.as_manifest()
+    assert manifest["events"] == ctx.events
+
+
+def test_analytic_model_properties():
+    svc = VlsaService(width=64)
+    p = svc.analytic_stall_probability
+    assert 0 < p < 1e-3
+    assert svc.analytic_latency_cycles == pytest.approx(1 + p)
+
+
+def test_prometheus_snapshot_after_traffic():
+    async def main():
+        async with VlsaService(width=64) as svc:
+            await svc.submit_batch([(i, i) for i in range(32)])
+            return svc.metrics_prometheus()
+    text = run(main())
+    assert "vlsa_ops_total 32" in text
+    assert "vlsa_batches_total 1" in text

@@ -1,9 +1,10 @@
 """CLI entry point."""
 
-import os
+import json
 
 import pytest
 
+from repro import __version__
 from repro.cli import main
 
 
@@ -76,3 +77,68 @@ def test_cpu_command(capsys):
 def test_dsp_command(capsys):
     assert main(["dsp", "--no-save"]) == 0
     assert "stall" in capsys.readouterr().out
+
+
+def test_version_flag(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert __version__ in capsys.readouterr().out
+
+
+def test_manifest_written_by_default(_results_tmpdir):
+    assert main(["theorem1", "--max-k", "3"]) == 0
+    manifest = json.loads(
+        (_results_tmpdir / "theorem1_manifest.json").read_text())
+    assert manifest["label"] == "theorem1"
+    assert manifest["backend"] == "bigint"
+    assert "theorem1" in manifest["phase_seconds"]
+    assert (_results_tmpdir / "theorem1.txt").exists()
+
+
+def test_manifest_flag_overrides_no_save(_results_tmpdir):
+    assert main(["theorem1", "--max-k", "3", "--manifest",
+                 "--no-save"]) == 0
+    names = [p.name for p in _results_tmpdir.iterdir()]
+    assert names == ["theorem1_manifest.json"]
+
+
+def test_loadgen_command(capsys, _results_tmpdir):
+    assert main(["loadgen", "--ops", "2000", "--chunk", "256"]) == 0
+    out = capsys.readouterr().out
+    assert "adds/second" in out
+    metrics = json.loads(
+        (_results_tmpdir / "loadgen_metrics.json").read_text())
+    assert metrics["ops"] == 2000
+    assert metrics["workload"] == "uniform"
+    assert (_results_tmpdir / "loadgen_manifest.json").exists()
+
+
+def test_loadgen_workload_choices_enforced():
+    with pytest.raises(SystemExit):
+        main(["loadgen", "--workload", "nope", "--no-save"])
+
+
+def test_commands_reject_irrelevant_flags():
+    # Flags are attached per command; --ops belongs to fig7/loadgen only.
+    with pytest.raises(SystemExit):
+        main(["table1", "--ops", "5"])
+    with pytest.raises(SystemExit):
+        main(["theorem1", "--width", "8"])
+    with pytest.raises(SystemExit):
+        main(["dsp", "--samples", "10"])
+
+
+def test_per_command_help_mentions_its_flags(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["loadgen", "--help"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    assert "--workload" in out
+    assert "--queue-capacity" in out
+
+
+def test_serve_command_bounded_duration(capsys):
+    assert main(["serve", "--port", "0", "--duration", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "vlsa_ops_total 0" in out  # prometheus dump on exit
