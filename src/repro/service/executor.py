@@ -146,9 +146,16 @@ class VlsaBatchExecutor:
     def _execute_numpy(self, pairs: Sequence[Tuple[int, int]]
                        ) -> BatchOutcome:
         width, window = self.width, self.window
-        mask = np.uint64((1 << width) - 1 if width < 64
-                         else 0xFFFFFFFFFFFFFFFF)
-        arr = np.asarray(pairs, dtype=np.uint64)
+        int_mask = (1 << width) - 1
+        mask = np.uint64(int_mask if width < 64 else 0xFFFFFFFFFFFFFFFF)
+        try:
+            arr = np.asarray(pairs, dtype=np.uint64)
+        except (OverflowError, ValueError, TypeError):
+            # Out-of-range operands (negative, or >= 2^64) cannot be
+            # converted directly; mask them in Python first so one
+            # malformed pair never raises out of the batch.
+            arr = np.array([[pa & int_mask, pb & int_mask]
+                            for pa, pb in pairs], dtype=np.uint64)
         a = arr[:, 0] & mask
         b = arr[:, 1] & mask
         s = (a + b) & mask  # uint64 wraparound == mod 2^64 at width 64
@@ -158,7 +165,11 @@ class VlsaBatchExecutor:
             couts = (s < a).astype(np.uint64)  # wrapped iff sum < operand
         p = a ^ b
         if window >= width:
-            flags = np.zeros(len(a), dtype=bool)
+            # The bit-0-anchored window spans the whole word, so the
+            # speculative sum is exact — but the reference detector
+            # (fastsim.detector_flag, used by the bigint backend and
+            # VlsaMachine) still fires on an all-propagate word.
+            flags = p == mask
             spec_err = np.zeros(len(a), dtype=bool)
         else:
             starts = _window_all_ones_np(p, window)

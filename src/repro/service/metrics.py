@@ -15,8 +15,10 @@ no external client library — and exports in two formats:
 
 Histograms keep exact count/sum/min/max plus a bounded reservoir
 (Vitter's algorithm R with a *seeded* RNG, so quantiles are reproducible
-run-to-run) from which p50/p95/p99 are computed.  Recording is O(1) and
-memory is bounded regardless of how many samples a load test pushes.
+run-to-run) from which p50/p95/p99 are computed.  Recording one sample
+is O(1); bulk recording (``record(value, count=N)``) is bounded by the
+reservoir size, not N — memory and per-call work stay bounded
+regardless of how many samples a load test pushes.
 """
 
 from __future__ import annotations
@@ -129,7 +131,14 @@ class Histogram:
         self._rng = random.Random(seed)
 
     def record(self, value: float, count: int = 1) -> None:
-        """Record *value* occurring *count* times."""
+        """Record *value* occurring *count* times.
+
+        The bulk path is O(reservoir size), not O(count): all *count*
+        samples are equal, so only which slots end up overwritten
+        matters.  Under algorithm R a block of ``count`` equal samples
+        arriving after ``n`` others leaves each slot untouched with
+        probability ``n / (n + count)``; we draw that per slot.
+        """
         if count <= 0:
             raise ValueError("count must be positive")
         value = float(value)
@@ -138,7 +147,7 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
-        for _ in range(count):
+        if count == 1:
             self.count += 1
             if len(self._reservoir) < self._capacity:
                 self._reservoir.append(value)
@@ -146,6 +155,18 @@ class Histogram:
                 slot = self._rng.randrange(self.count)
                 if slot < self._capacity:
                     self._reservoir[slot] = value
+            return
+        fill = min(count, self._capacity - len(self._reservoir))
+        if fill:
+            self._reservoir.extend([value] * fill)
+        self.count += count
+        remaining = count - fill
+        if remaining <= 0 or not self._reservoir:
+            return
+        p_replace = remaining / self.count
+        for slot in range(len(self._reservoir)):
+            if self._rng.random() < p_replace:
+                self._reservoir[slot] = value
 
     def record_many(self, values: Sequence[float]) -> None:
         """Record every element of *values*."""

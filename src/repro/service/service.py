@@ -172,6 +172,7 @@ class VlsaService:
         self.recovery_cycles = recovery_cycles
         self.queue_capacity = queue_capacity
         self.max_batch_ops = max_batch_ops
+        self._operand_mask = (1 << self.width) - 1
         self.ctx = ctx
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = Tracer(ctx=ctx)
@@ -202,6 +203,9 @@ class VlsaService:
             "cancelled_total", "requests abandoned by caller cancellation")
         self.m_retries = reg.counter(
             "retries_total", "admission retries after overload")
+        self.m_batch_failures = reg.counter(
+            "batch_failures_total",
+            "executor batches that raised (their requests see the error)")
         self.m_queue_depth = reg.gauge(
             "queue_depth", "requests waiting for the batcher")
         self.m_inflight = reg.gauge(
@@ -260,9 +264,17 @@ class VlsaService:
         """Drain already-admitted work, then stop the batcher."""
         if self._queue is None or self._batcher is None:
             return
-        queue = self._queue
-        await queue.put(_SHUTDOWN)
-        await self._batcher
+        queue, batcher = self._queue, self._batcher
+        # put_nowait + retry rather than an unconditional blocking put:
+        # if the batcher ever died (e.g. cancelled externally) a full
+        # queue would leave `await queue.put(...)` waiting forever.
+        while not batcher.done():
+            try:
+                queue.put_nowait(_SHUTDOWN)
+                break
+            except asyncio.QueueFull:
+                await asyncio.sleep(0)  # let the batcher drain a batch
+        await asyncio.wait({batcher})
         self._batcher = None
         self._queue = None
         # Anything admitted after shutdown was signalled is failed
@@ -349,6 +361,8 @@ class VlsaService:
             RequestTimeoutError: Deadline expired.
             ServiceClosedError: Service not running.
         """
+        a &= self._operand_mask
+        b &= self._operand_mask
         for attempt in range(retries + 1):
             try:
                 pending = self._admit(((a, b),), scalar=True)
@@ -394,6 +408,7 @@ class VlsaService:
                 return
             batch: List[_Pending] = [item]
             ops = item.ops
+            shutdown = False
             # Dynamic coalescing: drain whatever else is already queued,
             # up to the op cap — small batches under light load, large
             # ones under pressure, no timer needed.
@@ -403,12 +418,24 @@ class VlsaService:
                 except asyncio.QueueEmpty:
                     break
                 if nxt is _SHUTDOWN:
-                    self._execute_batch(batch)
-                    return
+                    shutdown = True
+                    break
                 batch.append(nxt)
                 ops += nxt.ops
             self.m_queue_depth.set(queue.qsize())
-            self._execute_batch(batch)
+            try:
+                self._execute_batch(batch)
+            except Exception as exc:
+                # A poisoned batch must not kill the batcher: fail that
+                # batch's futures with the error and keep serving.
+                self.m_batch_failures.inc()
+                self.tracer.emit("batch_failed", requests=len(batch),
+                                 error=repr(exc))
+                for pending in batch:
+                    if not pending.future.done():
+                        pending.future.set_exception(exc)
+            if shutdown:
+                return
 
     def _execute_batch(self, batch: List[_Pending]) -> None:
         loop = asyncio.get_running_loop()

@@ -13,7 +13,7 @@ def _pairs(rng, width, count):
 
 
 @pytest.mark.parametrize("width,window", [(8, 2), (16, 4), (32, 8),
-                                          (63, 10), (64, 12)])
+                                          (63, 10), (64, 12), (16, 16)])
 def test_numpy_matches_bigint(rng, width, window):
     pairs = _pairs(rng, width, 400)
     np_out = VlsaBatchExecutor(width, window=window,
@@ -98,10 +98,41 @@ def test_configuration_validation():
         VlsaBatchExecutor(128, backend="numpy")
 
 
-def test_window_at_least_width_never_stalls(rng):
-    out = VlsaBatchExecutor(8, window=8).execute(_pairs(rng, 8, 100))
-    assert out.stall_count == 0
-    assert out.cycles == 100
+def test_window_equal_width_matches_reference_detector(rng):
+    """window == width: speculation is exact, but the detector still
+    fires on an all-propagate word — both backends must agree."""
+    width = 8
+    pairs = _pairs(rng, width, 200) + [(0, 255), (0x0F, 0xF0), (255, 255)]
+    np_out = VlsaBatchExecutor(width, window=width,
+                               backend="numpy").execute(pairs)
+    bi_out = VlsaBatchExecutor(width, window=width,
+                               backend="bigint").execute(pairs)
+    assert np_out.stalled == bi_out.stalled
+    assert np_out.spec_errors == bi_out.spec_errors
+    assert np_out.latencies == bi_out.latencies
+    assert np_out.cycles == bi_out.cycles
+    # (0, 255) and (0x0F, 0xF0) propagate across the whole word.
+    assert np_out.stalled[-3:] == [True, True, False]
+    # The bit-0-anchored window covers every bit, so speculation is
+    # never actually wrong at window == width.
+    assert np_out.spec_error_count == 0
+
+
+def test_out_of_range_operands_masked_consistently():
+    """Negative / >= 2^64 operands must not raise out of the numpy
+    kernel; both backends mask to the operand width."""
+    width = 16
+    mask = (1 << width) - 1
+    pairs = [(1 << 200, -1), ((1 << 64) + 3, 4), (5, 7)]
+    np_out = VlsaBatchExecutor(width, window=4,
+                               backend="numpy").execute(pairs)
+    bi_out = VlsaBatchExecutor(width, window=4,
+                               backend="bigint").execute(pairs)
+    assert np_out.sums == bi_out.sums
+    assert np_out.couts == bi_out.couts
+    assert np_out.stalled == bi_out.stalled
+    assert np_out.sums == [((a & mask) + (b & mask)) & mask
+                           for a, b in pairs]
 
 
 def test_executor_counters_flow_into_context():

@@ -63,6 +63,23 @@ def test_histogram_reservoir_bounded_and_deterministic():
         assert h1.quantile(q) == h2.quantile(q)
 
 
+def test_histogram_bulk_record_is_bounded_by_reservoir():
+    """Bulk recording must do O(reservoir) work, not O(count): ten
+    million samples per call would hang the old per-sample loop."""
+    h = Histogram("lat", reservoir_size=128, seed=3)
+    h.record(1.0, count=10_000_000)
+    h.record(2.0, count=10_000_000)
+    assert h.count == 20_000_000
+    assert h.sum == pytest.approx(30_000_000.0)
+    assert h.mean == pytest.approx(1.5)
+    assert len(h._reservoir) == 128
+    # The second block replaces each slot with marginal probability
+    # 1/2, so both values are represented in the reservoir.
+    assert set(h._reservoir) == {1.0, 2.0}
+    assert h.quantile(0.05) == 1.0
+    assert h.quantile(0.95) == 2.0
+
+
 def test_histogram_validation():
     h = Histogram("x")
     with pytest.raises(ValueError):

@@ -70,6 +70,23 @@ def test_bad_requests_get_error_codes():
     assert all("error" in r for r in replies)
 
 
+def test_out_of_range_operands_answered_and_service_survives():
+    """Regression: one request with a >= 2^64 or negative operand used
+    to kill the micro-batcher, hanging every later request."""
+    async def main():
+        async with VlsaServer(VlsaService(width=64), port=0) as server:
+            return await _roundtrip(server, [
+                {"id": 1, "a": 1 << 300, "b": -1},
+                {"id": 2, "a": 2, "b": 3},
+            ])
+    first, second = asyncio.run(main())
+    mask = (1 << 64) - 1
+    assert first["sum"] == mask  # (0 + 0xFFFF...F) mod 2^64
+    assert second["sum"] == 5
+    assert second["accept_cycle"] == (first["accept_cycle"]
+                                      + first["latency_cycles"])
+
+
 def test_overload_surfaces_as_error_code():
     async def main():
         service = VlsaService(width=64, queue_capacity=1)

@@ -170,6 +170,63 @@ def test_cancellation_counted_and_skipped():
     assert svc.m_ops.value == 1
 
 
+def test_malformed_operands_do_not_kill_the_batcher():
+    """Regression: a huge or negative operand used to raise
+    OverflowError inside the numpy batch and permanently wedge the
+    micro-batcher.  Operands are masked; the service keeps serving."""
+    async def main():
+        async with VlsaService(width=64, backend="numpy") as svc:
+            mask = (1 << 64) - 1
+            resp = await svc.submit(1 << 300, -1, timeout=1.0)
+            assert resp.sum_out == ((1 << 300) + (-1 & mask)) & mask
+            # The batcher survived: a normal request still completes.
+            resp = await svc.submit(2, 3, timeout=1.0)
+            assert resp.sum_out == 5
+            return svc
+    svc = run(main())
+    assert svc.m_ops.value == 2
+    assert svc.m_batch_failures.value == 0
+
+
+def test_executor_exception_fails_batch_but_not_service():
+    """An executor crash fails that batch's futures with the error and
+    the batch loop keeps running — later requests still succeed."""
+    async def main():
+        svc = VlsaService(width=64)
+        await svc.start()
+        real_execute = svc.executor.execute
+        svc.executor.execute = lambda pairs: (_ for _ in ()).throw(
+            RuntimeError("boom"))
+        with pytest.raises(RuntimeError, match="boom"):
+            await svc.submit(1, 2, timeout=1.0)
+        svc.executor.execute = real_execute
+        resp = await svc.submit(2, 3, timeout=1.0)
+        assert resp.sum_out == 5
+        await svc.stop()
+        return svc
+    svc = run(main())
+    assert svc.m_batch_failures.value == 1
+    assert svc.m_ops.value == 1
+
+
+def test_stop_does_not_hang_when_batcher_already_dead():
+    """stop() must not block on a full queue whose consumer is gone."""
+    async def main():
+        svc = VlsaService(width=64, queue_capacity=2)
+        await svc.start()
+        svc._batcher.cancel()
+        await asyncio.sleep(0)
+        # Fill the queue so the old `await queue.put(_SHUTDOWN)` would
+        # have blocked forever with no consumer.
+        loop = asyncio.get_running_loop()
+        tasks = [loop.create_task(svc.submit(i, i)) for i in range(2)]
+        await asyncio.sleep(0)
+        await asyncio.wait_for(svc.stop(), timeout=1.0)
+        results = await asyncio.gather(*tasks, return_exceptions=True)
+        assert all(isinstance(r, ServiceClosedError) for r in results)
+    run(main())
+
+
 def test_submit_without_start_raises():
     async def main():
         svc = VlsaService(width=64)
