@@ -4,13 +4,16 @@ Every benchmark regenerates one of the paper's tables/figures.  The
 ``report`` fixture prints the regenerated artefact with output capture
 disabled (so it is visible under plain ``pytest benchmarks/
 --benchmark-only``) and also writes it under ``results/``.
-"""
 
-import os
+Seeding and environment-override helpers are shared with the test suite
+via :mod:`repro.testing`; ``env_widths`` is re-exported here because the
+benchmark modules import it from ``conftest``.
+"""
 
 import pytest
 
 from repro.reporting import save_artifact
+from repro.testing import env_widths, make_rng  # noqa: F401  (re-exported)
 
 
 @pytest.fixture
@@ -25,9 +28,7 @@ def report(capsys):
     return _report
 
 
-def env_widths(var: str, default):
-    """Bitwidth list override via environment (e.g. quick CI runs)."""
-    spec = os.environ.get(var)
-    if not spec:
-        return tuple(default)
-    return tuple(int(tok) for tok in spec.split(",") if tok)
+@pytest.fixture
+def rng():
+    """Deterministic random generator per benchmark."""
+    return make_rng()

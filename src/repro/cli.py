@@ -7,6 +7,7 @@ Usage::
     python -m repro fig8 --widths 64,128,256
     python -m repro fig7 --ops 200000 --seed 1
     python -m repro crosscheck --backend numpy
+    python -m repro verify --width 64 --window 8 --vectors 100000
     python -m repro loadgen --ops 100000 --workload biased
     python -m repro serve --port 8471
     python -m repro all
@@ -363,6 +364,55 @@ def _build_parser() -> argparse.ArgumentParser:
                           "(default: run until interrupted)")
     srv.add_argument("--seed", type=int, default=DEFAULT_SEED,
                      help="root RNG seed (default: %(default)s)")
+
+    ver = sub.add_parser(
+        "verify",
+        help="differential verification: every implementation pair vs "
+             "the functional reference + analytic rate cross-checks",
+        description="Drive every registered ACA/VLSA implementation "
+                    "(engine backends, interpreter, functional model, "
+                    "VLSA machine, service executors) from one seeded "
+                    "vector stream; report elementwise mismatches with "
+                    "minimised reproducers, and check empirical error/"
+                    "detector rates against the exact analytic model. "
+                    "Exit code 1 when anything disagrees.")
+    ver.add_argument("--width", type=int, default=64,
+                     help="operand bitwidth (default: %(default)s)")
+    ver.add_argument("--window", type=int, default=None,
+                     help="speculation window (default: 99.99%% window)")
+    ver.add_argument("--vectors", type=int, default=10000,
+                     help="fuzz vectors per stream (default: %(default)s)")
+    ver.add_argument("--streams", default=None, metavar="S,S,...",
+                     help="vector streams to drive (default: "
+                          "uniform,biased,adversarial,boundary; "
+                          "'attack' replays a captured cipher trace)")
+    ver.add_argument("--impls", default=None, metavar="I,I,...",
+                     help="implementation set (default: every builtin "
+                          "applicable at this width)")
+    ver.add_argument("--exhaustive-widths", dest="exhaustive_widths",
+                     default=None, metavar="N,N,...",
+                     help="additionally sweep ALL operand pairs for "
+                          "these small widths, every window, with exact "
+                          "count-equality checks")
+    ver.add_argument("--stride", type=int, default=1,
+                     help="exhaustive subsampling stride "
+                          "(1 = complete; default: %(default)s)")
+    ver.add_argument("--recovery-cycles", dest="recovery_cycles",
+                     type=int, default=1,
+                     help="recovery penalty in cycles "
+                          "(default: %(default)s)")
+    ver.add_argument("--chunk", type=int, default=4096,
+                     help="vectors per comparison chunk "
+                          "(default: %(default)s)")
+    ver.add_argument("--z", type=float, default=5.0,
+                     help="sigma bound for the binomial rate checks "
+                          "(default: %(default)s)")
+    ver.add_argument("--no-shrink", dest="no_shrink", action="store_true",
+                     help="skip reproducer minimisation on mismatches")
+    ver.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                     help="root RNG seed (default: %(default)s)")
+    ver.add_argument("--no-save", action="store_true",
+                     help="print only, skip writing results/")
     return parser
 
 
@@ -389,6 +439,47 @@ def _run_serve(args) -> int:
     return 0
 
 
+def _run_verify(args) -> int:
+    from .verify import DEFAULT_STREAMS, DifferentialVerifier, run_exhaustive
+
+    ctx = RunContext(seed=args.seed, label="verify")
+    set_default_context(ctx)
+    streams = (tuple(s for s in args.streams.split(",") if s)
+               if args.streams else DEFAULT_STREAMS)
+    impls = (tuple(i for i in args.impls.split(",") if i)
+             if args.impls else None)
+
+    report = None
+    with ctx.phase("verify"):
+        if args.vectors > 0:
+            verifier = DifferentialVerifier(
+                width=args.width, window=args.window, impls=impls,
+                recovery_cycles=args.recovery_cycles, z=args.z, ctx=ctx,
+                shrink=not args.no_shrink)
+            report = verifier.run(vectors=args.vectors, streams=streams,
+                                  seed=args.seed, chunk=args.chunk)
+        if args.exhaustive_widths:
+            grid = run_exhaustive(
+                _parse_widths(args.exhaustive_widths, ()), impls=impls,
+                recovery_cycles=args.recovery_cycles, stride=args.stride,
+                chunk=args.chunk, ctx=ctx, shrink=not args.no_shrink)
+            report = report.merge(grid) if report is not None else grid
+    if report is None:
+        print("nothing to do: --vectors 0 and no --exhaustive-widths",
+              file=sys.stderr)
+        return 2
+
+    text = report.render()
+    print(text)
+    if not args.no_save:
+        path = save_artifact("verify.txt", text)
+        json_path = save_json("verify_report.json", report.as_dict())
+        manifest_path = save_json("verify_manifest.json", ctx.as_manifest())
+        print(f"\n[saved to {path}]\n[report: {json_path}]"
+              f"\n[manifest: {manifest_path}]", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = _build_parser()
@@ -405,6 +496,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "serve":
         return _run_serve(args)
+
+    if args.command == "verify":
+        return _run_verify(args)
 
     if args.command == "all":
         chunks = []

@@ -650,16 +650,20 @@ def crosscheck_table(widths: Sequence[int] = (16, 32, 64),
                      ctx: Optional[RunContext] = None) -> Table:
     """Cross-check every engine backend against the functional ACA model.
 
-    For each width the gate-level ACA (at the 99.99 % window) runs the
-    same random vectors through every registered backend; results must be
-    bit-identical to :class:`repro.mc.fastsim.AcaModel` — the fast path
-    the Monte Carlo layers trust.  Also reports per-backend throughput,
-    making this the quickest way to sanity-check a ``--backend`` choice.
+    A thin front-end over :mod:`repro.verify`: for each width the
+    gate-level ACA (at the 99.99 % window) runs the same seeded uniform
+    vectors through every registered engine backend via the differential
+    verifier, so mismatches come back with a first failing vector and a
+    minimised reproducer instead of a bare boolean.  Also reports
+    per-backend throughput, making this the quickest way to sanity-check
+    a ``--backend`` choice.  Deeper coverage (all implementation
+    families, adversarial/boundary streams, exhaustive small widths,
+    statistical rate checks) lives in ``python -m repro verify``.
     """
-    from .engine import available_backends, execute_ints, functional_model
+    from .engine import available_backends
+    from .verify import DifferentialVerifier
 
     ctx = ctx or get_default_context()
-    rng = np.random.default_rng(ctx.spawn_seed("crosscheck"))
     table = Table(
         f"Engine cross-check: gate-level backends vs functional ACA "
         f"({vectors} vectors)",
@@ -667,24 +671,27 @@ def crosscheck_table(widths: Sequence[int] = (16, 32, 64),
     # The context's backend (the CLI's --backend) is checked first.
     order = [ctx.backend] + [b for b in available_backends()
                              if b != ctx.backend]
+    failures = []
     for n in widths:
         w = choose_window(n)
-        circuit = build_aca(n, w)
-        vecs = {"a": [_rand_bits(rng, n) for _ in range(vectors)],
-                "b": [_rand_bits(rng, n) for _ in range(vectors)]}
-        expected = functional_model("aca", width=n, window=w).run_ints(vecs)
         for backend in order:
+            verifier = DifferentialVerifier(
+                width=n, window=w, impls=(f"engine:{backend}",), ctx=ctx)
             with ctx.phase(f"crosscheck_{backend}"):
                 t0 = time.perf_counter()
-                got = execute_ints(circuit, vecs, backend=backend, ctx=ctx)
+                report = verifier.run(vectors=vectors, streams=("uniform",),
+                                      seed=ctx.spawn_seed("crosscheck"))
                 dt = time.perf_counter() - t0
-            ok = got == expected
-            table.add_row(n, w, backend, "yes" if ok else "NO",
-                          round(vectors / dt / 1e6, 3))
-            if not ok:
-                raise AssertionError(
-                    f"backend {backend!r} disagrees with the functional "
-                    f"model at width {n}")
+            cov = next(c for c in report.coverage
+                       if c.impl == f"engine:{backend}")
+            table.add_row(n, w, backend,
+                          "yes" if report.ok else "NO",
+                          round(cov.vectors / dt / 1e6, 3))
+            failures.extend(d.describe() for d in report.discrepancies)
+    if failures:
+        raise AssertionError(
+            "engine backends disagree with the functional model:\n  "
+            + "\n  ".join(failures))
     table.note = ("All backends must agree bit-for-bit with the functional "
                   "model (proven equivalent to the gates in tests); "
                   "throughput is indicative, not a benchmark.")

@@ -46,7 +46,8 @@ from ..engine.context import RunContext, resolve_rng
 from .metrics import MetricsRegistry
 from .service import VlsaService
 
-__all__ = ["WORKLOADS", "LoadgenReport", "make_workload", "run_loadgen"]
+__all__ = ["WORKLOADS", "LoadgenReport", "make_workload", "run_loadgen",
+           "capture_attack_pairs"]
 
 WORKLOADS = ("uniform", "biased", "adversarial", "attack", "mixed")
 
@@ -212,6 +213,12 @@ def make_workload(name: str, width: int, window: int, ops: int,
             yield pairs[lo:lo + chunk]
     return Workload("attack", 32, gen_attack(), None,
                     params={"captured_ops": len(pairs)})
+
+
+def capture_attack_pairs(ops: int,
+                         rng: np.random.Generator) -> PairChunk:
+    """Public capture entry point (the verify subsystem replays these)."""
+    return _capture_attack_pairs(ops, rng)
 
 
 def _capture_attack_pairs(ops: int,

@@ -1,0 +1,56 @@
+"""Differential verification subsystem.
+
+"Bit-identical" is an invariant, not a comment: this package drives
+every registered ACA/VLSA implementation — compiled-engine backends,
+the legacy interpreter, the functional models, the cycle-accurate
+machine, and the service executors — from one seeded vector stream,
+cross-checks them elementwise, and tests their empirical error/detector
+rates against the exact analytic model with binomial bounds.  See
+:mod:`repro.verify.differential` for the engine,
+:mod:`repro.verify.vectors` for the streams, and ``python -m repro
+verify --help`` for the CLI front-end.
+"""
+
+from .differential import (
+    DEFAULT_STREAMS,
+    DifferentialVerifier,
+    ImplResult,
+    Implementation,
+    VerificationError,
+    available_implementations,
+    default_implementations,
+    make_implementation,
+    register_implementation,
+    run_exhaustive,
+    unregister_implementation,
+)
+from .report import Coverage, Discrepancy, ExhaustiveCell, VerifyReport
+from .shrink import shrink_pair
+from .stats import RateCheck, binomial_bounds, check_rate, wilson_interval
+from .vectors import STREAMS, boundary_patterns, pair_stream
+
+__all__ = [
+    "DEFAULT_STREAMS",
+    "STREAMS",
+    "Coverage",
+    "DifferentialVerifier",
+    "Discrepancy",
+    "ExhaustiveCell",
+    "ImplResult",
+    "Implementation",
+    "RateCheck",
+    "VerificationError",
+    "VerifyReport",
+    "available_implementations",
+    "binomial_bounds",
+    "boundary_patterns",
+    "check_rate",
+    "default_implementations",
+    "make_implementation",
+    "pair_stream",
+    "register_implementation",
+    "run_exhaustive",
+    "shrink_pair",
+    "unregister_implementation",
+    "wilson_interval",
+]

@@ -1,0 +1,723 @@
+"""The differential verification engine.
+
+Every claim of "bit-identical ACA/VLSA behaviour" in this repository is
+enforced here, from one place, against one reference: the closed-form
+functional model in :mod:`repro.mc.fastsim` (itself cross-checked
+exactly against the analytic recurrences).  Implementations register as
+adapters with a uniform batch interface and fall into two families:
+
+* ``speculative`` — produce the raw speculative ``(sum, cout)`` the ACA
+  hardware emits (gate-level circuits under every engine backend, the
+  legacy interpreter, the functional model itself);
+* ``exact`` — produce the corrected sum plus the detector/stall flag and
+  per-op latency (:class:`~repro.arch.vlsa_machine.VlsaMachine`, the
+  service's :class:`~repro.service.executor.VlsaBatchExecutor` under
+  both its backends).
+
+One seeded vector stream drives every registered pair; any elementwise
+disagreement is recorded with its first failing vector and a minimised
+reproducer.  On top of the elementwise comparison, observed detector /
+error **counts** on the uniform stream are tested against the exact
+analytic probabilities with a binomial bound — so a probabilistically
+wrong detector fails the run even when every sum matches (the recovery
+path hides under- or over-firing detectors from sum comparison).
+
+Exhaustive mode enumerates *all* operand pairs of a small-width grid and
+upgrades the statistical check to exact integer equality: over the full
+``4^n`` pair space the number of speculative errors must equal
+``P_error * 4^n`` computed with ``Fraction`` arithmetic — a zero-slack
+cross-check of the ``A_n(x)`` recurrence against brute force.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..analysis.error_model import (
+    aca_error_probability,
+    choose_window,
+    detector_flag_probability,
+)
+from ..analysis.runs import count_max_run_at_most
+from ..engine.context import RunContext, get_default_context
+from ..mc.fastsim import AcaModel, aca_add, aca_is_correct, detector_flag
+from ..service.metrics import MetricsRegistry
+from .report import Coverage, Discrepancy, ExhaustiveCell, VerifyReport
+from .shrink import shrink_pair
+from .stats import check_rate
+from .vectors import pair_stream
+
+__all__ = [
+    "VerificationError",
+    "ImplResult",
+    "Implementation",
+    "register_implementation",
+    "available_implementations",
+    "default_implementations",
+    "make_implementation",
+    "DifferentialVerifier",
+    "run_exhaustive",
+    "DEFAULT_STREAMS",
+]
+
+Pair = Tuple[int, int]
+
+#: Streams a plain fuzz run drives by default ("attack" is opt-in — it
+#: replays a captured cipher trace and costs a real attack run).
+DEFAULT_STREAMS = ("uniform", "biased", "adversarial", "boundary")
+
+
+class VerificationError(AssertionError):
+    """Raised by ``raise_on_failure`` entry points when a run fails."""
+
+    def __init__(self, report: VerifyReport):
+        self.report = report
+        super().__init__(
+            f"differential verification failed: "
+            f"{report.mismatch_count} mismatches, "
+            f"{len(report.stat_failures)} failed rate checks")
+
+
+# ----------------------------------------------------------------------
+# Implementation adapters
+# ----------------------------------------------------------------------
+@dataclass
+class ImplResult:
+    """Batch output of one implementation.
+
+    ``sums``/``couts`` are speculative values for the ``speculative``
+    family and corrected values for the ``exact`` family.  ``flags`` /
+    ``latencies`` / ``spec_errors`` are optional; when ``flags`` is
+    absent but the implementation can still report how many vectors took
+    the recovery path, ``stall_count`` feeds the statistical check.
+    """
+
+    sums: List[int]
+    couts: Optional[List[int]] = None
+    flags: Optional[List[bool]] = None
+    latencies: Optional[List[int]] = None
+    spec_errors: Optional[List[bool]] = None
+    stall_count: Optional[int] = None
+
+    def stalls(self) -> Optional[int]:
+        if self.flags is not None:
+            return sum(1 for f in self.flags if f)
+        return self.stall_count
+
+
+class Implementation:
+    """Adapter base: a named, family-tagged batch evaluator."""
+
+    name = "?"
+    family = "speculative"  # or "exact"
+
+    def run(self, pairs: Sequence[Pair]) -> ImplResult:
+        raise NotImplementedError
+
+
+class FunctionalImpl(Implementation):
+    """`AcaModel` through its bus-level ``run_ints`` interface."""
+
+    family = "speculative"
+
+    def __init__(self, width: int, window: int, recovery_cycles: int = 1):
+        self.name = "functional"
+        self.model = AcaModel(width, window)
+
+    def run(self, pairs: Sequence[Pair]) -> ImplResult:
+        out = self.model.run_ints({"a": [a for a, _ in pairs],
+                                   "b": [b for _, b in pairs]})
+        flags = [self.model.flags_error(a, b) for a, b in pairs]
+        return ImplResult(sums=list(out["sum"]), couts=list(out["cout"]),
+                          flags=flags)
+
+
+class EngineImpl(Implementation):
+    """Gate-level ACA circuit evaluated by one compiled-engine backend."""
+
+    family = "speculative"
+
+    def __init__(self, width: int, window: int, backend: str,
+                 recovery_cycles: int = 1):
+        from ..core import build_aca
+
+        self.name = f"engine:{backend}"
+        self.backend = backend
+        self.width = width
+        self.circuit = build_aca(width, min(window, width))
+
+    def run(self, pairs: Sequence[Pair]) -> ImplResult:
+        from ..engine import execute_ints
+
+        out = execute_ints(self.circuit,
+                           {"a": [a for a, _ in pairs],
+                            "b": [b for _, b in pairs]},
+                           backend=self.backend)
+        return ImplResult(sums=out["sum"], couts=out["cout"])
+
+
+class InterpreterImpl(Implementation):
+    """The legacy per-gate interpreter on the same gate-level ACA."""
+
+    family = "speculative"
+
+    def __init__(self, width: int, window: int, recovery_cycles: int = 1):
+        from ..core import build_aca
+
+        self.name = "interpreter"
+        self.circuit = build_aca(width, min(window, width))
+
+    def run(self, pairs: Sequence[Pair]) -> ImplResult:
+        from ..circuit import simulate_interpreted
+        from ..engine.pack import pack_vectors, unpack_vectors
+
+        n = len(pairs)
+        stim = {
+            "a": pack_vectors([a for a, _ in pairs],
+                              len(self.circuit.inputs["a"])),
+            "b": pack_vectors([b for _, b in pairs],
+                              len(self.circuit.inputs["b"])),
+        }
+        words = simulate_interpreted(self.circuit, stim, num_vectors=n)
+        return ImplResult(sums=unpack_vectors(words["sum"], n),
+                          couts=unpack_vectors(words["cout"], n))
+
+
+class MachineImpl(Implementation):
+    """The cycle-accurate :class:`VlsaMachine` (corrected sums + stalls)."""
+
+    family = "exact"
+
+    def __init__(self, width: int, window: int, recovery_cycles: int = 1):
+        from ..arch import VlsaMachine
+
+        self.name = "machine"
+        self.machine = VlsaMachine(width, window=window,
+                                   recovery_cycles=recovery_cycles)
+
+    def run(self, pairs: Sequence[Pair]) -> ImplResult:
+        trace = self.machine.run(pairs)
+        return ImplResult(
+            sums=[r.sum_out for r in trace.results],
+            couts=[r.cout for r in trace.results],
+            flags=[r.stalled for r in trace.results],
+            latencies=[r.latency_cycles for r in trace.results],
+            spec_errors=[r.stalled and not r.speculative_correct
+                         for r in trace.results])
+
+
+class ExecutorImpl(Implementation):
+    """The service's micro-batch executor under one backend."""
+
+    family = "exact"
+
+    def __init__(self, width: int, window: int, backend: str,
+                 recovery_cycles: int = 1):
+        from ..service.executor import VlsaBatchExecutor
+
+        self.name = f"service:{backend}"
+        self.executor = VlsaBatchExecutor(width, window=window,
+                                          recovery_cycles=recovery_cycles,
+                                          backend=backend)
+
+    def run(self, pairs: Sequence[Pair]) -> ImplResult:
+        out = self.executor.execute(pairs)
+        return ImplResult(sums=out.sums, couts=out.couts,
+                          flags=out.stalled, latencies=out.latencies,
+                          spec_errors=out.spec_errors)
+
+
+#: name -> factory(width, window, recovery_cycles) -> Implementation
+_FACTORIES: Dict[str, Callable[[int, int, int], Implementation]] = {}
+#: The built-in adapter names (a default run drives exactly these;
+#: externally registered implementations must be named explicitly).
+_BUILTIN: List[str] = []
+
+
+def register_implementation(
+        name: str,
+        factory: Callable[[int, int, int], Implementation]) -> None:
+    """Register *factory* under *name* (used by tests for mutants too)."""
+    _FACTORIES[name] = factory
+
+
+def unregister_implementation(name: str) -> None:
+    """Remove a registered implementation (mutation-test cleanup)."""
+    if name in _BUILTIN:
+        raise ValueError(f"refusing to unregister builtin {name!r}")
+    _FACTORIES.pop(name, None)
+
+
+def _ensure_builtin() -> None:
+    if "functional" in _FACTORIES:
+        return
+    from ..engine import available_backends
+
+    register_implementation("functional", FunctionalImpl)
+    for backend in available_backends():
+        register_implementation(
+            f"engine:{backend}",
+            lambda w, win, rc, _b=backend: EngineImpl(w, win, _b, rc))
+    register_implementation("interpreter", InterpreterImpl)
+    register_implementation("machine", MachineImpl)
+    register_implementation(
+        "service:numpy",
+        lambda w, win, rc: ExecutorImpl(w, win, "numpy", rc))
+    register_implementation(
+        "service:bigint",
+        lambda w, win, rc: ExecutorImpl(w, win, "bigint", rc))
+    _BUILTIN.extend(sorted(_FACTORIES))
+
+
+def available_implementations() -> List[str]:
+    """Every registered implementation name."""
+    _ensure_builtin()
+    return sorted(_FACTORIES)
+
+
+def default_implementations(width: int) -> List[str]:
+    """The built-in implementations a plain run drives for *width*."""
+    _ensure_builtin()
+    names = list(_BUILTIN)
+    if width > 64:
+        # The numpy service kernel is a machine-word kernel by design.
+        names = [n for n in names if n != "service:numpy"]
+    return names
+
+
+def make_implementation(name: str, width: int, window: int,
+                        recovery_cycles: int = 1) -> Implementation:
+    """Instantiate the registered implementation *name*."""
+    _ensure_builtin()
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"no implementation registered as {name!r}; available: "
+            f"{', '.join(available_implementations())}") from None
+    impl = factory(width, window, recovery_cycles)
+    impl.name = name
+    return impl
+
+
+# ----------------------------------------------------------------------
+# Reference values (the functional fast path, computed once per chunk)
+# ----------------------------------------------------------------------
+@dataclass
+class _Reference:
+    spec_sums: List[int]
+    spec_couts: List[int]
+    exact_sums: List[int]
+    exact_couts: List[int]
+    flags: List[bool]
+    correct: List[bool]
+
+
+def _reference(pairs: Sequence[Pair], width: int,
+               window: int) -> _Reference:
+    mask = (1 << width) - 1
+    spec_sums: List[int] = []
+    spec_couts: List[int] = []
+    exact_sums: List[int] = []
+    exact_couts: List[int] = []
+    flags: List[bool] = []
+    correct: List[bool] = []
+    for a, b in pairs:
+        a &= mask
+        b &= mask
+        ss, sc = aca_add(a, b, width, window)
+        total = a + b
+        spec_sums.append(ss)
+        spec_couts.append(sc)
+        exact_sums.append(total & mask)
+        exact_couts.append(total >> width)
+        flags.append(detector_flag(a, b, width, window))
+        correct.append(aca_is_correct(a, b, width, window))
+    return _Reference(spec_sums, spec_couts, exact_sums, exact_couts,
+                      flags, correct)
+
+
+# ----------------------------------------------------------------------
+# The verifier
+# ----------------------------------------------------------------------
+class DifferentialVerifier:
+    """Drives every registered implementation from one vector stream.
+
+    Args:
+        width: Operand bitwidth.
+        window: Speculation window (default: the 99.99 % window, clamped
+            to *width*).
+        impls: Implementation names to drive (default:
+            :func:`default_implementations`).
+        recovery_cycles: Recovery penalty for the exact family.
+        z: Sigma multiplier for the binomial rate checks.
+        ctx: Run context — vectors/mismatch counters, per-impl phase
+            timers, and one trace event per discrepancy land in its
+            manifest.
+        registry: Metrics registry — ``verify_*`` counters accumulate
+            across runs of this verifier.
+        shrink: Minimise failing vectors (re-runs the implementation).
+        max_discrepancies: Recorded-discrepancy cap (counts keep
+            accumulating in coverage beyond it).
+    """
+
+    def __init__(self, width: int, window: Optional[int] = None,
+                 impls: Optional[Sequence[str]] = None,
+                 recovery_cycles: int = 1, z: float = 5.0,
+                 ctx: Optional[RunContext] = None,
+                 registry: Optional[MetricsRegistry] = None,
+                 shrink: bool = True, max_discrepancies: int = 16):
+        if width <= 0:
+            raise ValueError("width must be positive")
+        self.width = width
+        self.window = min(window if window is not None
+                          else choose_window(width), width)
+        if self.window <= 0:
+            raise ValueError("window must be positive")
+        self.recovery_cycles = recovery_cycles
+        self.z = z
+        self.ctx = ctx if ctx is not None else get_default_context()
+        self.registry = (registry if registry is not None
+                         else MetricsRegistry())
+        self.shrink = shrink
+        self.max_discrepancies = max_discrepancies
+        names = list(impls) if impls is not None else (
+            default_implementations(width))
+        self.impls = [make_implementation(n, self.width, self.window,
+                                          recovery_cycles) for n in names]
+        self.m_vectors = self.registry.counter(
+            "verify_vectors_total", "vectors driven per implementation")
+        self.m_mismatch = self.registry.counter(
+            "verify_mismatches_total", "elementwise disagreements found")
+        self.m_stat_fail = self.registry.counter(
+            "verify_stat_failures_total", "failed binomial rate checks")
+
+    # ------------------------------------------------------------------
+    def run(self, vectors: int = 10000,
+            streams: Sequence[str] = DEFAULT_STREAMS,
+            seed: Optional[int] = None,
+            chunk: int = 4096) -> VerifyReport:
+        """Fuzz every implementation with *vectors* per stream."""
+        seed = self.ctx.seed if seed is None else seed
+        report = VerifyReport(width=self.width, window=self.window,
+                              seed=seed, streams=list(streams),
+                              impls=[i.name for i in self.impls])
+        coverage = {i.name: Coverage(impl=i.name) for i in self.impls}
+        uniform = {"n": 0, "errors": 0, "flags": 0}
+        impl_stalls: Dict[str, int] = {}
+        with self.ctx.phase("verify"):
+            for stream in streams:
+                base = 0
+                for pairs in pair_stream(stream, self.width, self.window,
+                                         vectors, seed=seed, chunk=chunk):
+                    ref = _reference(pairs, self.width, self.window)
+                    self._check_reference(ref, pairs, stream, base, seed,
+                                          report)
+                    if stream == "uniform":
+                        uniform["n"] += len(pairs)
+                        uniform["errors"] += sum(
+                            1 for c in ref.correct if not c)
+                        uniform["flags"] += sum(
+                            1 for f in ref.flags if f)
+                    for impl in self.impls:
+                        with self.ctx.phase(f"verify_{impl.name}"):
+                            res = impl.run(pairs)
+                        cov = coverage[impl.name]
+                        cov.add(stream, len(pairs))
+                        self.m_vectors.inc(len(pairs))
+                        self._compare(impl, res, ref, pairs, stream,
+                                      base, seed, report, cov)
+                        if stream == "uniform":
+                            stalls = res.stalls()
+                            if stalls is not None:
+                                impl_stalls[impl.name] = (
+                                    impl_stalls.get(impl.name, 0) + stalls)
+                    base += len(pairs)
+        report.coverage = list(coverage.values())
+        self._rate_checks(uniform, impl_stalls, report)
+        self.ctx.add("verify_vectors",
+                     sum(c.vectors for c in report.coverage))
+        self.ctx.add("verify_mismatches", report.mismatch_count)
+        return report
+
+    def run_pairs(self, pairs_iter: Iterable[Sequence[Pair]],
+                  stream: str = "explicit",
+                  seed: Optional[int] = None) -> VerifyReport:
+        """Drive explicit pair chunks (exhaustive mode's entry point)."""
+        seed = self.ctx.seed if seed is None else seed
+        report = VerifyReport(width=self.width, window=self.window,
+                              seed=seed, streams=[stream],
+                              impls=[i.name for i in self.impls])
+        coverage = {i.name: Coverage(impl=i.name) for i in self.impls}
+        totals = {"n": 0, "errors": 0, "flags": 0}
+        base = 0
+        with self.ctx.phase("verify"):
+            for pairs in pairs_iter:
+                pairs = list(pairs)
+                ref = _reference(pairs, self.width, self.window)
+                self._check_reference(ref, pairs, stream, base, seed,
+                                      report)
+                totals["n"] += len(pairs)
+                totals["errors"] += sum(1 for c in ref.correct if not c)
+                totals["flags"] += sum(1 for f in ref.flags if f)
+                for impl in self.impls:
+                    with self.ctx.phase(f"verify_{impl.name}"):
+                        res = impl.run(pairs)
+                    cov = coverage[impl.name]
+                    cov.add(stream, len(pairs))
+                    self.m_vectors.inc(len(pairs))
+                    self._compare(impl, res, ref, pairs, stream, base,
+                                  seed, report, cov)
+                base += len(pairs)
+        report.coverage = list(coverage.values())
+        report.totals = totals  # type: ignore[attr-defined]
+        self.ctx.add("verify_vectors",
+                     sum(c.vectors for c in report.coverage))
+        self.ctx.add("verify_mismatches", report.mismatch_count)
+        return report
+
+    # ------------------------------------------------------------------
+    def _check_reference(self, ref: _Reference, pairs: Sequence[Pair],
+                         stream: str, base: int, seed: int,
+                         report: VerifyReport) -> None:
+        """Internal invariants of the reference model itself.
+
+        The detector must never miss an actual error, and the
+        speculative result must equal the exact one iff the model calls
+        the pair correct.
+        """
+        for i in range(len(pairs)):
+            spec_ok = (ref.spec_sums[i] == ref.exact_sums[i]
+                       and ref.spec_couts[i] == ref.exact_couts[i])
+            flag_missed = not ref.flags[i] and not ref.correct[i]
+            if spec_ok != ref.correct[i] or flag_missed:
+                self._record(report, Discrepancy(
+                    kind="reference", impl="functional", stream=stream,
+                    width=self.width, window=self.window, index=base + i,
+                    a=pairs[i][0], b=pairs[i][1],
+                    expected={"correct": ref.correct[i],
+                              "flag": ref.flags[i]},
+                    got={"spec_matches_exact": spec_ok}, seed=seed))
+
+    def _compare(self, impl: Implementation, res: ImplResult,
+                 ref: _Reference, pairs: Sequence[Pair], stream: str,
+                 base: int, seed: int, report: VerifyReport,
+                 cov: Coverage) -> None:
+        exp_sums = (ref.spec_sums if impl.family == "speculative"
+                    else ref.exact_sums)
+        exp_couts = (ref.spec_couts if impl.family == "speculative"
+                     else ref.exact_couts)
+        checks: List[Tuple[str, Sequence, Sequence]] = []
+        if res.sums != exp_sums:
+            checks.append(("sum", exp_sums, res.sums))
+        if res.couts is not None and res.couts != exp_couts:
+            checks.append(("cout", exp_couts, res.couts))
+        if res.flags is not None and res.flags != ref.flags:
+            checks.append(("flag", ref.flags, res.flags))
+        if res.latencies is not None:
+            exp_lat = [1 + (self.recovery_cycles if f else 0)
+                       for f in ref.flags]
+            if res.latencies != exp_lat:
+                checks.append(("latency", exp_lat, res.latencies))
+        if res.spec_errors is not None:
+            exp_err = [f and not c
+                       for f, c in zip(ref.flags, ref.correct)]
+            if res.spec_errors != exp_err:
+                checks.append(("spec_error", exp_err, res.spec_errors))
+        for kind, expected, got in checks:
+            for i, (e, g) in enumerate(zip(expected, got)):
+                if e != g:
+                    cov.mismatches += 1
+                    self.m_mismatch.inc()
+                    self._record(report, self._discrepancy(
+                        impl, kind, pairs[i], stream, base + i, seed,
+                        e, g))
+                    break  # first failing vector per kind per chunk
+
+    def _discrepancy(self, impl: Implementation, kind: str, pair: Pair,
+                     stream: str, index: int, seed: int,
+                     expected: object, got: object) -> Discrepancy:
+        a, b = pair
+        disc = Discrepancy(kind=kind, impl=impl.name, stream=stream,
+                           width=self.width, window=self.window,
+                           index=index, a=a, b=b, expected=expected,
+                           got=got, seed=seed)
+        if self.shrink:
+            predicate = self._predicate(impl, kind)
+            sa, sb = shrink_pair(predicate, a, b, self.width)
+            if (sa, sb) != (a, b):
+                disc.shrunk_a, disc.shrunk_b = sa, sb
+        return disc
+
+    def _predicate(self, impl: Implementation,
+                   kind: str) -> Callable[[int, int], bool]:
+        """Single-pair "still fails" predicate for the shrinker."""
+        width, window = self.width, self.window
+
+        def fails(a: int, b: int) -> bool:
+            ref = _reference([(a, b)], width, window)
+            try:
+                res = impl.run([(a, b)])
+            except Exception:
+                return True  # crashing on the candidate still counts
+            if kind == "sum":
+                exp = (ref.spec_sums if impl.family == "speculative"
+                       else ref.exact_sums)
+                return res.sums != exp
+            if kind == "cout":
+                exp = (ref.spec_couts if impl.family == "speculative"
+                       else ref.exact_couts)
+                return res.couts != exp
+            if kind == "flag":
+                return res.flags != ref.flags
+            if kind == "latency":
+                exp_lat = [1 + (self.recovery_cycles if f else 0)
+                           for f in ref.flags]
+                return res.latencies != exp_lat
+            if kind == "spec_error":
+                exp_err = [f and not c
+                           for f, c in zip(ref.flags, ref.correct)]
+                return res.spec_errors != exp_err
+            return False
+
+        return fails
+
+    def _record(self, report: VerifyReport, disc: Discrepancy) -> None:
+        if len(report.discrepancies) < self.max_discrepancies:
+            report.discrepancies.append(disc)
+            fields = {k: v for k, v in disc.as_dict().items()
+                      if k not in ("expected", "got", "kind")}
+            fields["mismatch_kind"] = disc.kind
+            self.ctx.record_event("verify_discrepancy", **fields)
+
+    # ------------------------------------------------------------------
+    def _rate_checks(self, uniform: Dict[str, int],
+                     impl_stalls: Dict[str, int],
+                     report: VerifyReport) -> None:
+        n = uniform["n"]
+        if n == 0:
+            return
+        p_err = float(aca_error_probability(self.width, self.window))
+        p_flag = detector_flag_probability(self.width, self.window)
+        report.rate_checks.append(check_rate(
+            "error_rate/reference", "uniform", uniform["errors"], n,
+            p_err, self.z))
+        report.rate_checks.append(check_rate(
+            "detector_rate/reference", "uniform", uniform["flags"], n,
+            p_flag, self.z))
+        for name, stalls in sorted(impl_stalls.items()):
+            report.rate_checks.append(check_rate(
+                f"detector_rate/{name}", "uniform", stalls, n, p_flag,
+                self.z))
+        failed = sum(1 for rc in report.rate_checks if not rc.ok)
+        if failed:
+            self.m_stat_fail.inc(failed)
+            self.ctx.record_event("verify_stat_failure", count=failed)
+        self.ctx.add("verify_rate_checks", len(report.rate_checks))
+
+
+# ----------------------------------------------------------------------
+# Exhaustive small-width sweeps
+# ----------------------------------------------------------------------
+def _all_pairs(width: int, stride: int = 1,
+               chunk: int = 4096) -> Iterable[List[Pair]]:
+    """All ``(a, b)`` pairs (every *stride*-th, in index order)."""
+    total = 1 << (2 * width)
+    mask = (1 << width) - 1
+    out: List[Pair] = []
+    for idx in range(0, total, stride):
+        out.append((idx >> width, idx & mask))
+        if len(out) >= chunk:
+            yield out
+            out = []
+    if out:
+        yield out
+
+
+def _exact_counts(width: int, window: int) -> Tuple[int, int]:
+    """Exact (error, flag) counts over all ``4^width`` operand pairs.
+
+    ``P(flag)`` for uniform pairs is the longest-1-run tail of the XOR
+    word; multiplied by ``4^n`` (each XOR word arises from ``2^n``
+    pairs) it is an integer.  The error probability comes from the exact
+    ``Fraction`` Markov chain; its denominator divides ``4^n`` as well.
+    """
+    total = 1 << (2 * width)
+    if window >= width:
+        flag_count = (1 << width)  # only the all-propagate XOR word
+        if window > width:
+            flag_count = 0
+        err = Fraction(0)
+    else:
+        below = count_max_run_at_most(width, window - 1)
+        flag_count = ((1 << width) - below) * (1 << width)
+        err = aca_error_probability(width, window, exact=True)
+    err_count = err * total
+    if err_count.denominator != 1:
+        raise AssertionError(
+            f"exact error probability for n={width}, w={window} is not "
+            f"a multiple of 4^-n: {err}")
+    return int(err_count), flag_count
+
+
+def run_exhaustive(widths: Sequence[int],
+                   windows: Optional[Sequence[int]] = None,
+                   impls: Optional[Sequence[str]] = None,
+                   recovery_cycles: int = 1, stride: int = 1,
+                   chunk: int = 4096,
+                   ctx: Optional[RunContext] = None,
+                   registry: Optional[MetricsRegistry] = None,
+                   shrink: bool = True) -> VerifyReport:
+    """Exhaustive (or strided) sweep over a small ``(width, window)`` grid.
+
+    Args:
+        widths: Bitwidths to enumerate (keep ``<= 10``; ``4^n`` pairs).
+        windows: Windows per width (default: every ``1..width``).
+        impls: Implementation names (default: all registered for the
+            width).
+        recovery_cycles, ctx, registry, shrink: As for
+            :class:`DifferentialVerifier`.
+        stride: Check every *stride*-th pair (1 = complete; complete
+            cells additionally get the exact count-equality check).
+
+    Returns:
+        One merged :class:`VerifyReport` with an
+        :class:`~repro.verify.report.ExhaustiveCell` per grid cell.
+    """
+    merged: Optional[VerifyReport] = None
+    for width in widths:
+        wins = list(windows) if windows is not None else (
+            list(range(1, width + 1)))
+        for window in wins:
+            if window > width:
+                continue
+            names = (list(impls) if impls is not None
+                     else default_implementations(width))
+            verifier = DifferentialVerifier(
+                width, window=window, impls=names,
+                recovery_cycles=recovery_cycles, ctx=ctx,
+                registry=registry, shrink=shrink)
+            rep = verifier.run_pairs(
+                _all_pairs(width, stride=stride, chunk=chunk),
+                stream=f"exhaustive[{width},{window}]")
+            totals = rep.totals  # type: ignore[attr-defined]
+            complete = stride == 1
+            cell = ExhaustiveCell(
+                width=width, window=window, pairs=totals["n"],
+                complete=complete,
+                mismatches=sum(c.mismatches for c in rep.coverage),
+                error_count=totals["errors"],
+                flag_count=totals["flags"])
+            if complete:
+                exp_err, exp_flag = _exact_counts(width, window)
+                cell.expected_error_count = exp_err
+                cell.expected_flag_count = exp_flag
+            rep.exhaustive.append(cell)
+            # Grid cells fold their elementwise mismatch totals into the
+            # cell record; drop per-impl coverage duplication of counts.
+            merged = rep if merged is None else merged.merge(rep)
+    if merged is None:
+        merged = VerifyReport(width=0, window=0, seed=0)
+    return merged

@@ -1,0 +1,277 @@
+"""Machine-readable verification reports.
+
+A :class:`VerifyReport` is the single artefact a verification run
+produces: per-pair coverage counts, every discrepancy (with its first
+failing vector and a minimised reproducer), the statistical rate checks,
+and the exhaustive-grid results.  ``as_dict()`` is what the CLI writes
+to ``results/verify_report.json``; ``render()`` is the human view built
+from the same data.
+
+Reproducing a reported discrepancy needs only the fields the report
+records: the stream tuple ``(name, width, window, seed)`` replays the
+identical vector sequence (see :mod:`repro.verify.vectors`), and the
+``a``/``b`` (or ``shrunk_a``/``shrunk_b``) operands re-trigger the
+failure directly on the named implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..reporting import Table
+from .stats import RateCheck
+
+__all__ = ["Discrepancy", "Coverage", "ExhaustiveCell", "VerifyReport"]
+
+
+@dataclass
+class Discrepancy:
+    """One implementation/reference disagreement.
+
+    Attributes:
+        kind: What disagreed (``sum``/``cout``/``flag``/``latency``/
+            ``spec_error``/``reference``).
+        impl: Implementation that produced the wrong value.
+        stream: Stream name the vector came from.
+        width, window: Configuration under test.
+        index: Vector position within the stream (with the stream seed,
+            this pinpoints the exact failing vector).
+        a, b: The first failing operands.
+        expected, got: Reference versus implementation value.
+        shrunk_a, shrunk_b: Minimised reproducer (same failure), when
+            shrinking was enabled and succeeded.
+        seed: Stream seed (replays the whole failing sequence).
+    """
+
+    kind: str
+    impl: str
+    stream: str
+    width: int
+    window: int
+    index: int
+    a: int
+    b: int
+    expected: Any
+    got: Any
+    seed: Optional[int] = None
+    shrunk_a: Optional[int] = None
+    shrunk_b: Optional[int] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "impl": self.impl,
+            "stream": self.stream,
+            "width": self.width,
+            "window": self.window,
+            "index": self.index,
+            "a": self.a,
+            "b": self.b,
+            "expected": self.expected,
+            "got": self.got,
+            "seed": self.seed,
+            "shrunk_a": self.shrunk_a,
+            "shrunk_b": self.shrunk_b,
+        }
+
+    def describe(self) -> str:
+        base = (f"{self.impl}: {self.kind} mismatch at "
+                f"{self.stream}[{self.index}] (width={self.width}, "
+                f"window={self.window}, seed={self.seed}): "
+                f"a={self.a:#x} b={self.b:#x} "
+                f"expected {self.expected!r} got {self.got!r}")
+        if self.shrunk_a is not None:
+            base += (f"; minimised: a={self.shrunk_a:#x} "
+                     f"b={self.shrunk_b:#x}")
+        return base
+
+
+@dataclass
+class Coverage:
+    """Vectors driven through one implementation/reference pair."""
+
+    impl: str
+    reference: str = "functional"
+    vectors: int = 0
+    mismatches: int = 0
+    per_stream: Dict[str, int] = field(default_factory=dict)
+
+    def add(self, stream: str, count: int) -> None:
+        self.vectors += count
+        self.per_stream[stream] = self.per_stream.get(stream, 0) + count
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "impl": self.impl,
+            "reference": self.reference,
+            "vectors": self.vectors,
+            "mismatches": self.mismatches,
+            "per_stream": dict(self.per_stream),
+        }
+
+
+@dataclass
+class ExhaustiveCell:
+    """Result of one exhaustive ``(width, window)`` grid cell.
+
+    When the cell covered *all* ``4^width`` operand pairs, the observed
+    error/detector counts are compared **exactly** (integer equality)
+    against the analytic probabilities — the strongest possible check of
+    the ``A_n(x)`` recurrence.
+    """
+
+    width: int
+    window: int
+    pairs: int
+    complete: bool
+    mismatches: int = 0
+    error_count: int = 0
+    expected_error_count: Optional[int] = None
+    flag_count: int = 0
+    expected_flag_count: Optional[int] = None
+
+    @property
+    def ok(self) -> bool:
+        if self.mismatches:
+            return False
+        if self.complete:
+            if (self.expected_error_count is not None
+                    and self.error_count != self.expected_error_count):
+                return False
+            if (self.expected_flag_count is not None
+                    and self.flag_count != self.expected_flag_count):
+                return False
+        return True
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "width": self.width,
+            "window": self.window,
+            "pairs": self.pairs,
+            "complete": self.complete,
+            "mismatches": self.mismatches,
+            "error_count": self.error_count,
+            "expected_error_count": self.expected_error_count,
+            "flag_count": self.flag_count,
+            "expected_flag_count": self.expected_flag_count,
+            "ok": self.ok,
+        }
+
+
+@dataclass
+class VerifyReport:
+    """Complete outcome of a verification run."""
+
+    width: int
+    window: int
+    seed: int
+    streams: List[str] = field(default_factory=list)
+    impls: List[str] = field(default_factory=list)
+    coverage: List[Coverage] = field(default_factory=list)
+    discrepancies: List[Discrepancy] = field(default_factory=list)
+    rate_checks: List[RateCheck] = field(default_factory=list)
+    exhaustive: List[ExhaustiveCell] = field(default_factory=list)
+
+    @property
+    def mismatch_count(self) -> int:
+        # Exhaustive cells summarise the same coverage entries, so the
+        # coverage sum alone is the non-double-counted total.
+        return sum(c.mismatches for c in self.coverage)
+
+    @property
+    def stat_failures(self) -> List[RateCheck]:
+        return [rc for rc in self.rate_checks if not rc.ok]
+
+    @property
+    def ok(self) -> bool:
+        return (self.mismatch_count == 0
+                and not self.stat_failures
+                and all(cell.ok for cell in self.exhaustive))
+
+    def merge(self, other: "VerifyReport") -> "VerifyReport":
+        """Fold *other*'s results into this report (grid aggregation)."""
+        self.coverage.extend(other.coverage)
+        self.discrepancies.extend(other.discrepancies)
+        self.rate_checks.extend(other.rate_checks)
+        self.exhaustive.extend(other.exhaustive)
+        for name in other.impls:
+            if name not in self.impls:
+                self.impls.append(name)
+        for name in other.streams:
+            if name not in self.streams:
+                self.streams.append(name)
+        return self
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "width": self.width,
+            "window": self.window,
+            "seed": self.seed,
+            "streams": list(self.streams),
+            "impls": list(self.impls),
+            "ok": self.ok,
+            "mismatch_count": self.mismatch_count,
+            "coverage": [c.as_dict() for c in self.coverage],
+            "discrepancies": [d.as_dict() for d in self.discrepancies],
+            "rate_checks": [rc.as_dict() for rc in self.rate_checks],
+            "exhaustive": [cell.as_dict() for cell in self.exhaustive],
+        }
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Human-readable text rendering (coverage + rates + failures)."""
+        chunks: List[str] = []
+        cov = Table(
+            f"Differential verification: width={self.width} "
+            f"window={self.window} seed={self.seed}",
+            ["implementation", "reference", "vectors", "mismatches",
+             "streams"])
+        for c in self.coverage:
+            cov.add_row(c.impl, c.reference, c.vectors, c.mismatches,
+                        ",".join(sorted(c.per_stream)))
+        chunks.append(cov.render())
+
+        if self.rate_checks:
+            rates = Table(
+                "Statistical cross-checks (binomial bound vs exact model)",
+                ["check", "stream", "observed", "expected", "interval",
+                 "ok"])
+            for rc in self.rate_checks:
+                lo = rc.lo / rc.trials if rc.trials else 0.0
+                hi = rc.hi / rc.trials if rc.trials else 0.0
+                rates.add_row(rc.name, rc.stream, f"{rc.rate:.6f}",
+                              f"{rc.expected:.6f}",
+                              f"[{lo:.6f}, {hi:.6f}]",
+                              "yes" if rc.ok else "NO")
+            chunks.append(rates.render())
+
+        if self.exhaustive:
+            grid = Table(
+                "Exhaustive grid (exact count equality when complete)",
+                ["width", "window", "pairs", "complete", "mismatches",
+                 "errors (got/exp)", "flags (got/exp)", "ok"])
+            for cell in self.exhaustive:
+                exp_err = (cell.expected_error_count
+                           if cell.expected_error_count is not None else "-")
+                exp_flag = (cell.expected_flag_count
+                            if cell.expected_flag_count is not None else "-")
+                grid.add_row(
+                    cell.width, cell.window, cell.pairs,
+                    "yes" if cell.complete else "sampled",
+                    cell.mismatches,
+                    f"{cell.error_count}/{exp_err}",
+                    f"{cell.flag_count}/{exp_flag}",
+                    "yes" if cell.ok else "NO")
+            chunks.append(grid.render())
+
+        if self.discrepancies:
+            lines = ["Discrepancies:"]
+            lines += [f"  - {d.describe()}" for d in self.discrepancies]
+            chunks.append("\n".join(lines))
+
+        verdict = "PASS" if self.ok else "FAIL"
+        chunks.append(f"verdict: {verdict} "
+                      f"({self.mismatch_count} mismatches, "
+                      f"{len(self.stat_failures)} failed rate checks)")
+        return "\n\n".join(chunks)

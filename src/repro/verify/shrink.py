@@ -1,0 +1,75 @@
+"""Greedy reproducer minimisation for failing operand pairs.
+
+When the differential engine finds a mismatching vector it re-runs the
+failing implementation on candidate simplifications of the pair until no
+single-step simplification still fails.  The result is the minimal
+reproducer the discrepancy report records: typically a handful of set
+bits isolating the exact propagate/generate structure the bug needs.
+
+The strategy is deliberately simple (clear one bit, shift both operands
+down) — the predicate is re-evaluated at every step, so the output is
+guaranteed to still fail, and the search is bounded by ``max_evals``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+__all__ = ["shrink_pair"]
+
+
+def _cost(a: int, b: int) -> Tuple[int, int]:
+    """Order candidates by set-bit count, then by magnitude."""
+    return (bin(a).count("1") + bin(b).count("1"), a + b)
+
+
+def shrink_pair(predicate: Callable[[int, int], bool], a: int, b: int,
+                width: int, max_evals: int = 2048) -> Tuple[int, int]:
+    """Minimise a failing pair while ``predicate(a, b)`` stays true.
+
+    Args:
+        predicate: Returns True while the candidate pair still exhibits
+            the failure (the original ``(a, b)`` must satisfy it).
+        a, b: The failing operands.
+        width: Operand bitwidth (candidates stay masked to it).
+        max_evals: Predicate evaluation budget.
+
+    Returns:
+        A pair that still satisfies *predicate*, no "heavier" (by set-bit
+        count, then magnitude) than the input.
+    """
+    mask = (1 << width) - 1
+    a &= mask
+    b &= mask
+    if not predicate(a, b):
+        return a, b  # caller handed a non-failing pair; nothing to do
+    evals = 0
+
+    def still_fails(na: int, nb: int) -> bool:
+        nonlocal evals
+        if evals >= max_evals:
+            return False
+        if (na, nb) == (a, b) or _cost(na, nb) >= _cost(a, b):
+            return False
+        evals += 1
+        return predicate(na, nb)
+
+    improved = True
+    while improved and evals < max_evals:
+        improved = False
+        # Slide the whole pattern toward bit 0.
+        if (a | b) and still_fails(a >> 1, b >> 1):
+            a >>= 1
+            b >>= 1
+            improved = True
+            continue
+        # Clear individual bits, high to low.
+        for bit in reversed(range(width)):
+            m = 1 << bit
+            if a & m and still_fails(a & ~m, b):
+                a &= ~m
+                improved = True
+            if b & m and still_fails(a, b & ~m):
+                b &= ~m
+                improved = True
+    return a, b

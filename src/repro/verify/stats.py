@@ -1,0 +1,123 @@
+"""Statistical cross-checks: empirical rates versus the exact model.
+
+Matching sums proves nothing about a *probabilistic* component: a
+detector that silently under-fires still produces correct sums whenever
+the recovery path re-computes them exactly.  The verify engine therefore
+also tests every implementation's observed fire/error **counts** against
+the exact analytic probabilities (the ``A_n(x)`` recurrence in
+:mod:`repro.analysis.runs` and the Markov chain in
+:mod:`repro.analysis.error_model`) with a binomial concentration bound:
+an observed count outside ``expected ± z·σ`` fails the run even when
+every sum matched.
+
+The default ``z = 5`` keeps the false-alarm probability per check below
+~6e-7 (normal tail), so a seeded CI run never flakes, while any bug that
+shifts a rate by a few percent at 10k+ vectors is caught immediately.
+An extra additive slack of 2 counts covers normal-approximation error at
+tiny ``n·p``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+__all__ = ["RateCheck", "binomial_bounds", "check_rate", "wilson_interval"]
+
+#: Additive slack (in counts) on top of z·σ, covering the discreteness
+#: and normal-approximation error when ``n·p`` is small.
+COUNT_SLACK = 2.0
+
+
+def binomial_bounds(expected_p: float, trials: int,
+                    z: float = 5.0) -> Tuple[float, float]:
+    """Acceptance interval (in counts) for Binomial(*trials*, *expected_p*).
+
+    Returns ``(lo, hi)`` such that the observed count of a correct
+    implementation lies inside with overwhelming probability.
+    """
+    if not (0.0 <= expected_p <= 1.0):
+        raise ValueError("expected_p must be in [0, 1]")
+    if trials < 0:
+        raise ValueError("trials must be non-negative")
+    mean = trials * expected_p
+    sigma = math.sqrt(trials * expected_p * (1.0 - expected_p))
+    delta = z * sigma + COUNT_SLACK
+    return max(0.0, mean - delta), min(float(trials), mean + delta)
+
+
+def wilson_interval(count: int, trials: int,
+                    z: float = 5.0) -> Tuple[float, float]:
+    """Wilson score interval for the observed proportion.
+
+    Reported alongside every rate check so a human reading the report
+    sees the empirical confidence interval, not just a pass/fail bit.
+    """
+    if trials <= 0:
+        return 0.0, 1.0
+    p = count / trials
+    z2 = z * z
+    denom = 1.0 + z2 / trials
+    centre = (p + z2 / (2 * trials)) / denom
+    half = (z * math.sqrt(p * (1 - p) / trials
+                          + z2 / (4 * trials * trials))) / denom
+    return max(0.0, centre - half), min(1.0, centre + half)
+
+
+@dataclass(frozen=True)
+class RateCheck:
+    """One empirical-versus-analytic rate comparison.
+
+    Attributes:
+        name: What was measured (e.g. ``detector_rate/service:numpy``).
+        stream: Stream the counts came from (rate checks only apply to
+            streams whose analytic distribution is known — uniform).
+        observed: Observed event count.
+        trials: Vectors observed.
+        expected: Analytic event probability.
+        lo, hi: Acceptance interval in counts.
+        ok: Whether ``observed`` lies inside ``[lo, hi]``.
+        z: Sigma multiplier used.
+    """
+
+    name: str
+    stream: str
+    observed: int
+    trials: int
+    expected: float
+    lo: float
+    hi: float
+    ok: bool
+    z: float
+
+    @property
+    def rate(self) -> float:
+        return self.observed / self.trials if self.trials else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        w_lo, w_hi = wilson_interval(self.observed, self.trials, self.z)
+        return {
+            "name": self.name,
+            "stream": self.stream,
+            "observed": self.observed,
+            "trials": self.trials,
+            "observed_rate": self.rate,
+            "expected_rate": self.expected,
+            "accept_lo_count": self.lo,
+            "accept_hi_count": self.hi,
+            "wilson_lo": w_lo,
+            "wilson_hi": w_hi,
+            "z": self.z,
+            "ok": self.ok,
+        }
+
+
+def check_rate(name: str, stream: str, observed: int, trials: int,
+               expected_p: float, z: float = 5.0) -> RateCheck:
+    """Build the :class:`RateCheck` for one observed count."""
+    lo, hi = binomial_bounds(expected_p, trials, z)
+    ok = lo <= observed <= hi
+    return RateCheck(name=name, stream=stream, observed=observed,
+                     trials=trials, expected=expected_p, lo=lo, hi=hi,
+                     ok=ok, z=z)

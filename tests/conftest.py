@@ -1,23 +1,23 @@
-"""Shared fixtures and hypothesis configuration for the test suite."""
+"""Shared fixtures and hypothesis configuration for the test suite.
 
-import random
+The actual seeding/profile logic lives in :mod:`repro.testing` (shared
+with ``benchmarks/conftest.py``); this file only binds it to pytest.
+"""
 
 import pytest
-from hypothesis import HealthCheck, settings
 
-# One conservative profile: deterministic, no deadline (STA on larger
-# circuits can take a while on CI boxes), modest example counts.
-settings.register_profile(
-    "repro",
-    deadline=None,
-    max_examples=60,
-    derandomize=True,
-    suppress_health_check=[HealthCheck.too_slow],
-)
-settings.load_profile("repro")
+from repro.testing import make_rng, nightly_enabled, register_hypothesis_profile
+
+register_hypothesis_profile()
+
+#: Skip marker for the long nightly-only tests (full exhaustive grids,
+#: million-vector fuzz).  Enable with ``REPRO_NIGHTLY=1``.
+nightly = pytest.mark.skipif(
+    not nightly_enabled(),
+    reason="nightly-only (set REPRO_NIGHTLY=1 to run)")
 
 
 @pytest.fixture
 def rng():
     """Deterministic random generator per test."""
-    return random.Random(0xC0FFEE)
+    return make_rng()

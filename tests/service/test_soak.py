@@ -1,0 +1,201 @@
+"""Service soak test: chaos injection with full metrics reconciliation.
+
+A seeded storm of concurrent clients drives the service while a chaos
+task randomly stalls the accelerator (holding executor batches and
+replaying them later) so cancellations and timeouts land mid-flight.
+Afterwards every delivered response is validated against the
+differential-verification reference oracle and the metrics registry is
+reconciled against the client-side tallies — no request may be lost or
+double-counted, and served work must balance the cycle ledger exactly.
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.service import (
+    RequestTimeoutError,
+    ServiceOverloadedError,
+    VlsaService,
+)
+from repro.testing import TEST_SEED, nightly_enabled
+from repro.verify.differential import _reference
+from repro.verify.vectors import pair_stream
+
+WIDTH, WINDOW, RECOVERY = 32, 4, 3
+
+#: Client deadline and chaos stall length.  The stall is 10x the
+#: deadline so a request admitted during a stall reliably times out
+#: even on a heavily loaded CI box.
+TIMEOUT_S = 0.005
+STALL_S = 0.05
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class Tally:
+    """Client-side ground truth the registry must reconcile against."""
+
+    def __init__(self):
+        self.ok = 0
+        self.timeouts = 0
+        self.cancelled = 0
+        self.rejected = 0
+        self.responses = []  # (a, b, AddResponse)
+
+
+async def _client(svc, tally, pairs, rng, cancel_p, timeout_p):
+    for a, b in pairs:
+        action = rng.random()
+        try:
+            if action < cancel_p:
+                task = asyncio.ensure_future(svc.submit(a, b))
+                # Let the submission reach its first await (so it was
+                # admitted), sometimes longer (so it may even resolve),
+                # then cancel from outside.
+                await asyncio.sleep(0)
+                if rng.random() < 0.5:
+                    await asyncio.sleep(0)
+                task.cancel()
+                try:
+                    resp = await task
+                    tally.ok += 1  # resolved before the cancel landed
+                    tally.responses.append((a, b, resp))
+                except asyncio.CancelledError:
+                    tally.cancelled += 1
+            elif action < cancel_p + timeout_p:
+                try:
+                    resp = await svc.submit(a, b, timeout=TIMEOUT_S)
+                    tally.ok += 1
+                    tally.responses.append((a, b, resp))
+                except RequestTimeoutError:
+                    tally.timeouts += 1
+            else:
+                resp = await svc.submit(a, b)
+                tally.ok += 1
+                tally.responses.append((a, b, resp))
+        except ServiceOverloadedError:
+            tally.rejected += 1
+
+
+async def _chaos_stalls(svc, stop, rng, stall_p=0.5):
+    """Randomly take the accelerator away and bring it back.
+
+    While stalled, executor batches are buffered unresolved (deadlines
+    expire, cancels land mid-flight); on recovery the held batches are
+    replayed through the real path, which skips abandoned futures.
+    """
+    while not stop.is_set():
+        if rng.random() < stall_p:
+            real = svc._execute_batch
+            held = []
+            svc._execute_batch = held.append
+            try:
+                await asyncio.sleep(STALL_S)
+            finally:
+                svc._execute_batch = real
+                for batch in held:
+                    real(batch)
+        await asyncio.sleep(0.001)
+
+
+def _soak(n_clients=8, pairs_per_client=60, cancel_p=0.2, timeout_p=0.2,
+          queue_capacity=64, chaos=True, seed=TEST_SEED):
+    async def main():
+        svc = VlsaService(width=WIDTH, window=WINDOW,
+                          recovery_cycles=RECOVERY,
+                          queue_capacity=queue_capacity, max_batch_ops=64)
+        tally = Tally()
+        chunks = list(pair_stream("uniform", WIDTH, WINDOW,
+                                  n_clients * pairs_per_client, seed=seed))
+        flat = [p for chunk in chunks for p in chunk]
+        async with svc:
+            stop = asyncio.Event()
+            chaos_task = (asyncio.ensure_future(
+                _chaos_stalls(svc, stop, random.Random(seed ^ 0x5A)))
+                if chaos else None)
+            clients = []
+            for i in range(n_clients):
+                lo = i * pairs_per_client
+                clients.append(_client(
+                    svc, tally, flat[lo:lo + pairs_per_client],
+                    random.Random(seed + i), cancel_p, timeout_p))
+            await asyncio.gather(*clients)
+            if chaos_task is not None:
+                stop.set()
+                await chaos_task
+        return svc, tally
+
+    return run(main())
+
+
+def _reconcile(svc, tally):
+    # Conservation: every admitted request resolved exactly one way.
+    assert (svc.m_requests.value
+            == tally.ok + tally.timeouts + tally.cancelled), (
+        "admitted requests must equal ok + timed-out + cancelled")
+    # Rejections and timeouts are counted exactly once each.
+    assert svc.m_rejected.value == tally.rejected
+    assert svc.m_timeouts.value == tally.timeouts
+    # A cancel can lose the race with the response (the future resolved
+    # first, the caller still observes CancelledError) — so the metric
+    # may undercount observed cancellations, but never overcount.
+    assert svc.m_cancelled.value <= tally.cancelled
+    # Nothing left in flight once the service drained.
+    assert svc.m_inflight.value == 0
+    assert svc.queue_depth == 0
+    # Served work balances the latency histogram and the cycle ledger.
+    assert svc.h_latency.count == svc.m_ops.value
+    assert (svc.m_cycles.value
+            == svc.m_ops.value + RECOVERY * svc.m_stalls.value)
+    # Abandoned requests may still have been executed (the cancel lost
+    # the race), so served ops bound client successes from above.
+    assert svc.m_ops.value >= tally.ok
+
+
+def _validate_against_oracle(tally):
+    pairs = [(a, b) for a, b, _ in tally.responses]
+    ref = _reference(pairs, WIDTH, WINDOW)
+    for i, (_, _, resp) in enumerate(tally.responses):
+        assert resp.sum_out == ref.exact_sums[i]
+        assert resp.cout == ref.exact_couts[i]
+        assert resp.stalled == ref.flags[i]
+        assert resp.latency_cycles == 1 + (RECOVERY if ref.flags[i] else 0)
+
+
+def test_soak_chaos_reconciles():
+    svc, tally = _soak()
+    assert tally.ok > 0  # the storm actually delivered work
+    assert tally.cancelled > 0 and tally.timeouts > 0  # ... and chaos
+    _reconcile(svc, tally)
+    _validate_against_oracle(tally)
+
+
+def test_soak_clean_traffic_reconciles_exactly():
+    svc, tally = _soak(cancel_p=0.0, timeout_p=0.0, chaos=False,
+                       queue_capacity=1024)
+    assert tally.timeouts == 0 and tally.cancelled == 0
+    assert tally.rejected == 0
+    _reconcile(svc, tally)
+    # With no chaos, served ops equal client-observed successes exactly.
+    assert svc.m_ops.value == tally.ok
+    _validate_against_oracle(tally)
+
+
+def test_soak_overload_pressure_counts_rejections():
+    svc, tally = _soak(n_clients=12, pairs_per_client=40, cancel_p=0.0,
+                       timeout_p=0.0, chaos=False, queue_capacity=1)
+    _reconcile(svc, tally)
+    _validate_against_oracle(tally)
+
+
+@pytest.mark.skipif(not nightly_enabled(),
+                    reason="nightly-only (set REPRO_NIGHTLY=1 to run)")
+def test_soak_nightly_long_run():
+    svc, tally = _soak(n_clients=16, pairs_per_client=1000)
+    assert tally.ok > 0 and tally.cancelled > 0 and tally.timeouts > 0
+    _reconcile(svc, tally)
+    _validate_against_oracle(tally)

@@ -1,0 +1,215 @@
+"""Tests of the differential verification engine itself.
+
+The interesting direction is negative: a clean run must pass, and an
+injected bug — elementwise *or* purely statistical — must fail the run
+with an actionable report.  The statistical mutants are the acceptance
+criterion for the analytic cross-check: their sums are perfect, so only
+the binomial rate comparison can catch them.
+"""
+
+import json
+
+import pytest
+
+from repro.engine import RunContext
+from repro.mc.fastsim import detector_flag
+from repro.service.metrics import MetricsRegistry
+from repro.verify import (
+    DifferentialVerifier,
+    ImplResult,
+    Implementation,
+    VerificationError,
+    available_implementations,
+    default_implementations,
+    make_implementation,
+    register_implementation,
+    unregister_implementation,
+)
+
+WIDTH, WINDOW = 16, 4
+
+
+@pytest.fixture
+def mutant_registry():
+    """Register mutants for one test; always unregister afterwards."""
+    registered = []
+
+    def register(name, factory):
+        register_implementation(name, factory)
+        registered.append(name)
+
+    yield register
+    for name in registered:
+        unregister_implementation(name)
+
+
+class _ExactBase(Implementation):
+    """Correct exact-family implementation to mutate from."""
+
+    family = "exact"
+
+    def __init__(self, width, window, recovery_cycles=1):
+        self.width = width
+        self.window = window
+        self.recovery_cycles = recovery_cycles
+        self.mask = (1 << width) - 1
+
+    def run(self, pairs):
+        sums, couts, flags, lats, errs = [], [], [], [], []
+        for a, b in pairs:
+            total = a + b
+            flag = self._flag(a, b)
+            sums.append(total & self.mask)
+            couts.append(total >> self.width)
+            flags.append(flag)
+            lats.append(1 + (self.recovery_cycles if flag else 0))
+            errs.append(flag and not self._spec_ok(a, b))
+        return ImplResult(sums=sums, couts=couts, flags=flags,
+                          latencies=lats, spec_errors=errs)
+
+    def _flag(self, a, b):
+        return detector_flag(a, b, self.width, self.window)
+
+    def _spec_ok(self, a, b):
+        from repro.mc.fastsim import aca_is_correct
+
+        return aca_is_correct(a, b, self.width, self.window)
+
+
+class LazyDetectorMutant(_ExactBase):
+    """Statistically wrong: under-fires by using window+1.
+
+    Sums stay exact and no per-vector flags are exposed, so elementwise
+    comparison sees nothing — only the stall-count rate check can catch
+    it (a real hardware bug class: the detector samples one strip late).
+    """
+
+    def run(self, pairs):
+        res = super().run(pairs)
+        stalls = sum(
+            1 for a, b in pairs
+            if detector_flag(a, b, self.width, self.window + 1))
+        return ImplResult(sums=res.sums, couts=res.couts,
+                          stall_count=stalls)
+
+
+class WrongSumMutant(_ExactBase):
+    """Elementwise wrong: flips the LSB whenever bit 3 of ``a`` is set."""
+
+    def run(self, pairs):
+        res = super().run(pairs)
+        res.sums = [s ^ 1 if (a >> 3) & 1 else s
+                    for s, (a, _) in zip(res.sums, pairs)]
+        return res
+
+
+# ----------------------------------------------------------------------
+def test_clean_run_passes_and_counts_coverage():
+    ctx = RunContext(seed=7, label="test")
+    registry = MetricsRegistry()
+    verifier = DifferentialVerifier(WIDTH, window=WINDOW, ctx=ctx,
+                                    registry=registry)
+    streams = ("uniform", "adversarial", "boundary")
+    report = verifier.run(vectors=400, streams=streams, chunk=128)
+
+    assert report.ok
+    assert report.mismatch_count == 0 and not report.discrepancies
+    n_impls = len(default_implementations(WIDTH))
+    assert len(report.coverage) == n_impls
+    for cov in report.coverage:
+        assert cov.vectors == 400 * len(streams)
+        assert set(cov.per_stream) == set(streams)
+    # The uniform rate checks ran: reference error+flag, plus one per
+    # exact-family implementation.
+    names = {rc.name for rc in report.rate_checks}
+    assert {"error_rate/reference", "detector_rate/reference"} <= names
+    assert "detector_rate/machine" in names
+    # Instrumentation reached both the context and the registry.
+    assert ctx.counters["verify_vectors"] == 400 * len(streams) * n_impls
+    assert ctx.counters["verify_mismatches"] == 0
+    assert registry.counter("verify_vectors_total", "").value > 0
+    assert registry.counter("verify_mismatches_total", "").value == 0
+
+
+def test_report_is_json_serialisable():
+    report = DifferentialVerifier(WIDTH, window=WINDOW).run(
+        vectors=64, streams=("uniform",))
+    blob = json.dumps(report.as_dict())
+    parsed = json.loads(blob)
+    assert parsed["ok"] is True
+    assert parsed["width"] == WIDTH and parsed["window"] == WINDOW
+
+
+def test_statistical_mutant_caught_without_any_mismatch(mutant_registry):
+    """The acceptance-criterion mutation test.
+
+    The mutant's sums are all exact, so the elementwise oracle is blind;
+    the binomial cross-check against the analytic detector rate must be
+    what fails the run.
+    """
+    mutant_registry("mutant:lazy", LazyDetectorMutant)
+    registry = MetricsRegistry()
+    verifier = DifferentialVerifier(
+        WIDTH, window=WINDOW, impls=("functional", "mutant:lazy"),
+        registry=registry)
+    report = verifier.run(vectors=4000, streams=("uniform",))
+
+    assert report.mismatch_count == 0          # sums were perfect ...
+    assert not report.ok                        # ... and it still failed
+    bad = [rc for rc in report.stat_failures]
+    assert bad and all(rc.name == "detector_rate/mutant:lazy"
+                       for rc in bad)
+    assert registry.counter("verify_stat_failures_total", "").value >= 1
+
+
+def test_elementwise_mutant_yields_shrunk_reproducer(mutant_registry):
+    mutant_registry("mutant:sum", WrongSumMutant)
+    verifier = DifferentialVerifier(WIDTH, window=WINDOW,
+                                    impls=("mutant:sum",))
+    report = verifier.run(vectors=300, streams=("uniform",), seed=5)
+
+    assert not report.ok and report.mismatch_count > 0
+    disc = next(d for d in report.discrepancies if d.kind == "sum")
+    assert disc.impl == "mutant:sum" and disc.stream == "uniform"
+    # The recorded vector triggers the bug condition ...
+    assert (disc.a >> 3) & 1
+    # ... and the minimised reproducer still does, at minimal weight.
+    assert disc.shrunk_a is not None
+    assert (disc.shrunk_a >> 3) & 1
+    assert bin(disc.shrunk_a).count("1") == 1 and disc.shrunk_b == 0
+    # Replaying the reproducer through the mutant re-triggers the bug.
+    impl = make_implementation("mutant:sum", WIDTH, WINDOW)
+    res = impl.run([(disc.shrunk_a, disc.shrunk_b)])
+    assert res.sums[0] != (disc.shrunk_a + disc.shrunk_b) & 0xFFFF
+
+
+def test_registry_lists_builtins_and_rejects_unknown():
+    names = available_implementations()
+    for expected in ("functional", "interpreter", "machine",
+                     "service:bigint", "engine:bigint"):
+        assert expected in names
+    with pytest.raises(KeyError, match="no implementation registered"):
+        make_implementation("nonsense", WIDTH, WINDOW)
+    with pytest.raises(ValueError, match="refusing"):
+        unregister_implementation("functional")
+
+
+def test_mutants_never_leak_into_defaults(mutant_registry):
+    mutant_registry("mutant:leak", WrongSumMutant)
+    assert "mutant:leak" in available_implementations()
+    assert "mutant:leak" not in default_implementations(WIDTH)
+
+
+def test_wide_widths_drop_the_machine_word_executor():
+    assert "service:numpy" in default_implementations(64)
+    assert "service:numpy" not in default_implementations(128)
+
+
+def test_verification_error_carries_the_report(mutant_registry):
+    mutant_registry("mutant:sum2", WrongSumMutant)
+    report = DifferentialVerifier(WIDTH, window=WINDOW,
+                                  impls=("mutant:sum2",)).run(
+        vectors=200, streams=("uniform",))
+    err = VerificationError(report)
+    assert err.report is report
+    assert "mismatches" in str(err)

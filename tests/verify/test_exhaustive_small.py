@@ -1,0 +1,65 @@
+"""Exhaustive small-width sweeps: brute force versus the analytic model.
+
+For every operand pair of a small width (``4^n`` of them) every
+registered implementation must agree with the reference, and the total
+speculative-error / detector-fire counts must equal the analytic
+predictions *exactly* (integer equality — no statistics involved).
+
+Tier-1 runs a subsampled grid (widths <= 5, complete); the full
+``n <= 8`` grid over every window and every implementation pair runs
+nightly (``REPRO_NIGHTLY=1``).
+"""
+
+import pytest
+
+from repro.testing import nightly_enabled
+from repro.verify import default_implementations, run_exhaustive
+
+nightly = pytest.mark.skipif(
+    not nightly_enabled(),
+    reason="nightly-only (set REPRO_NIGHTLY=1 to run)")
+
+
+def _assert_grid_clean(report):
+    assert report.mismatch_count == 0, report.render()
+    assert report.ok, report.render()
+    for cell in report.exhaustive:
+        assert cell.complete
+        assert cell.pairs == 4 ** cell.width
+        assert cell.expected_error_count is not None
+        assert cell.error_count == cell.expected_error_count
+        assert cell.flag_count == cell.expected_flag_count
+
+
+@pytest.mark.parametrize("width", [2, 3, 4])
+def test_exhaustive_tiny_widths_all_windows(width):
+    report = run_exhaustive([width], shrink=False)
+    _assert_grid_clean(report)
+    assert len(report.exhaustive) == width  # every window 1..n
+
+
+def test_exhaustive_width5_subsampled_windows():
+    # Width 5 is 1024 pairs/cell; two representative windows keep the
+    # tier-1 cost low while still exercising a mid and an anchored case.
+    report = run_exhaustive([5], windows=[2, 5])
+    _assert_grid_clean(report)
+
+
+def test_exhaustive_covers_every_builtin_pair():
+    report = run_exhaustive([3], windows=[2])
+    assert sorted(report.impls) == default_implementations(3)
+    for cov in report.coverage:
+        assert cov.vectors == 4 ** 3
+
+
+def test_window_wider_than_width_is_skipped():
+    report = run_exhaustive([3], windows=[4])
+    assert not report.exhaustive
+
+
+@nightly
+@pytest.mark.parametrize("width", [5, 6, 7, 8])
+def test_exhaustive_full_grid_nightly(width):
+    report = run_exhaustive([width], shrink=False)
+    _assert_grid_clean(report)
+    assert len(report.exhaustive) == width

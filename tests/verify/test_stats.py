@@ -1,0 +1,75 @@
+"""Unit tests for the binomial rate-check machinery."""
+
+import math
+
+import pytest
+
+from repro.verify import binomial_bounds, check_rate, wilson_interval
+from repro.verify.stats import COUNT_SLACK
+
+
+class TestBinomialBounds:
+    def test_centred_on_mean(self):
+        lo, hi = binomial_bounds(0.5, 10000, z=5.0)
+        assert lo < 5000 < hi
+        assert math.isclose((lo + hi) / 2, 5000, rel_tol=1e-9)
+
+    def test_width_scales_with_sigma(self):
+        lo, hi = binomial_bounds(0.5, 10000, z=5.0)
+        sigma = math.sqrt(10000 * 0.25)
+        assert math.isclose(hi - lo, 2 * (5.0 * sigma + COUNT_SLACK))
+
+    def test_clamped_to_valid_counts(self):
+        lo, hi = binomial_bounds(0.0001, 100, z=5.0)
+        assert lo == 0.0
+        lo, hi = binomial_bounds(0.9999, 100, z=5.0)
+        assert hi == 100.0
+
+    def test_degenerate_p(self):
+        assert binomial_bounds(0.0, 1000)[0] == 0.0
+        assert binomial_bounds(1.0, 1000)[1] == 1000.0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            binomial_bounds(1.5, 100)
+        with pytest.raises(ValueError):
+            binomial_bounds(0.5, -1)
+
+    def test_slack_admits_small_counts(self):
+        # With n·p ~ 0.1 the normal bound alone would be razor thin; the
+        # additive slack keeps a correct implementation's 1-2 observed
+        # events inside the interval.
+        lo, hi = binomial_bounds(0.001, 100, z=5.0)
+        assert lo == 0.0 and hi >= 2.0
+
+
+class TestWilson:
+    def test_contains_observed_rate(self):
+        lo, hi = wilson_interval(300, 1000, z=3.0)
+        assert lo < 0.3 < hi
+
+    def test_bounded_in_unit_interval(self):
+        assert wilson_interval(0, 50)[0] == 0.0
+        lo, hi = wilson_interval(50, 50)
+        assert 0.0 <= lo <= hi <= 1.0
+
+    def test_empty_trials(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+
+class TestCheckRate:
+    def test_pass_and_fail(self):
+        ok = check_rate("r", "uniform", 5000, 10000, 0.5)
+        assert ok.ok and math.isclose(ok.rate, 0.5)
+        bad = check_rate("r", "uniform", 9000, 10000, 0.5)
+        assert not bad.ok
+
+    def test_as_dict_roundtrips(self):
+        d = check_rate("detector_rate/x", "uniform", 10, 100, 0.1).as_dict()
+        assert d["name"] == "detector_rate/x"
+        assert d["observed"] == 10 and d["trials"] == 100
+        assert d["ok"] is True
+        assert 0.0 <= d["wilson_lo"] <= d["wilson_hi"] <= 1.0
+
+    def test_zero_trials_never_flags(self):
+        assert check_rate("r", "uniform", 0, 0, 0.3).ok
