@@ -119,11 +119,37 @@ def _cmd_loadgen(args, ctx) -> str:
         concurrency=args.concurrency, queue_capacity=args.queue_capacity,
         max_batch_ops=args.max_batch, backend=args.service_backend,
         alpha=args.alpha, adversarial_fraction=args.adversarial_fraction,
-        ctx=ctx)
+        target=args.target, workers=args.workers,
+        shard_policy=args.shard_policy, ctx=ctx)
     if not args.no_save:
         path = save_json("loadgen_metrics.json", report.as_dict())
         print(f"[metrics: {path}]", file=sys.stderr)
-    return report.render()
+    text = report.render()
+    if args.strict:
+        problems = _strict_problems(report, args)
+        if problems:
+            print(text)
+            for problem in problems:
+                print(f"strict: {problem}", file=sys.stderr)
+            raise SystemExit(1)
+    return text
+
+
+def _strict_problems(report, args) -> List[str]:
+    """CI-smoke invariants: any entry here fails a ``--strict`` run."""
+    problems = []
+    if report.ops != args.ops:
+        problems.append(f"served {report.ops} of {args.ops} requested ops")
+    if report.rejected:
+        problems.append(f"{report.rejected} rejected submissions")
+    if report.timeouts:
+        problems.append(f"{report.timeouts} request timeouts")
+    for key in ("worker_restarts", "worker_failures", "degraded_requests",
+                "redirected_requests", "failed_requests"):
+        value = report.params.get(key, 0)
+        if value:
+            problems.append(f"{key} = {value}")
+    return problems
 
 
 # name -> (handler, help text, extra per-command flags)
@@ -267,6 +293,20 @@ def _add_loadgen(p):
                    type=float, default=0.1,
                    help="stalling fraction for the mixed workload "
                         "(default: %(default)s)")
+    p.add_argument("--target", choices=("service", "cluster"),
+                   default="service",
+                   help="serving target: one in-process service or a "
+                        "multi-process cluster (default: %(default)s)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="cluster worker processes, --target cluster only "
+                        "(default: %(default)s)")
+    p.add_argument("--shard-policy", dest="shard_policy",
+                   choices=("round_robin", "least_loaded", "hash"),
+                   default="round_robin",
+                   help="cluster shard policy (default: %(default)s)")
+    p.add_argument("--strict", action="store_true",
+                   help="exit 1 on any rejected/timed-out/degraded/"
+                        "redirected request or worker restart (CI smoke)")
 
 
 def _add_common_flags(p: argparse.ArgumentParser) -> None:
@@ -362,8 +402,19 @@ def _build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--duration", type=float, default=None,
                      help="seconds to serve before exiting "
                           "(default: run until interrupted)")
+    srv.add_argument("--workers", type=int, default=0,
+                     help="worker processes for a multi-process cluster; "
+                          "0 = single in-process service "
+                          "(default: %(default)s)")
+    srv.add_argument("--shard-policy", dest="shard_policy",
+                     choices=("round_robin", "least_loaded", "hash"),
+                     default="round_robin",
+                     help="cluster shard policy, --workers > 0 only "
+                          "(default: %(default)s)")
     srv.add_argument("--seed", type=int, default=DEFAULT_SEED,
                      help="root RNG seed (default: %(default)s)")
+    srv.add_argument("--no-save", action="store_true",
+                     help="skip writing results/serve_manifest.json")
 
     ver = sub.add_parser(
         "verify",
@@ -418,23 +469,73 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _run_serve(args) -> int:
     import asyncio
+    import signal
 
-    from .service import VlsaService, serve_tcp
+    from .service import VlsaServer, VlsaService
 
     ctx = RunContext(seed=args.seed, label="serve")
-    service = VlsaService(width=args.width, window=args.window,
-                          recovery_cycles=args.recovery_cycles,
-                          queue_capacity=args.queue_capacity,
-                          max_batch_ops=args.max_batch,
-                          backend=args.service_backend, ctx=ctx)
+    if args.workers > 0:
+        from .cluster import ClusterConfig, ClusterRouter
+
+        service = ClusterRouter(ClusterConfig(
+            width=args.width, window=args.window,
+            recovery_cycles=args.recovery_cycles,
+            workers=args.workers, backend=args.service_backend,
+            shard_policy=args.shard_policy,
+            max_batch_ops=args.max_batch,
+            worker_queue_ops=args.queue_capacity * args.max_batch), ctx=ctx)
+    else:
+        service = VlsaService(width=args.width, window=args.window,
+                              recovery_cycles=args.recovery_cycles,
+                              queue_capacity=args.queue_capacity,
+                              max_batch_ops=args.max_batch,
+                              backend=args.service_backend, ctx=ctx)
     print(f"serving VLSA width={service.width} window={service.window} "
-          f"backend={service.executor.backend} on "
+          f"backend={service.backend_name} on "
           f"{args.host}:{args.port or '(ephemeral)'}", file=sys.stderr)
+
+    async def amain() -> None:
+        # A signal flips the event; the `async with` exit then drains
+        # admitted work, stops the batcher/cluster, and only after that
+        # does the manifest/metrics flush below run — graceful, not
+        # KeyboardInterrupt-through-the-event-loop.
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        hooked = []
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+                hooked.append(sig)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # non-main thread / platform without signal support
+        try:
+            async with VlsaServer(service, host=args.host,
+                                  port=args.port) as server:
+                host, port = server.address
+                print(f"listening on {host}:{port}", file=sys.stderr,
+                      flush=True)
+                if args.duration is None:
+                    await stop.wait()
+                else:
+                    try:
+                        await asyncio.wait_for(stop.wait(), args.duration)
+                    except asyncio.TimeoutError:
+                        pass
+            if stop.is_set():
+                print("signal received; drained and shut down",
+                      file=sys.stderr)
+        finally:
+            for sig in hooked:
+                loop.remove_signal_handler(sig)
+
     try:
-        asyncio.run(serve_tcp(service, host=args.host, port=args.port,
-                              duration=args.duration))
+        asyncio.run(amain())
     except KeyboardInterrupt:
+        # Fallback when signal handlers could not be installed.
         print("interrupted; shutting down", file=sys.stderr)
+    if not args.no_save:
+        path = save_json("serve_manifest.json", ctx.as_manifest())
+        print(f"[manifest: {path}]", file=sys.stderr)
     print(service.metrics_prometheus(), end="")
     return 0
 

@@ -1,0 +1,81 @@
+"""Wire protocol between the cluster router and its worker processes.
+
+Messages are plain tuples ``(kind, *payload)`` sent over
+``multiprocessing`` pipe connections (pickle framing comes for free and
+numpy arrays serialise as buffer copies).  Keeping the vocabulary in one
+module — with constructors and a tiny validator — means the router,
+supervisor, worker and the tests all speak from the same sheet.
+
+Router -> worker:
+
+* ``(BATCH, msg_id, payload)`` — one coalesced wire batch.  *payload*
+  is a ``(n, 2)`` uint64 ndarray on the numpy backend, else a list of
+  ``(a, b)`` int tuples (arbitrary-width bigint path).
+* ``(SHUTDOWN,)`` — finish in-hand work, ship a final snapshot, exit 0.
+* ``(HANG, seconds)`` / ``(CRASH, exit_code)`` — chaos hooks for the
+  supervision tests (a real deployment never sends them).
+
+Worker -> router:
+
+* ``(RESULT, msg_id, result)`` — *result* is a dict: ``sums`` /
+  ``couts`` / ``stalled`` / ``spec_errors`` (arrays or lists),
+  ``cycles``, ``start_cycle`` (worker-local clock) and ``counters``
+  (lightweight running totals, see :func:`light_counters`).
+* ``(HEARTBEAT, worker_id, state)`` — liveness beacon carrying the full
+  :meth:`~repro.service.metrics.MetricsRegistry.state` snapshot.
+* ``(BYE, worker_id, state)`` — graceful-shutdown acknowledgement with
+  the final snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+__all__ = [
+    "BATCH", "SHUTDOWN", "HANG", "CRASH",
+    "RESULT", "HEARTBEAT", "BYE",
+    "batch_msg", "result_msg", "heartbeat_msg", "bye_msg",
+    "light_counters",
+]
+
+# Router -> worker kinds.
+BATCH = "batch"
+SHUTDOWN = "shutdown"
+HANG = "hang"
+CRASH = "crash"
+
+# Worker -> router kinds.
+RESULT = "result"
+HEARTBEAT = "hb"
+BYE = "bye"
+
+Message = Tuple[Any, ...]
+
+
+def batch_msg(msg_id: int, payload: Any) -> Message:
+    return (BATCH, msg_id, payload)
+
+
+def result_msg(msg_id: int, result: Dict[str, Any]) -> Message:
+    return (RESULT, msg_id, result)
+
+
+def heartbeat_msg(worker_id: int, state: Dict[str, Any]) -> Message:
+    return (HEARTBEAT, worker_id, state)
+
+
+def bye_msg(worker_id: int, state: Dict[str, Any]) -> Message:
+    return (BYE, worker_id, state)
+
+
+def light_counters(ops: int, stalls: int, batches: int,
+                   cycles: int) -> Dict[str, int]:
+    """Cheap per-result running totals (full state rides heartbeats).
+
+    Attached to every RESULT so the router's last-known view of a
+    worker is never staler than its last delivered batch — the metrics
+    conservation identity (worker-reported ops >= router-delivered
+    ops) holds even when a crash eats the final heartbeat.
+    """
+    return {"ops": ops, "stalls": stalls, "batches": batches,
+            "cycles": cycles}

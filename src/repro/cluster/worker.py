@@ -1,0 +1,117 @@
+"""The cluster worker process: one executor, one pipe, one loop.
+
+``worker_main`` is the spawn target.  It owns a
+:class:`~repro.service.executor.VlsaBatchExecutor` (the same kernels the
+single-process service runs), a private
+:class:`~repro.service.metrics.MetricsRegistry`, and a worker-local
+virtual cycle clock; it reads wire batches off its pipe, executes them,
+and replies with array-native results (numpy backend) or lists (bigint
+fallback).
+
+The worker is deliberately synchronous and single-threaded: the paper's
+datapath is a serial accelerator, and a worker models exactly one of
+them.  Parallelism is the *pool's* job.  Heartbeats ride the gaps —
+``conn.poll(interval)`` doubles as the idle timer — and every heartbeat
+ships the full metrics state so the router's cluster-wide aggregation
+is never staler than one interval.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict
+
+from ..service.executor import VlsaBatchExecutor
+from ..service.metrics import MetricsRegistry
+from . import protocol
+
+__all__ = ["worker_main"]
+
+
+def worker_main(worker_id: int, conn, cfg: Dict[str, Any]) -> None:
+    """Entry point of one worker process (see module docstring).
+
+    Args:
+        worker_id: Slot index, echoed in heartbeats.
+        conn: The child end of a duplex ``multiprocessing.Pipe``.
+        cfg: :meth:`~repro.cluster.config.ClusterConfig.worker_dict`.
+    """
+    executor = VlsaBatchExecutor(cfg["width"], window=cfg["window"],
+                                 recovery_cycles=cfg["recovery_cycles"],
+                                 backend=cfg["backend"])
+    registry = MetricsRegistry()
+    m_ops = registry.counter(
+        "worker_ops_total", "additions executed by this worker")
+    m_stalls = registry.counter(
+        "worker_stalls_total", "additions that took the recovery path")
+    m_batches = registry.counter(
+        "worker_batches_total", "wire batches executed")
+    m_cycles = registry.gauge(
+        "worker_cycles", "virtual cycles on this worker's accelerator")
+    h_batch = registry.histogram(
+        "worker_batch_size_ops", "additions per wire batch",
+        reservoir_size=2048)
+    registry.gauge("worker_pid", "OS pid of the worker process").set(
+        os.getpid())
+
+    interval = cfg["heartbeat_interval"]
+    cycle = 0
+    last_beat = 0.0  # force an immediate readiness heartbeat
+
+    def beat() -> None:
+        nonlocal last_beat
+        conn.send(protocol.heartbeat_msg(worker_id, registry.state()))
+        last_beat = time.monotonic()
+
+    while True:
+        try:
+            if not conn.poll(interval):
+                beat()
+                continue
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return  # router went away; nothing left to serve
+        kind = msg[0]
+        if kind == protocol.SHUTDOWN:
+            conn.send(protocol.bye_msg(worker_id, registry.state()))
+            return
+        if kind == protocol.HANG:  # chaos hook: go silent
+            time.sleep(msg[1])
+            continue
+        if kind == protocol.CRASH:  # chaos hook: die without cleanup
+            os._exit(msg[1])
+        if kind != protocol.BATCH:
+            continue  # unknown kinds are ignored, not fatal
+        _, msg_id, payload = msg
+
+        if executor.backend == "numpy":
+            arrays = executor.execute_arrays(
+                executor.coerce_pairs_array(payload))
+            n, stalls = arrays.size, arrays.stall_count
+            result = {"sums": arrays.sums, "couts": arrays.couts,
+                      "stalled": arrays.stalled,
+                      "spec_errors": arrays.spec_errors,
+                      "cycles": arrays.cycles}
+        else:
+            outcome = executor.execute(payload)
+            n, stalls = outcome.size, outcome.stall_count
+            result = {"sums": outcome.sums, "couts": outcome.couts,
+                      "stalled": outcome.stalled,
+                      "spec_errors": outcome.spec_errors,
+                      "cycles": outcome.cycles}
+        result["start_cycle"] = cycle
+        cycle += result["cycles"]
+        m_ops.inc(n)
+        m_stalls.inc(stalls)
+        m_batches.inc()
+        m_cycles.set(cycle)
+        h_batch.record(n)
+        result["counters"] = protocol.light_counters(
+            m_ops.value, m_stalls.value, m_batches.value, cycle)
+        try:
+            conn.send(protocol.result_msg(msg_id, result))
+        except (BrokenPipeError, OSError):
+            return
+        if time.monotonic() - last_beat >= interval:
+            beat()

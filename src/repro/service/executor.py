@@ -32,7 +32,8 @@ from ..analysis.error_model import choose_window
 from ..engine.context import RunContext
 from ..engine.functional import functional_model
 
-__all__ = ["BatchOutcome", "VlsaBatchExecutor", "EXECUTOR_BACKENDS"]
+__all__ = ["BatchOutcome", "BatchArrays", "VlsaBatchExecutor",
+           "EXECUTOR_BACKENDS"]
 
 #: Executor backend names (mirrors the engine backend vocabulary).
 EXECUTOR_BACKENDS = ("numpy", "bigint")
@@ -70,6 +71,45 @@ class BatchOutcome:
     @property
     def spec_error_count(self) -> int:
         return sum(self.spec_errors)
+
+
+@dataclass
+class BatchArrays:
+    """Array-native batch result (the cluster's wire format).
+
+    Same values as :class:`BatchOutcome`, kept as numpy arrays so a
+    worker process can ship them over a pipe as buffer copies instead
+    of a million pickled Python ints.  ``to_outcome`` materialises the
+    list form (bit-identical to :meth:`VlsaBatchExecutor.execute`).
+    """
+
+    sums: np.ndarray       # uint64
+    couts: np.ndarray      # uint64 (0/1)
+    stalled: np.ndarray    # bool
+    spec_errors: np.ndarray  # bool
+    cycles: int
+    recovery_cycles: int
+
+    @property
+    def size(self) -> int:
+        return int(self.sums.shape[0])
+
+    @property
+    def stall_count(self) -> int:
+        return int(self.stalled.sum())
+
+    def latencies(self) -> np.ndarray:
+        return np.where(self.stalled, 1 + self.recovery_cycles, 1)
+
+    def to_outcome(self) -> BatchOutcome:
+        return BatchOutcome(
+            sums=self.sums.tolist(),
+            couts=self.couts.tolist(),
+            stalled=self.stalled.tolist(),
+            spec_errors=self.spec_errors.tolist(),
+            latencies=self.latencies().tolist(),
+            cycles=self.cycles,
+        )
 
 
 def _window_all_ones_np(word: np.ndarray, window: int) -> np.ndarray:
@@ -143,19 +183,32 @@ class VlsaBatchExecutor:
         return self._execute_bigint(pairs)
 
     # -- numpy fast path ------------------------------------------------
-    def _execute_numpy(self, pairs: Sequence[Tuple[int, int]]
-                       ) -> BatchOutcome:
-        width, window = self.width, self.window
-        int_mask = (1 << width) - 1
-        mask = np.uint64(int_mask if width < 64 else 0xFFFFFFFFFFFFFFFF)
+    def coerce_pairs_array(self, pairs: Sequence[Tuple[int, int]]
+                           ) -> np.ndarray:
+        """``(n, 2)`` uint64 operand array, masking malformed operands."""
+        if isinstance(pairs, np.ndarray) and pairs.dtype == np.uint64:
+            return pairs
+        int_mask = (1 << self.width) - 1
         try:
-            arr = np.asarray(pairs, dtype=np.uint64)
+            return np.asarray(pairs, dtype=np.uint64)
         except (OverflowError, ValueError, TypeError):
             # Out-of-range operands (negative, or >= 2^64) cannot be
             # converted directly; mask them in Python first so one
             # malformed pair never raises out of the batch.
-            arr = np.array([[pa & int_mask, pb & int_mask]
-                            for pa, pb in pairs], dtype=np.uint64)
+            return np.array([[pa & int_mask, pb & int_mask]
+                             for pa, pb in pairs], dtype=np.uint64)
+
+    def execute_arrays(self, arr: np.ndarray) -> BatchArrays:
+        """Array-in/array-out numpy kernel (cluster worker hot path).
+
+        *arr* is the ``(n, 2)`` uint64 array from
+        :meth:`coerce_pairs_array`.  Only valid on the numpy backend.
+        """
+        if self.backend != "numpy":
+            raise ValueError("execute_arrays requires the numpy backend")
+        width, window = self.width, self.window
+        int_mask = (1 << width) - 1
+        mask = np.uint64(int_mask if width < 64 else 0xFFFFFFFFFFFFFFFF)
         a = arr[:, 0] & mask
         b = arr[:, 1] & mask
         s = (a + b) & mask  # uint64 wraparound == mod 2^64 at width 64
@@ -180,15 +233,16 @@ class VlsaBatchExecutor:
             # bits, so the wrapped uint64 sum is exact for it.
             carries = s ^ p
             spec_err = (starts & carries & ~np.uint64(1)) != 0
-        latencies = np.where(flags, 1 + self.recovery_cycles, 1)
-        return BatchOutcome(
-            sums=s.tolist(),
-            couts=couts.tolist(),
-            stalled=flags.tolist(),
-            spec_errors=spec_err.tolist(),
-            latencies=latencies.tolist(),
-            cycles=int(latencies.sum()),
-        )
+        stall_count = int(flags.sum())
+        cycles = len(a) + self.recovery_cycles * stall_count
+        return BatchArrays(sums=s, couts=couts, stalled=flags,
+                           spec_errors=spec_err, cycles=cycles,
+                           recovery_cycles=self.recovery_cycles)
+
+    def _execute_numpy(self, pairs: Sequence[Tuple[int, int]]
+                       ) -> BatchOutcome:
+        return self.execute_arrays(self.coerce_pairs_array(pairs)
+                                   ).to_outcome()
 
     # -- bigint fallback ------------------------------------------------
     def _execute_bigint(self, pairs: Sequence[Tuple[int, int]]

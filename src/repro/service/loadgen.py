@@ -313,7 +313,7 @@ class LoadgenReport:
         return "\n".join(lines)
 
 
-async def _drive(service: VlsaService, workload: Workload,
+async def _drive(service, workload: Workload,
                  concurrency: int, timeout: Optional[float],
                  retries: int) -> None:
     chunk_iter = workload.chunks
@@ -339,29 +339,57 @@ def run_loadgen(workload: str = "uniform", ops: int = 100000,
                 recovery_cycles: int = 1, backend: Optional[str] = None,
                 alpha: float = 0.75, adversarial_fraction: float = 0.1,
                 timeout: Optional[float] = 30.0, retries: int = 8,
+                target: str = "service", workers: int = 2,
+                shard_policy: str = "round_robin",
                 ctx: Optional[RunContext] = None,
                 registry: Optional[MetricsRegistry] = None
                 ) -> LoadgenReport:
-    """Drive *ops* additions through an in-process :class:`VlsaService`.
+    """Drive *ops* additions through an in-process serving target.
+
+    Args:
+        target: ``"service"`` (one in-process :class:`VlsaService`, the
+            default) or ``"cluster"`` (a
+            :class:`~repro.cluster.ClusterRouter` over *workers* real
+            worker processes — the full wire path).
+        workers, shard_policy: Cluster pool size / shard policy
+            (``target="cluster"`` only).
 
     Returns:
         A :class:`LoadgenReport`; ``report.metrics`` holds the full
         registry snapshot (also what ``results/BENCH_service.json`` is
-        built from).
+        built from).  Cluster runs add pool health (restarts, degraded
+        and redirected requests) to ``report.params``.
     """
     if workload == "attack":
         width = 32
-    service = VlsaService(width=width, window=window,
-                          recovery_cycles=recovery_cycles,
-                          queue_capacity=queue_capacity,
-                          max_batch_ops=max_batch_ops, backend=backend,
-                          ctx=ctx, registry=registry)
+    if target == "cluster":
+        from ..cluster import ClusterConfig, ClusterRouter
+
+        cfg = ClusterConfig(
+            width=width, window=window,
+            recovery_cycles=recovery_cycles, workers=workers,
+            backend=backend, shard_policy=shard_policy,
+            max_batch_ops=max_batch_ops,
+            worker_queue_ops=max(queue_capacity, 1) * max(chunk, 1))
+        service = ClusterRouter(cfg, ctx=ctx, registry=registry)
+    elif target == "service":
+        service = VlsaService(width=width, window=window,
+                              recovery_cycles=recovery_cycles,
+                              queue_capacity=queue_capacity,
+                              max_batch_ops=max_batch_ops,
+                              backend=backend, ctx=ctx,
+                              registry=registry)
+    else:
+        raise ValueError(f"unknown loadgen target {target!r}; "
+                         f"expected 'service' or 'cluster'")
     wl = make_workload(workload, service.width, service.window, ops,
                        chunk=chunk, alpha=alpha,
                        adversarial_fraction=adversarial_fraction, ctx=ctx)
 
     async def main() -> float:
         async with service:
+            if target == "cluster":
+                await service.wait_ready()
             t0 = time.perf_counter()
             await _drive(service, wl, concurrency, timeout, retries)
             return time.perf_counter() - t0
@@ -382,7 +410,7 @@ def run_loadgen(workload: str = "uniform", ops: int = 100000,
     wall_hist = service.h_wall
     report = LoadgenReport(
         workload=workload, width=service.width, window=service.window,
-        backend=service.executor.backend, ops=served,
+        backend=service.backend_name, ops=served,
         wall_seconds=wall,
         adds_per_second=served / wall if wall > 0 else 0.0,
         mean_latency_cycles=service.mean_latency_cycles,
@@ -400,8 +428,20 @@ def run_loadgen(workload: str = "uniform", ops: int = 100000,
         p95_wall_ms=wall_hist.quantile(0.95) * 1e3,
         p99_wall_ms=wall_hist.quantile(0.99) * 1e3,
         metrics=service.metrics_json(),
-        params=wl.params,
+        params=dict(wl.params),
     )
+    if target == "cluster":
+        report.params.update({
+            "target": "cluster",
+            "workers": workers,
+            "shard_policy": shard_policy,
+            "worker_restarts": service.supervisor.m_restarts.value,
+            "worker_failures": service.supervisor.m_failures.value,
+            "degraded_requests": service.m_degraded.value,
+            "degraded_ops": service.m_degraded_ops.value,
+            "redirected_requests": service.m_redirected.value,
+            "failed_requests": service.m_failed.value,
+        })
     if ctx is not None:
         ctx.add("loadgen_ops", served)
         ctx.record_event("loadgen_done", workload=workload, ops=served,

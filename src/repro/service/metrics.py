@@ -19,6 +19,17 @@ run-to-run) from which p50/p95/p99 are computed.  Recording one sample
 is O(1); bulk recording (``record(value, count=N)``) is bounded by the
 reservoir size, not N — memory and per-call work stay bounded
 regardless of how many samples a load test pushes.
+
+Every instrument additionally supports **merging**, the primitive the
+multi-process cluster is built on: a worker ships
+:meth:`MetricsRegistry.state` (a picklable dict, including histogram
+reservoirs) over its pipe, and the router folds any number of such
+snapshots into one cluster-wide registry with
+:meth:`MetricsRegistry.merge_snapshot`.  Counters add; gauges add their
+current values and keep the max of the per-source peaks; histograms
+combine exactly for count/sum/min/max and merge their reservoirs by
+weighted subsampling (each element stands for ``count / len(reservoir)``
+of its source population), so merged quantiles stay unbiased.
 """
 
 from __future__ import annotations
@@ -66,6 +77,20 @@ class Counter:
     def sample_lines(self) -> List[str]:
         return [f"{self.name} {_fmt(self.value)}"]
 
+    def state(self) -> Dict[str, Any]:
+        """Full picklable state for :meth:`merge_state` on another side."""
+        return {"value": self.value}
+
+    def merge(self, other: "Counter") -> None:
+        """Fold *other* into this counter (disjoint sources add)."""
+        self.merge_state(other.state())
+
+    def merge_state(self, state: Dict[str, Any]) -> None:
+        value = state["value"]
+        if value < 0:
+            raise ValueError("counters only go up")
+        self.value += value
+
 
 class Gauge:
     """A point-in-time value that also tracks its high-water mark."""
@@ -96,6 +121,23 @@ class Gauge:
     def sample_lines(self) -> List[str]:
         return [f"{self.name} {_fmt(self.value)}",
                 f"{self.name}_peak {_fmt(self.peak)}"]
+
+    def state(self) -> Dict[str, Any]:
+        return {"value": self.value, "peak": self.peak}
+
+    def merge(self, other: "Gauge") -> None:
+        """Fold *other* in: values add (disjoint sources), peaks max.
+
+        A cluster-wide simultaneous peak cannot be reconstructed from
+        per-source snapshots, so the merged peak is the largest
+        per-source high-water mark (a lower bound on the true combined
+        peak, still useful for "did any worker ever see N").
+        """
+        self.merge_state(other.state())
+
+    def merge_state(self, state: Dict[str, Any]) -> None:
+        self.value += state["value"]
+        self.peak = max(self.peak, state["peak"], self.value)
 
 
 class Histogram:
@@ -208,6 +250,53 @@ class Histogram:
                 f'{self.name}{{quantile="{q}"}} {_fmt(self.quantile(q))}')
         return lines
 
+    def state(self) -> Dict[str, Any]:
+        """Picklable state, reservoir included, for cross-process merge."""
+        return {"count": self.count, "sum": self.sum, "min": self.min,
+                "max": self.max, "reservoir": list(self._reservoir)}
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold *other*'s samples into this histogram.
+
+        count/sum/min/max combine exactly.  The merged reservoir is a
+        weighted subsample of the union: each retained element of a
+        source reservoir represents ``count / len(reservoir)`` samples
+        of that source's population, so elements are kept with
+        probability proportional to that weight (Efraimidis–Spirakis
+        keys drawn from this histogram's seeded RNG — merging the same
+        snapshots in the same order is deterministic).
+        """
+        self.merge_state(other.state())
+
+    def merge_state(self, state: Dict[str, Any]) -> None:
+        o_count = state["count"]
+        if o_count == 0:
+            return
+        o_res = list(state["reservoir"])
+        items: List[Tuple[float, float]] = []  # (weight, value)
+        if self.count and self._reservoir:
+            w_self = self.count / len(self._reservoir)
+            items.extend((w_self, v) for v in self._reservoir)
+        if o_res:
+            w_other = o_count / len(o_res)
+            items.extend((w_other, v) for v in o_res)
+        self.count += o_count
+        self.sum += state["sum"]
+        for bound, pick in (("min", min), ("max", max)):
+            theirs = state[bound]
+            ours = getattr(self, bound)
+            if theirs is not None:
+                setattr(self, bound,
+                        theirs if ours is None else pick(ours, theirs))
+        if len(items) > self._capacity:
+            # Weighted reservoir subsample: key = u^(1/w), keep top-k.
+            keyed = sorted(
+                ((self._rng.random() ** (1.0 / w), v) for w, v in items),
+                reverse=True)[:self._capacity]
+            self._reservoir = [v for _, v in keyed]
+        else:
+            self._reservoir = [v for _, v in items]
+
 
 class MetricsRegistry:
     """A named collection of metrics with idempotent registration.
@@ -257,6 +346,45 @@ class MetricsRegistry:
 
     def names(self) -> List[str]:
         return sorted(self._metrics)
+
+    # -- cross-process merge --------------------------------------------
+    _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+    def state(self) -> Dict[str, Any]:
+        """Full picklable snapshot of every instrument (for the wire).
+
+        Unlike :meth:`to_json` this includes histogram reservoirs, so a
+        registry on the other side of a pipe can merge it losslessly
+        with :meth:`merge_snapshot`.
+        """
+        with self._lock:
+            metrics = list(self._metrics.values())
+        return {m.name: {"kind": m.kind, "help": m.help,
+                         "state": m.state()} for m in metrics}
+
+    def merge_snapshot(self, snapshot: Dict[str, Any]) -> None:
+        """Fold one :meth:`state` snapshot into this registry.
+
+        Instruments missing here are created (same kind and help);
+        existing ones must match kinds or a :class:`TypeError` is
+        raised.  Merging N disjoint worker snapshots yields cluster
+        totals: counters add, gauges add values, histograms combine
+        exactly in count/sum/min/max and statistically in quantiles.
+        """
+        for name in sorted(snapshot):
+            entry = snapshot[name]
+            cls = self._KINDS[entry["kind"]]
+            if cls is Histogram:
+                metric = self.histogram(name, help=entry["help"])
+            elif cls is Gauge:
+                metric = self.gauge(name, help=entry["help"])
+            else:
+                metric = self.counter(name, help=entry["help"])
+            metric.merge_state(entry["state"])
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold every instrument of *other* into this registry."""
+        self.merge_snapshot(other.state())
 
     # -- export ---------------------------------------------------------
     def to_json(self) -> Dict[str, Any]:

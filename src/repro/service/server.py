@@ -37,6 +37,10 @@ __all__ = ["VlsaServer", "serve_tcp"]
 class VlsaServer:
     """Serves a :class:`VlsaService` over TCP as JSON lines.
 
+    Any object with the service's submission surface works — in
+    particular a :class:`~repro.cluster.ClusterRouter`, which makes
+    this the cluster's network front end too.
+
     Args:
         service: The (started or not-yet-started) service to expose.
         host, port: Bind address (``port=0`` picks a free port).
@@ -63,6 +67,9 @@ class VlsaServer:
     async def start(self) -> "VlsaServer":
         """Start the service (if needed) and begin listening."""
         await self.service.start()
+        wait_ready = getattr(self.service, "wait_ready", None)
+        if wait_ready is not None:  # cluster fronts wait for the pool
+            await wait_ready()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port)
         self.port = self.address[1]
@@ -130,13 +137,9 @@ class VlsaServer:
             return {"id": req_id,
                     "prometheus": self.service.metrics_prometheus()}
         if cmd == "info":
-            svc = self.service
-            return {"id": req_id, "width": svc.width, "window": svc.window,
-                    "recovery_cycles": svc.recovery_cycles,
-                    "backend": svc.executor.backend,
-                    "queue_capacity": svc.queue_capacity,
-                    "max_batch_ops": svc.max_batch_ops,
-                    "analytic_latency_cycles": svc.analytic_latency_cycles}
+            info = dict(self.service.describe())
+            info["id"] = req_id
+            return info
         if cmd is not None:
             return {"id": req_id, "error": f"unknown cmd {cmd!r}",
                     "code": "bad_request"}

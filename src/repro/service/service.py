@@ -511,3 +511,17 @@ class VlsaService:
     def mean_latency_cycles(self) -> float:
         """Observed mean per-addition latency so far."""
         return self.h_latency.mean if self.h_latency.count else 0.0
+
+    @property
+    def backend_name(self) -> str:
+        """Execution-backend label (clusters report ``cluster:NxB``)."""
+        return self.executor.backend
+
+    def describe(self) -> dict:
+        """The ``info`` payload the TCP server hands to clients."""
+        return {"width": self.width, "window": self.window,
+                "recovery_cycles": self.recovery_cycles,
+                "backend": self.backend_name,
+                "queue_capacity": self.queue_capacity,
+                "max_batch_ops": self.max_batch_ops,
+                "analytic_latency_cycles": self.analytic_latency_cycles}

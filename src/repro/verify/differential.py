@@ -229,6 +229,43 @@ class ExecutorImpl(Implementation):
                           spec_errors=out.spec_errors)
 
 
+class ClusterImpl(Implementation):
+    """The multi-process serving cluster, end to end.
+
+    Batches travel the full production path — admission, sharding, the
+    pipe wire protocol, a real worker process, result slicing — and the
+    verifier holds the answers to the same bit-identical standard as the
+    in-process executor.  Pools are expensive to boot, so instances
+    share one process-wide cached cluster per configuration
+    (:func:`~repro.cluster.sync.shared_cluster`); it is torn down at
+    interpreter exit.  Because it spawns OS processes, ``cluster`` is
+    registered but *not* part of :func:`default_implementations` —
+    drive it explicitly (``--impls service:numpy,cluster``).
+    """
+
+    family = "exact"
+
+    def __init__(self, width: int, window: int, recovery_cycles: int = 1,
+                 workers: Optional[int] = None):
+        import os
+
+        from ..cluster import ClusterConfig
+        from ..cluster.sync import shared_cluster
+
+        self.name = "cluster"
+        if workers is None:
+            workers = int(os.environ.get("REPRO_CLUSTER_VERIFY_WORKERS",
+                                         "2"))
+        self.cluster = shared_cluster(ClusterConfig(
+            width=width, window=window, recovery_cycles=recovery_cycles,
+            workers=workers, heartbeat_interval=0.1))
+
+    def run(self, pairs: Sequence[Pair]) -> ImplResult:
+        out = self.cluster.add_batch(list(pairs))
+        return ImplResult(sums=out.sums, couts=out.couts,
+                          flags=out.stalled, latencies=out.latencies)
+
+
 #: name -> factory(width, window, recovery_cycles) -> Implementation
 _FACTORIES: Dict[str, Callable[[int, int, int], Implementation]] = {}
 #: The built-in adapter names (a default run drives exactly these;
@@ -269,6 +306,11 @@ def _ensure_builtin() -> None:
         "service:bigint",
         lambda w, win, rc: ExecutorImpl(w, win, "bigint", rc))
     _BUILTIN.extend(sorted(_FACTORIES))
+    # Ninth implementation: the whole multi-process cluster.  Registered
+    # after the _BUILTIN snapshot on purpose — it spawns OS processes,
+    # so a plain `repro verify` run does not pay for it; CI and the
+    # cluster tests opt in with explicit impl lists.
+    register_implementation("cluster", ClusterImpl)
 
 
 def available_implementations() -> List[str]:

@@ -127,3 +127,94 @@ def test_prometheus_export_format():
     assert "# TYPE vlsa_latency_seconds summary" in text
     assert 'vlsa_latency_seconds{quantile="0.5"} 0.25' in text
     assert "vlsa_latency_seconds_count 1" in text
+
+
+# ----------------------------------------------------------------------
+# Cross-process merging (the cluster's aggregation primitive)
+# ----------------------------------------------------------------------
+def test_counter_merge_adds_values():
+    a = Counter("ops_total")
+    b = Counter("ops_total")
+    a.inc(10)
+    b.inc(32)
+    a.merge(b)
+    assert a.value == 42
+    with pytest.raises(ValueError):
+        a.merge_state({"value": -1})
+
+
+def test_gauge_merge_adds_values_and_takes_peak():
+    a = Gauge("depth")
+    b = Gauge("depth")
+    a.set(3)        # a: value 3, peak 3
+    b.set(9)
+    b.set(2)        # b: value 2, peak 9
+    a.merge(b)
+    assert a.value == 5
+    assert a.peak == 9
+
+
+def test_histogram_merge_exact_aggregates():
+    a = Histogram("lat")
+    b = Histogram("lat")
+    for v in (1.0, 2.0):
+        a.record(v)
+    for v in (10.0, 20.0, 30.0):
+        b.record(v)
+    a.merge(b)
+    assert a.count == 5
+    assert a.sum == pytest.approx(63.0)
+    assert a.min == 1.0
+    assert a.max == 30.0
+
+
+def test_histogram_merge_reservoir_stays_bounded_and_representative():
+    a = Histogram("lat", reservoir_size=128, seed=1)
+    b = Histogram("lat", reservoir_size=128, seed=2)
+    for _ in range(5000):
+        a.record(1.0)
+    for _ in range(5000):
+        b.record(100.0)
+    a.merge(b)
+    assert len(a._reservoir) <= 128
+    # Both sides contributed equally; the subsample must reflect that
+    # (weighted reservoir merge, not concatenate-and-truncate).
+    ones = sum(1 for v in a._reservoir if v == 1.0)
+    assert 0 < ones < len(a._reservoir)
+    assert a.quantile(0.5) in (1.0, 100.0)
+
+
+def test_registry_merge_snapshot_roundtrip():
+    src = MetricsRegistry()
+    src.counter("ops_total", "ops").inc(7)
+    src.gauge("depth", "queue").set(3)
+    src.histogram("lat", "latency").record(2.0, count=4)
+    dst = MetricsRegistry()
+    dst.counter("ops_total", "ops").inc(5)
+    dst.merge_snapshot(src.state())
+    assert dst.counter("ops_total").value == 12
+    assert dst.gauge("depth").value == 3
+    assert dst.histogram("lat").count == 4
+    # Merging is additive and repeatable.
+    dst.merge_snapshot(src.state())
+    assert dst.counter("ops_total").value == 19
+
+
+def test_registry_merge_rejects_kind_mismatch():
+    src = MetricsRegistry()
+    src.counter("x", "a counter").inc()
+    dst = MetricsRegistry()
+    dst.gauge("x", "a gauge").set(1)
+    with pytest.raises(TypeError):
+        dst.merge_snapshot(src.state())
+
+
+def test_registry_merge_registries_directly():
+    a = MetricsRegistry()
+    b = MetricsRegistry()
+    a.counter("ops_total").inc(1)
+    b.counter("ops_total").inc(2)
+    b.counter("only_b_total").inc(9)
+    a.merge(b)
+    assert a.counter("ops_total").value == 3
+    assert a.counter("only_b_total").value == 9
