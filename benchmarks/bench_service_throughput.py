@@ -1,104 +1,49 @@
-"""Serving bench: a million additions through the VLSA service.
+"""Service throughput — back-compat shim over the ``service`` bench
+suite.
 
-Drives >= 1M uniform additions through :class:`repro.service.VlsaService`
-on the numpy executor backend and writes ``results/BENCH_service.json``
-with throughput, request-latency quantiles (p50/p95/p99) and stall/error
-rates.  The acceptance bar for this repository: the observed mean
-latency-in-cycles matches the analytic ``1 + P(error) * recovery_cycles``
-within 5 % on the uniform workload.
+The measurement moved to :mod:`repro.bench.suites.service`; this
+pytest entry point keeps ``pytest benchmarks/`` regenerating
+``results/BENCH_service.json`` (shared schema, bootstrap CIs) and
+enforcing the paper-level acceptance bars as hard assertions:
 
-Smaller biased/adversarial/attack sweeps ride along to fill the
-workload-dependence columns (the adversarial stream must pin mean
-latency at exactly ``1 + recovery``).
+* uniform mean latency-in-cycles within 5 % of the analytic
+  ``1 + P(stall) * recovery`` prediction,
+* the adversarial stream pinned at exactly ``1 + recovery`` cycles,
+* the window-8 detector stall rate inside its 15 % band.
 
-Override the volume via ``REPRO_BENCH_SERVICE_OPS`` (default ``1 << 20``;
-satellite workloads run at 1/16 volume).
+``REPRO_BENCH_SERVICE_OPS`` overrides the volume, as before.
 """
 
-import os
-
-import pytest
-
-from repro.engine import RunContext
-from repro.reporting import save_json
-from repro.service import run_loadgen
-
-DEFAULT_OPS = 1 << 20
+from repro.bench import (RunnerConfig, build_payload, load_builtin_suites,
+                         registry, run_benchmark, validate_payload,
+                         write_suite_result)
 
 
-def _row(report):
-    return {
-        "workload": report.workload,
-        "width": report.width,
-        "window": report.window,
-        "backend": report.backend,
-        "ops": report.ops,
-        "wall_seconds": round(report.wall_seconds, 4),
-        "adds_per_second": round(report.adds_per_second, 1),
-        "mean_latency_cycles": report.mean_latency_cycles,
-        "analytic_latency_cycles": report.analytic_latency_cycles,
-        "stall_rate": report.stall_rate,
-        "analytic_stall_rate": report.analytic_stall_rate,
-        "spec_error_rate": report.spec_error_rate,
-        "p50_wall_ms": round(report.p50_wall_ms, 4),
-        "p95_wall_ms": round(report.p95_wall_ms, 4),
-        "p99_wall_ms": round(report.p99_wall_ms, 4),
-        "rejected": report.rejected,
-        "timeouts": report.timeouts,
-        "retries": report.retries,
-        "queue_depth_peak": report.queue_depth_peak,
-    }
+def test_service_throughput_paper_metrics(show):
+    load_builtin_suites()
+    config = RunnerConfig()
+    results = [run_benchmark(b, config)
+               for b in registry.build("service", "small")]
+    payload = build_payload("service", "small", results, config)
+    validate_payload(payload)
+    path = write_suite_result(payload)
 
-
-def test_service_throughput_million_ops(report):
-    ops = int(os.environ.get("REPRO_BENCH_SERVICE_OPS", DEFAULT_OPS))
-    side_ops = max(1 << 12, ops // 16)
-
-    main = run_loadgen("uniform", ops=ops, width=64, chunk=4096,
-                       concurrency=4, max_batch_ops=1 << 14,
-                       backend="numpy", ctx=RunContext(seed=1))
-    # Acceptance: mean latency within 5% of 1 + P(error) * recovery.
-    assert main.backend == "numpy"
-    assert main.ops == ops
-    assert main.mean_latency_cycles == pytest.approx(
-        main.analytic_latency_cycles, rel=0.05)
-    assert main.rejected == 0 and main.timeouts == 0
-
-    adversarial = run_loadgen("adversarial", ops=side_ops, width=64,
-                              chunk=2048, ctx=RunContext(seed=2))
-    assert adversarial.mean_latency_cycles == pytest.approx(2.0)
-
-    biased = run_loadgen("biased", ops=side_ops, width=64, window=12,
-                         alpha=0.75, chunk=2048, ctx=RunContext(seed=3))
-    attack = run_loadgen("attack", ops=side_ops, chunk=2048,
-                         ctx=RunContext(seed=4))
-
-    rows = [_row(r) for r in (main, adversarial, biased, attack)]
-    payload = {
-        "acceptance": {
-            "ops": ops,
-            "mean_latency_cycles": main.mean_latency_cycles,
-            "analytic_latency_cycles": main.analytic_latency_cycles,
-            "relative_error": abs(main.mean_latency_cycles
-                                  - main.analytic_latency_cycles)
-            / main.analytic_latency_cycles,
-            "tolerance": 0.05,
-        },
-        "workloads": rows,
-    }
-    path = save_json("BENCH_service.json", payload)
-
-    header = (f"{'workload':<12} {'ops':>9} {'Madds/s':>8} "
-              f"{'mean lat':>9} {'analytic':>9} {'stall':>10} "
-              f"{'p99 ms':>8}")
-    lines = ["service throughput (VlsaService, micro-batched)", header]
-    for row in rows:
-        ana = ("n/a" if row["analytic_latency_cycles"] is None
-               else f"{row['analytic_latency_cycles']:.6f}")
+    lines = ["service throughput (unified harness)",
+             f"{'benchmark':<28} {'Madds/s':>8} {'mean lat':>10} "
+             f"{'analytic':>10} {'stall':>10}"]
+    for r in results:
+        m = r.metrics
+        ana = m.get("analytic_latency_cycles")
         lines.append(
-            f"{row['workload']:<12} {row['ops']:>9} "
-            f"{row['adds_per_second'] / 1e6:>8.2f} "
-            f"{row['mean_latency_cycles']:>9.6f} {ana:>9} "
-            f"{row['stall_rate']:>10.3e} {row['p99_wall_ms']:>8.3f}")
+            f"{r.name:<28} {r.ops_per_second / 1e6:>8.2f} "
+            f"{m['mean_latency_cycles']:>10.6f} "
+            f"{'n/a' if ana is None else format(ana, '>10.6f')} "
+            f"{m['stall_rate']:>10.3e}")
     lines.append(f"[json: {path}]")
-    report("BENCH_service.txt", "\n".join(lines))
+    show("\n".join(lines))
+
+    # Every paper-metric band is a hard acceptance bar here.
+    for r in results:
+        assert not r.band_violations, (r.name, r.band_violations)
+        assert r.metrics["rejected"] == 0
+        assert r.metrics["timeouts"] == 0

@@ -1,79 +1,37 @@
-"""Verification bench: oracle throughput per implementation pair.
+"""Verify-oracle throughput — back-compat shim over the ``verify``
+bench suite.
 
-Measures how many vectors/second the differential verifier pushes
-through each registered implementation (reference computation included),
-plus the cost of the pure reference oracle itself — the number that
-bounds how large a nightly fuzz run can be.  Writes
-``results/BENCH_verify.json``.
+The measurement moved to :mod:`repro.bench.suites.verify`; this pytest
+entry point keeps ``pytest benchmarks/`` regenerating
+``results/BENCH_verify.json`` (shared schema) and asserting every
+benchmarked differential run stays mismatch-free.
 
-Override via ``REPRO_BENCH_VERIFY_VECTORS`` (default 20k; gate-level
-implementations get a scaled-down share so the sweep stays interactive)
-and ``REPRO_BENCH_VERIFY_WIDTHS`` (comma list, default ``32,64``).
+``REPRO_BENCH_VERIFY_VECTORS`` overrides the volume, as before.
 """
 
-import os
-import time
-
-from conftest import env_widths
-from repro.analysis import choose_window
-from repro.engine import RunContext
-from repro.reporting import save_json
-from repro.verify import DifferentialVerifier, default_implementations
-from repro.verify.differential import _reference
-from repro.verify.vectors import pair_stream
-
-DEFAULT_VECTORS = 20000
-
-#: Gate-level implementations are orders of magnitude slower than the
-#: word-level ones; they get a reduced share so the bench stays short.
-_GATE_LEVEL = ("engine:", "interpreter")
+from repro.bench import (RunnerConfig, build_payload, load_builtin_suites,
+                         registry, run_benchmark, validate_payload,
+                         write_suite_result)
 
 
-def _vectors_for(impl: str, base: int) -> int:
-    if impl.startswith(_GATE_LEVEL[0]) or impl == _GATE_LEVEL[1]:
-        return max(256, base // 64)
-    return base
+def test_verify_throughput(show):
+    load_builtin_suites()
+    config = RunnerConfig()
+    results = [run_benchmark(b, config)
+               for b in registry.build("verify", "small")]
+    payload = build_payload("verify", "small", results, config)
+    validate_payload(payload)
+    path = write_suite_result(payload)
 
+    lines = ["verify oracle throughput (unified harness)",
+             f"{'benchmark':<28} {'kvec/s':>10}"]
+    for r in results:
+        lines.append(f"{r.name:<28} {r.ops_per_second / 1e3:>10.1f}")
+    lines.append(f"[json: {path}]")
+    show("\n".join(lines))
 
-def test_verify_throughput(report):
-    base = int(os.environ.get("REPRO_BENCH_VERIFY_VECTORS", DEFAULT_VECTORS))
-    widths = env_widths("REPRO_BENCH_VERIFY_WIDTHS", (32, 64))
-    results = {"vectors_per_second": {}, "vectors": {}, "all_clean": True}
-    lines = ["verify oracle throughput (kvec/s)"]
-
-    for width in widths:
-        window = choose_window(width)
-        per_impl = {}
-
-        # The reference oracle alone (the floor every pair pays).
-        pairs = [p for chunk in pair_stream("uniform", width, window,
-                                            base, seed=width)
-                 for p in chunk]
-        t0 = time.perf_counter()
-        _reference(pairs, width, window)
-        per_impl["reference"] = base / (time.perf_counter() - t0)
-
-        for impl in default_implementations(width):
-            n = _vectors_for(impl, base)
-            verifier = DifferentialVerifier(
-                width, window=window, impls=(impl,),
-                ctx=RunContext(seed=width), shrink=False)
-            t0 = time.perf_counter()
-            rep = verifier.run(vectors=n, streams=("uniform",), seed=width)
-            dt = time.perf_counter() - t0
-            if not rep.ok:
-                results["all_clean"] = False
-            per_impl[impl] = n / dt
-
-        key = str(width)
-        results["vectors"][key] = base
-        results["vectors_per_second"][key] = {
-            k: round(v, 1) for k, v in per_impl.items()}
-        lines.append(f"\nwidth {width} (window {window}):")
-        lines.extend(f"  {name:<16} {rate / 1e3:>10.1f}"
-                     for name, rate in sorted(per_impl.items(),
-                                              key=lambda kv: -kv[1]))
-
-    path = save_json("BENCH_verify.json", results)
-    report("BENCH_verify.txt", "\n".join(lines) + f"\n[json: {path}]")
-    assert results["all_clean"], "verification mismatches during benchmark"
+    for r in results:
+        assert not r.band_violations, (r.name, r.band_violations)
+        if "mismatches" in r.metrics:
+            assert r.metrics["mismatches"] == 0, (
+                f"{r.name}: verification mismatches during benchmark")

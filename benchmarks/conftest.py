@@ -29,6 +29,22 @@ def report(capsys):
 
 
 @pytest.fixture
+def show(capsys):
+    """Callable ``show(text)``: print with capture disabled, no file.
+
+    The unified-harness shims use this instead of ``report``: their
+    persistent artefact is the shared-schema ``BENCH_<suite>.json``,
+    so a second ad-hoc text file would just reintroduce schema drift.
+    """
+
+    def _show(text: str) -> None:
+        with capsys.disabled():
+            print(f"\n{'=' * 72}\n{text}\n")
+
+    return _show
+
+
+@pytest.fixture
 def rng():
     """Deterministic random generator per benchmark."""
     return make_rng()

@@ -1,7 +1,14 @@
 """Module entry point: ``python -m repro <experiment>``."""
 
+import os
 import sys
 
 from .cli import main
 
-sys.exit(main())
+try:
+    sys.exit(main())
+except BrokenPipeError:
+    # stdout was piped into something like ``head`` that closed early;
+    # swallow the tail of the output instead of tracebacking.
+    os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    sys.exit(0)

@@ -1,0 +1,64 @@
+"""Unified benchmark harness with statistical regression gating.
+
+The measurement subsystem the ROADMAP's "as fast as the hardware
+allows" north-star is judged by:
+
+* :mod:`repro.bench.spec` — declarative :class:`Benchmark` specs and
+  the suite registry (engine / service / verify / cluster built in).
+* :mod:`repro.bench.runner` — calibrated timing: warmup, auto-scaled
+  inner repeats, GC freeze, monotonic clock, host manifest.
+* :mod:`repro.bench.schema` — the single machine-readable result
+  schema every suite writes (``results/BENCH_<suite>.json``).
+* :mod:`repro.bench.stats` — bootstrap CIs, Mann-Whitney U, and the
+  improved / unchanged / regressed verdict function.
+* :mod:`repro.bench.compare` — the baseline store
+  (``results/baselines/``), comparator and markdown gate report.
+* :mod:`repro.bench.cli` — the ``vlsa-repro bench`` verbs
+  (``run | compare | gate | list | promote``).
+
+Quickstart::
+
+    vlsa-repro bench run --suite service --preset small
+    vlsa-repro bench gate          # exit 1 on a statistical regression
+"""
+
+from .compare import (SuiteComparison, baseline_path, compare_payloads,
+                      compare_suite, promote_baseline, render_markdown)
+from .runner import BenchmarkResult, RunnerConfig, host_manifest, run_benchmark
+from .schema import (SCHEMA_VERSION, SchemaError, build_payload,
+                     load_suite_result, result_path, validate_payload,
+                     write_suite_result)
+from .spec import (Benchmark, BenchmarkRegistry, MetricBand,
+                   load_builtin_suites, registry)
+from .stats import (Comparison, bootstrap_ci, classify, mann_whitney_u,
+                    median)
+
+__all__ = [
+    "Benchmark",
+    "BenchmarkRegistry",
+    "BenchmarkResult",
+    "Comparison",
+    "MetricBand",
+    "RunnerConfig",
+    "SCHEMA_VERSION",
+    "SchemaError",
+    "SuiteComparison",
+    "baseline_path",
+    "bootstrap_ci",
+    "build_payload",
+    "classify",
+    "compare_payloads",
+    "compare_suite",
+    "host_manifest",
+    "load_builtin_suites",
+    "load_suite_result",
+    "mann_whitney_u",
+    "median",
+    "promote_baseline",
+    "registry",
+    "render_markdown",
+    "result_path",
+    "run_benchmark",
+    "validate_payload",
+    "write_suite_result",
+]

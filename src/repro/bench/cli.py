@@ -1,0 +1,284 @@
+"""The ``bench`` CLI verbs: run / compare / gate / list / promote.
+
+Wired into the main ``vlsa-repro`` parser by :mod:`repro.cli`::
+
+    vlsa-repro bench run --suite service --preset small
+    vlsa-repro bench compare --suite engine
+    vlsa-repro bench gate                      # exit 1 on regression
+    vlsa-repro bench list
+    vlsa-repro bench promote --suite service   # current -> baseline
+
+``run`` executes suites through the calibrated runner and writes the
+shared-schema ``results/BENCH_<suite>.json``.  ``gate`` is ``run`` +
+``compare`` + a pass/fail exit code and a markdown summary
+(``results/bench_summary.md``) for CI artifacts; ``--trend`` appends a
+compact JSON line per suite to a trajectory file the nightly job
+accumulates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, Dict, List, Optional
+
+from ..reporting import results_dir, save_artifact
+from .compare import (baseline_path, compare_payloads, promote_baseline,
+                      render_markdown)
+from .runner import RunnerConfig, run_benchmark
+from .schema import (build_payload, load_suite_result, result_path,
+                     write_suite_result)
+from .spec import BenchmarkRegistry, load_builtin_suites
+from .spec import registry as default_registry
+from .stats import DEFAULT_ALPHA, DEFAULT_THRESHOLD
+
+__all__ = ["add_bench_parser", "run_bench_command"]
+
+SUMMARY_NAME = "bench_summary.md"
+
+
+def add_bench_parser(sub: argparse._SubParsersAction) -> None:
+    """Attach the ``bench`` subcommand to the main CLI parser."""
+    bench = sub.add_parser(
+        "bench",
+        help="unified benchmark harness: run suites, compare against "
+             "baselines, gate on statistical regressions",
+        description="Declarative benchmark registry with calibrated "
+                    "timing and statistical regression detection "
+                    "(bootstrap CIs + Mann-Whitney U).")
+    verbs = bench.add_subparsers(dest="bench_verb", required=True)
+
+    def common(p, with_compare=False):
+        p.add_argument("--suite", default=None, metavar="S,S,...",
+                       help="suites to touch (default: all registered)")
+        p.add_argument("--preset", choices=("small", "full"),
+                       default="small",
+                       help="workload size preset (default: %(default)s)")
+        if with_compare:
+            p.add_argument("--threshold", type=float,
+                           default=DEFAULT_THRESHOLD,
+                           help="relative median shift that counts as a "
+                                "change (default: %(default)s)")
+            p.add_argument("--alpha", type=float, default=DEFAULT_ALPHA,
+                           help="Mann-Whitney significance level "
+                                "(default: %(default)s)")
+            p.add_argument("--baseline-dir", dest="baseline_dir",
+                           default=None,
+                           help="baseline store (default: "
+                                "results/baselines)")
+
+    run_p = verbs.add_parser(
+        "run", help="run suites and write results/BENCH_<suite>.json",
+        description="Run benchmark suites through the calibrated "
+                    "runner; every suite writes one shared-schema "
+                    "result file.")
+    common(run_p)
+    run_p.add_argument("--samples", type=int, default=None,
+                       help="measurement samples per benchmark "
+                            "(default: runner default)")
+    run_p.add_argument("--target-time", dest="target_time", type=float,
+                       default=None,
+                       help="target seconds per measurement batch")
+    run_p.add_argument("--trend", default=None, metavar="PATH",
+                       help="append one compact JSON line per suite to "
+                            "this trajectory file")
+
+    cmp_p = verbs.add_parser(
+        "compare",
+        help="compare existing results against the baseline store",
+        description="Classify each benchmark in results/BENCH_<suite>"
+                    ".json against results/baselines/ as improved / "
+                    "unchanged / regressed.  Informational: always "
+                    "exits 0; use 'gate' to fail on regressions.")
+    common(cmp_p, with_compare=True)
+
+    gate_p = verbs.add_parser(
+        "gate",
+        help="run + compare + exit 1 on any regression or band "
+             "violation",
+        description="The CI verb: run the suites, compare against the "
+                    "baseline store, write a markdown summary, exit 1 "
+                    "when anything regressed or a paper-metric "
+                    "tolerance band was violated.")
+    common(gate_p, with_compare=True)
+    gate_p.add_argument("--samples", type=int, default=None,
+                        help="measurement samples per benchmark")
+    gate_p.add_argument("--target-time", dest="target_time", type=float,
+                        default=None,
+                        help="target seconds per measurement batch")
+    gate_p.add_argument("--no-run", dest="no_run", action="store_true",
+                        help="gate existing result files without "
+                             "re-running the suites")
+    gate_p.add_argument("--allow-missing-baseline",
+                        dest="allow_missing_baseline",
+                        action="store_true",
+                        help="treat a suite without a committed "
+                             "baseline as new instead of failing")
+
+    list_p = verbs.add_parser(
+        "list", help="list registered suites and their benchmarks",
+        description="Instantiate every registered suite at the chosen "
+                    "preset and print its benchmarks.")
+    common(list_p)
+    list_p.add_argument("--json", action="store_true",
+                        help="machine-readable output")
+
+    promote_p = verbs.add_parser(
+        "promote",
+        help="promote current results to the committed baseline store",
+        description="Copy results/BENCH_<suite>.json into "
+                    "results/baselines/ (after validating the schema). "
+                    "Run this on the reference host after an accepted "
+                    "performance change.")
+    common(promote_p)
+
+
+def _suite_names(args, registry: BenchmarkRegistry) -> List[str]:
+    if args.suite:
+        names = [s for s in args.suite.split(",") if s]
+        unknown = [s for s in names if s not in registry.suites()]
+        if unknown:
+            raise SystemExit(
+                f"unknown suite(s): {', '.join(unknown)}; registered: "
+                f"{', '.join(registry.suites())}")
+        return names
+    return list(registry.suites())
+
+
+def _runner_config(args) -> RunnerConfig:
+    kwargs: Dict[str, Any] = {}
+    if getattr(args, "samples", None) is not None:
+        kwargs["samples"] = args.samples
+    if getattr(args, "target_time", None) is not None:
+        kwargs["target_time"] = args.target_time
+    return RunnerConfig(**kwargs)
+
+
+def _run_suites(names: List[str], preset: str, config: RunnerConfig,
+                registry: BenchmarkRegistry) -> Dict[str, str]:
+    paths: Dict[str, str] = {}
+    for name in names:
+        benches = registry.build(name, preset)
+        print(f"[bench] suite {name}: {len(benches)} benchmarks "
+              f"({preset} preset)", file=sys.stderr)
+        results = []
+        for bench in benches:
+            res = run_benchmark(bench, config)
+            rate = res.ops_per_second
+            print(f"[bench]   {bench.full_name:<36} "
+                  f"{rate:>14,.0f} ops/s  "
+                  f"(median {res.median_s_per_call * 1e3:.3f} ms/call, "
+                  f"{len(res.samples_s_per_call)} samples x "
+                  f"{res.inner_repeats} repeats)", file=sys.stderr)
+            for violation in res.band_violations:
+                print(f"[bench]     BAND VIOLATION: {violation}",
+                      file=sys.stderr)
+            results.append(res)
+        payload = build_payload(name, preset, results, config)
+        paths[name] = write_suite_result(payload)
+        print(f"[bench] wrote {paths[name]}", file=sys.stderr)
+    return paths
+
+
+def _append_trend(trend_path: str, names: List[str]) -> None:
+    os.makedirs(os.path.dirname(trend_path) or ".", exist_ok=True)
+    with open(trend_path, "a", encoding="utf-8") as f:
+        for name in names:
+            payload = load_suite_result(result_path(name))
+            line = {
+                "suite": name,
+                "preset": payload["preset"],
+                "host": payload["host"]["platform"],
+                "benchmarks": {
+                    b["name"]: {
+                        "median_s_per_call": b["median_s_per_call"],
+                        "ops_per_second": b["ops_per_second"],
+                    } for b in payload["benchmarks"]},
+            }
+            f.write(json.dumps(line, sort_keys=True) + "\n")
+
+
+def _compare_suites(names: List[str], args) -> List:
+    comparisons = []
+    for name in names:
+        current = load_suite_result(result_path(name))
+        bpath = baseline_path(name, args.baseline_dir)
+        try:
+            base = load_suite_result(bpath)
+        except FileNotFoundError:
+            if getattr(args, "allow_missing_baseline", True):
+                print(f"[bench] suite {name}: no baseline at {bpath}; "
+                      f"skipping comparison", file=sys.stderr)
+                continue
+            raise SystemExit(
+                f"suite {name}: no baseline at {bpath} (run "
+                f"'bench promote --suite {name}' on the reference host)")
+        comparisons.append(compare_payloads(
+            base, current, threshold=args.threshold, alpha=args.alpha))
+    return comparisons
+
+
+def run_bench_command(args,
+                      registry: Optional[BenchmarkRegistry] = None) -> int:
+    """Dispatch a parsed ``bench`` invocation; returns the exit code."""
+    if registry is None:
+        load_builtin_suites()
+        registry = default_registry
+    names = _suite_names(args, registry)
+    verb = args.bench_verb
+
+    if verb == "list":
+        described = {name: registry.describe(args.preset)[name]
+                     for name in names}
+        if args.json:
+            print(json.dumps(described, indent=2, sort_keys=True))
+        else:
+            for suite, benches in described.items():
+                print(f"{suite}  ({len(benches)} benchmarks)")
+                for b in benches:
+                    bands = (f"  bands: {', '.join(b['bands'])}"
+                             if b["bands"] else "")
+                    print(f"  {b['name']:<32} "
+                          f"ops/call={b['ops_per_call']:<8}"
+                          f"{bands}")
+        return 0
+
+    if verb == "run":
+        _run_suites(names, args.preset, _runner_config(args), registry)
+        if args.trend:
+            _append_trend(args.trend, names)
+        return 0
+
+    if verb == "promote":
+        for name in names:
+            path = promote_baseline(name)
+            print(f"[bench] baseline updated: {path}", file=sys.stderr)
+        return 0
+
+    if verb == "compare":
+        comparisons = _compare_suites(names, args)
+        print(render_markdown(comparisons, threshold=args.threshold))
+        return 0
+
+    if verb == "gate":
+        if not args.no_run:
+            _run_suites(names, args.preset, _runner_config(args),
+                        registry)
+        comparisons = _compare_suites(names, args)
+        text = render_markdown(comparisons, threshold=args.threshold)
+        path = save_artifact(SUMMARY_NAME, text)
+        print(text)
+        print(f"[bench] summary: {path}", file=sys.stderr)
+        failed = [c for c in comparisons if not c.ok]
+        for comp in failed:
+            for name in comp.regressed:
+                print(f"[bench] REGRESSED: {comp.suite}/{name}",
+                      file=sys.stderr)
+            for name in comp.band_failures:
+                print(f"[bench] BAND VIOLATION: {comp.suite}/{name}",
+                      file=sys.stderr)
+        return 1 if failed else 0
+
+    raise SystemExit(f"unknown bench verb {verb!r}")

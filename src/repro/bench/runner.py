@@ -1,0 +1,247 @@
+"""Calibrated benchmark runner.
+
+Measurement discipline, in order:
+
+1. **Setup** runs untimed; its result is shared by every timed call.
+2. **Warmup** calls are executed and discarded (JIT-warm caches,
+   numpy buffer pools, lazy imports) — never part of the samples.
+3. **Calibration** finds an inner-repeat count so one measurement
+   batch lands inside the target-duration window — long enough that
+   clock granularity is negligible, short enough that k samples stay
+   interactive.  Benchmarks whose single call is already long opt out
+   via ``calibrate=False``.
+4. **Sampling** takes k batches on the monotonic high-resolution
+   clock (``perf_counter``), with the garbage collector frozen so a
+   collection pause lands in no sample.  All k per-call times are
+   retained (the comparator needs the full distribution), alongside
+   min / mean / median and a seeded bootstrap CI.
+
+Every suite run also captures a host manifest (platform, CPU count,
+affinity, python build, clock resolution) so a result file is
+interpretable after the fact — cross-host comparisons are visible
+rather than silently wrong.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .spec import Benchmark
+from .stats import bootstrap_ci, median
+
+__all__ = ["RunnerConfig", "BenchmarkResult", "run_benchmark",
+           "host_manifest"]
+
+
+@dataclass(frozen=True)
+class RunnerConfig:
+    """Timing-loop configuration shared by a suite run."""
+
+    #: Target wall time for one measurement batch, seconds.
+    target_time: float = 0.1
+    #: Acceptable calibration window around target_time (see
+    #: ``calibration_ok``): a batch between ``target/4`` and
+    #: ``target*4`` counts as hitting the window.
+    window_factor: float = 4.0
+    #: Measurement batches retained per benchmark.
+    samples: int = 7
+    #: Discarded warmup payload calls before calibration.
+    warmup: int = 1
+    #: Inner-repeat clamp.
+    max_repeats: int = 1 << 16
+    #: Hard cap on total measurement time per benchmark, seconds.
+    max_time: float = 20.0
+    #: Freeze the garbage collector around timed sections.
+    disable_gc: bool = True
+    #: Root seed for the bootstrap CIs.
+    seed: int = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "target_time_s": self.target_time,
+            "window_factor": self.window_factor,
+            "samples": self.samples,
+            "warmup": self.warmup,
+            "max_repeats": self.max_repeats,
+            "max_time_s": self.max_time,
+            "disable_gc": self.disable_gc,
+            "seed": self.seed,
+        }
+
+
+@dataclass
+class BenchmarkResult:
+    """All retained measurements for one benchmark."""
+
+    name: str
+    suite: str
+    ops_per_call: int
+    inner_repeats: int
+    warmup_calls: int
+    samples_s_per_call: List[float]
+    tags: List[str] = field(default_factory=list)
+    params: Dict[str, Any] = field(default_factory=dict)
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    band_violations: List[str] = field(default_factory=list)
+
+    @property
+    def min_s_per_call(self) -> float:
+        return min(self.samples_s_per_call)
+
+    @property
+    def mean_s_per_call(self) -> float:
+        return (sum(self.samples_s_per_call)
+                / len(self.samples_s_per_call))
+
+    @property
+    def median_s_per_call(self) -> float:
+        return median(self.samples_s_per_call)
+
+    @property
+    def ops_per_second(self) -> float:
+        best = self.min_s_per_call
+        return self.ops_per_call / best if best > 0 else float("inf")
+
+    def as_dict(self, seed: int = 0) -> Dict[str, Any]:
+        lo, hi = bootstrap_ci(self.samples_s_per_call, seed=seed)
+        return {
+            "name": self.name,
+            "suite": self.suite,
+            "tags": list(self.tags),
+            "params": dict(self.params),
+            "ops_per_call": self.ops_per_call,
+            "inner_repeats": self.inner_repeats,
+            "warmup_calls": self.warmup_calls,
+            "samples_s_per_call": list(self.samples_s_per_call),
+            "min_s_per_call": self.min_s_per_call,
+            "mean_s_per_call": self.mean_s_per_call,
+            "median_s_per_call": self.median_s_per_call,
+            "ci95_s_per_call": [lo, hi],
+            "ops_per_second": self.ops_per_second,
+            "metrics": dict(self.metrics),
+            "band_violations": list(self.band_violations),
+        }
+
+
+def host_manifest() -> Dict[str, Any]:
+    """Capture the measurement host so results are interpretable later."""
+    try:
+        affinity = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        affinity = os.cpu_count() or 1
+    try:
+        load1, load5, load15 = os.getloadavg()
+        loadavg: Optional[List[float]] = [round(load1, 2), round(load5, 2),
+                                          round(load15, 2)]
+    except (AttributeError, OSError):  # pragma: no cover
+        loadavg = None
+    info = time.get_clock_info("perf_counter")
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "processor": platform.processor(),
+        "python_version": platform.python_version(),
+        "python_implementation": platform.python_implementation(),
+        "cpu_count": os.cpu_count() or 1,
+        "cpu_affinity": affinity,
+        "loadavg": loadavg,
+        "clock": {
+            "implementation": info.implementation,
+            "resolution_s": info.resolution,
+            "monotonic": info.monotonic,
+        },
+        "pid": os.getpid(),
+        "argv0": sys.argv[0] if sys.argv else "",
+    }
+
+
+class _GCFrozen:
+    """Context manager: GC off inside, prior state restored after."""
+
+    def __init__(self, active: bool) -> None:
+        self._active = active
+        self._was_enabled = False
+
+    def __enter__(self) -> "_GCFrozen":
+        if self._active:
+            self._was_enabled = gc.isenabled()
+            gc.collect()
+            gc.disable()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        if self._active and self._was_enabled:
+            gc.enable()
+
+
+def _time_batch(payload, state: Any, repeats: int) -> Tuple[float, Any]:
+    t0 = time.perf_counter()
+    out = None
+    for _ in range(repeats):
+        out = payload(state)
+    return time.perf_counter() - t0, out
+
+
+def _calibrate(payload, state: Any, config: RunnerConfig) -> int:
+    """Find an inner-repeat count whose batch hits the target window."""
+    repeats = 1
+    while repeats < config.max_repeats:
+        dt, _ = _time_batch(payload, state, repeats)
+        if dt >= config.target_time / config.window_factor:
+            break
+        if dt <= 0.0:
+            repeats = min(repeats * 8, config.max_repeats)
+            continue
+        # Aim for the middle of the window; grow at most 8x per probe
+        # so one noisy fast probe can't overshoot max_time.
+        want = max(repeats + 1, int(repeats * config.target_time / dt))
+        repeats = min(want, repeats * 8, config.max_repeats)
+    return repeats
+
+
+def run_benchmark(bench: Benchmark,
+                  config: Optional[RunnerConfig] = None) -> BenchmarkResult:
+    """Run one benchmark through the calibrated measurement loop."""
+    config = config or RunnerConfig()
+    state = bench.setup() if bench.setup is not None else None
+
+    last_out = None
+    for _ in range(config.warmup):
+        last_out = bench.payload(state)
+
+    n_samples = bench.samples if bench.samples is not None else config.samples
+    n_samples = max(1, n_samples)
+
+    with _GCFrozen(config.disable_gc):
+        repeats = (_calibrate(bench.payload, state, config)
+                   if bench.calibrate else 1)
+        samples: List[float] = []
+        spent = 0.0
+        for _ in range(n_samples):
+            dt, last_out = _time_batch(bench.payload, state, repeats)
+            samples.append(dt / repeats)
+            spent += dt
+            if spent >= config.max_time and len(samples) >= 3:
+                break
+
+    metrics: Dict[str, Any] = {}
+    violations: List[str] = []
+    if bench.derive is not None:
+        metrics = dict(bench.derive(state, last_out))
+    for band in bench.bands:
+        problem = band.check(metrics)
+        if problem is not None:
+            violations.append(problem)
+
+    return BenchmarkResult(
+        name=bench.name, suite=bench.suite,
+        ops_per_call=bench.ops_per_call, inner_repeats=repeats,
+        warmup_calls=config.warmup, samples_s_per_call=samples,
+        tags=list(bench.tags), params=dict(bench.params),
+        metrics=metrics, band_violations=violations)

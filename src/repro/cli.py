@@ -8,6 +8,8 @@ Usage::
     python -m repro fig7 --ops 200000 --seed 1
     python -m repro crosscheck --backend numpy
     python -m repro verify --width 64 --window 8 --vectors 100000
+    python -m repro bench run --suite service --preset small
+    python -m repro bench gate
     python -m repro loadgen --ops 100000 --workload biased
     python -m repro serve --port 8471
     python -m repro all
@@ -464,6 +466,9 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="root RNG seed (default: %(default)s)")
     ver.add_argument("--no-save", action="store_true",
                      help="print only, skip writing results/")
+
+    from .bench.cli import add_bench_parser
+    add_bench_parser(sub)
     return parser
 
 
@@ -600,6 +605,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "verify":
         return _run_verify(args)
+
+    if args.command == "bench":
+        from .bench.cli import run_bench_command
+
+        return run_bench_command(args)
 
     if args.command == "all":
         chunks = []

@@ -6,6 +6,8 @@ import os
 import random
 import signal
 
+import pytest
+
 from repro.cluster import ClusterConfig, ClusterRouter
 from repro.cluster import protocol
 
@@ -109,6 +111,7 @@ def test_hang_detection_kills_and_fails_over():
     asyncio.run(main())
 
 
+@pytest.mark.slow
 def test_chaos_sigkill_mid_load_zero_lost_zero_duplicated():
     """The issue's chaos drill: SIGKILL a random worker under load.
 

@@ -166,6 +166,7 @@ def _validate_against_oracle(tally):
         assert resp.latency_cycles == 1 + (RECOVERY if ref.flags[i] else 0)
 
 
+@pytest.mark.slow
 def test_soak_chaos_reconciles():
     svc, tally = _soak()
     assert tally.ok > 0  # the storm actually delivered work
