@@ -21,9 +21,9 @@ import math
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Tuple
 
-from ..analysis.error_model import choose_window
 from ..engine.context import RunContext
 from ..engine.functional import functional_model
+from ..families.base import get_family
 from .clocking import ClockDomain
 from .vcd import VcdWriter
 
@@ -65,6 +65,7 @@ class VlsaTrace:
     window: int
     clock_period: float
     recovery_cycles: int
+    family: str = "aca"
     results: List[VlsaOpResult] = field(default_factory=list)
     total_cycles: int = 0
 
@@ -151,8 +152,9 @@ class VlsaMachine:
 
     Args:
         width: Operand bitwidth.
-        window: Speculation window (default: the 99.99 % window for
-            *width*, as in the paper's experiments).
+        window: The family's primary parameter — for ACA, the
+            speculation window (default: the family's own choice; for
+            ACA the 99.99 % window, as in the paper's experiments).
         recovery_cycles: Extra cycles needed to apply the correction
             (paper: "an additional cycle or two"; default 1).
         clock_period: Clock period in ns — by Fig. 6 this should be just
@@ -161,22 +163,26 @@ class VlsaMachine:
         ctx: Optional :class:`repro.engine.RunContext`; streams update
             its ``vlsa_ops``/``vlsa_stalls`` counters and the
             ``vlsa_run`` phase timer.
+        family: Registered adder family whose functional model drives
+            the pipeline (default the paper's ``"aca"``).
     """
 
     def __init__(self, width: int, window: Optional[int] = None,
                  recovery_cycles: int = 1, clock_period: float = 1.0,
-                 ctx: Optional[RunContext] = None):
-        if window is None:
-            window = choose_window(width)
+                 ctx: Optional[RunContext] = None, family: str = "aca"):
+        fam = get_family(family)
+        params = fam.resolve_params(width, window=window)
         if recovery_cycles < 1:
             raise ValueError("recovery needs at least one extra cycle")
         self.ctx = ctx
+        self.family = family
+        self.window = fam.primary_value(width, params)
         # The functional fast path, resolved through the engine registry
-        # (bit-equivalence with the gate-level ACA is proven in tests).
-        self.model = functional_model("aca", width=width,
-                                      window=min(window, width))
+        # (bit-equivalence with the gate-level circuits is proven in
+        # the verify suite).
+        self.model = functional_model(family, width=width,
+                                      window=self.window)
         self.width = width
-        self.window = self.model.window
         self.recovery_cycles = recovery_cycles
         self.clock = ClockDomain(clock_period)
         # Architectural state (Fig. 6): operand register, busy counter.
@@ -192,7 +198,7 @@ class VlsaMachine:
             count actually consumed.
         """
         trace = VlsaTrace(self.width, self.window, self.clock.period,
-                          self.recovery_cycles)
+                          self.recovery_cycles, family=self.family)
         self.clock.reset()
         timer = (self.ctx.phase("vlsa_run") if self.ctx is not None
                  else contextlib.nullcontext())

@@ -188,15 +188,15 @@ class BenchmarkRegistry:
 #: The process-wide default registry.
 registry = BenchmarkRegistry()
 
-_BUILTIN_SUITES = ("engine", "service", "verify", "cluster")
+_BUILTIN_SUITES = ("engine", "families", "service", "verify", "cluster")
 _loaded_builtins = False
 
 
 def load_builtin_suites() -> Tuple[str, ...]:
     """Import the built-in suite modules (idempotent).
 
-    Importing :mod:`repro.bench.suites` registers the engine, service,
-    verify and cluster suites against the default registry.
+    Importing :mod:`repro.bench.suites` registers the engine, families,
+    service, verify and cluster suites against the default registry.
     """
     global _loaded_builtins
     if not _loaded_builtins:

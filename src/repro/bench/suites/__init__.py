@@ -1,13 +1,13 @@
 """Built-in benchmark suites.
 
-Importing this package registers the ``engine``, ``service``,
-``verify`` and ``cluster`` suites against the default
-:data:`repro.bench.spec.registry`.  Each module is the migrated
-successor of the matching ad-hoc ``benchmarks/bench_*_throughput.py``
-script; the scripts themselves survive as thin shims over these
-suites.
+Importing this package registers the ``engine``, ``families``,
+``service``, ``verify`` and ``cluster`` suites against the default
+:data:`repro.bench.spec.registry`.  Most modules are the migrated
+successors of the matching ad-hoc ``benchmarks/bench_*_throughput.py``
+script (the scripts themselves survive as thin shims over these
+suites); ``families`` is native to the suite registry.
 """
 
-from . import cluster, engine, service, verify  # noqa: F401
+from . import cluster, engine, families, service, verify  # noqa: F401
 
-__all__ = ["cluster", "engine", "service", "verify"]
+__all__ = ["cluster", "engine", "families", "service", "verify"]

@@ -359,15 +359,22 @@ def _build_parser() -> argparse.ArgumentParser:
                     "each artifact and manifest under results/.")
     _add_common_flags(all_p)
 
+    from .families.base import family_names
+    from .generator import DESIGN_KINDS
+
     exp = sub.add_parser(
         "export", help="generate RTL for a design (the paper's tool)",
-        description="Emit synthesizable VHDL/Verilog for a design.")
-    exp.add_argument("kind", help="design kind, e.g. aca, vlsa, detector, "
-                                  "recovery, multiplier, or any adder name")
+        description="Emit synthesizable VHDL/Verilog for a design.  "
+                    "Available design kinds (sorted): "
+                    + ", ".join(sorted(DESIGN_KINDS)) + ".")
+    exp.add_argument("kind", help="design kind (see the sorted list "
+                                  "above; families contribute "
+                                  "<family> and <family>_r entries)")
     exp.add_argument("--width", type=int, default=64,
                      help="operand bitwidth (default: %(default)s)")
     exp.add_argument("--window", type=int, default=None,
-                     help="speculation window (default: 99.99%% window)")
+                     help="primary speculation parameter (default: the "
+                          "design's own choice, e.g. the 99.99%% window)")
     exp.add_argument("--out", default="rtl_out",
                      help="output directory (default: %(default)s)")
     exp.add_argument("--library", default="umc180",
@@ -387,6 +394,8 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="operand bitwidth (default: %(default)s)")
     srv.add_argument("--window", type=int, default=None,
                      help="speculation window (default: 99.99%% window)")
+    srv.add_argument("--family", choices=family_names(), default="aca",
+                     help="adder family to serve (default: %(default)s)")
     srv.add_argument("--recovery-cycles", dest="recovery_cycles", type=int,
                      default=1,
                      help="recovery penalty in cycles (default: %(default)s)")
@@ -428,11 +437,17 @@ def _build_parser() -> argparse.ArgumentParser:
                     "vector stream; report elementwise mismatches with "
                     "minimised reproducers, and check empirical error/"
                     "detector rates against the exact analytic model. "
-                    "Exit code 1 when anything disagrees.")
+                    "Exit code 1 when anything disagrees.  "
+                    "Registered families (sorted): "
+                    + ", ".join(family_names()) + ".")
     ver.add_argument("--width", type=int, default=64,
                      help="operand bitwidth (default: %(default)s)")
     ver.add_argument("--window", type=int, default=None,
-                     help="speculation window (default: 99.99%% window)")
+                     help="the family's primary parameter (for ACA the "
+                          "speculation window; default: the family's "
+                          "own choice)")
+    ver.add_argument("--family", choices=family_names(), default="aca",
+                     help="adder family to verify (default: %(default)s)")
     ver.add_argument("--vectors", type=int, default=10000,
                      help="fuzz vectors per stream (default: %(default)s)")
     ver.add_argument("--streams", default=None, metavar="S,S,...",
@@ -467,6 +482,30 @@ def _build_parser() -> argparse.ArgumentParser:
     ver.add_argument("--no-save", action="store_true",
                      help="print only, skip writing results/")
 
+    par = sub.add_parser(
+        "pareto",
+        help="cross-family delay/area/error-rate Pareto study",
+        description="Characterise a parameter sweep of every registered "
+                    "adder family gate-level under one technology "
+                    "library, score each point with the VLSA "
+                    "average-time model, compare against the fastest "
+                    "exact library adder, and mark the per-width Pareto "
+                    "front over (avg time, area, error rate).  Writes "
+                    "results/pareto_families.{json,md}.  Registered "
+                    "families (sorted): " + ", ".join(family_names())
+                    + ".")
+    par.add_argument("--widths", metavar="N,N,...", default=None,
+                     help="bitwidths to study (default: 8,16,32,64)")
+    par.add_argument("--families", metavar="F,F,...", default=None,
+                     help="families to sweep (default: every registered "
+                          "family)")
+    par.add_argument("--library", default="umc180",
+                     help="technology library (default: %(default)s)")
+    par.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                     help="root RNG seed (default: %(default)s)")
+    par.add_argument("--no-save", action="store_true",
+                     help="print only, skip writing results/")
+
     from .bench.cli import add_bench_parser
     add_bench_parser(sub)
     return parser
@@ -483,7 +522,7 @@ def _run_serve(args) -> int:
         from .cluster import ClusterConfig, ClusterRouter
 
         service = ClusterRouter(ClusterConfig(
-            width=args.width, window=args.window,
+            width=args.width, window=args.window, family=args.family,
             recovery_cycles=args.recovery_cycles,
             workers=args.workers, backend=args.service_backend,
             shard_policy=args.shard_policy,
@@ -494,8 +533,10 @@ def _run_serve(args) -> int:
                               recovery_cycles=args.recovery_cycles,
                               queue_capacity=args.queue_capacity,
                               max_batch_ops=args.max_batch,
-                              backend=args.service_backend, ctx=ctx)
-    print(f"serving VLSA width={service.width} window={service.window} "
+                              backend=args.service_backend, ctx=ctx,
+                              family=args.family)
+    print(f"serving {args.family} width={service.width} "
+          f"window={service.window} "
           f"backend={service.backend_name} on "
           f"{args.host}:{args.port or '(ephemeral)'}", file=sys.stderr)
 
@@ -545,6 +586,34 @@ def _run_serve(args) -> int:
     return 0
 
 
+def _run_pareto(args) -> int:
+    from .families import run_pareto_study, write_pareto_report
+    from .reporting import results_dir
+
+    ctx = RunContext(seed=args.seed, label="pareto")
+    set_default_context(ctx)
+    widths = _parse_widths(args.widths, (8, 16, 32, 64))
+    families = (tuple(f for f in args.families.split(",") if f)
+                if args.families else None)
+    with ctx.phase("pareto"):
+        report = run_pareto_study(widths=widths, families=families,
+                                  library=args.library)
+    front = [p for p in report.points if p.on_front]
+    print(f"pareto study: {len(report.points)} points across "
+          f"{len(widths)} widths; {len(front)} on the front")
+    for p in sorted(front, key=lambda p: (p.width, p.avg_time)):
+        print(f"  width {p.width:>3}  {p.label:<28} "
+              f"avg_time={p.avg_time:.3f}  area={p.area:.1f}  "
+              f"err={p.error_rate:.3g}  "
+              f"speedup={p.speedup_vs_baseline:.2f}x")
+    if not args.no_save:
+        paths = write_pareto_report(report, out_dir=results_dir())
+        manifest = save_json("pareto_manifest.json", ctx.as_manifest())
+        for path in paths + [manifest]:
+            print(f"[saved: {path}]", file=sys.stderr)
+    return 0
+
+
 def _run_verify(args) -> int:
     from .verify import DEFAULT_STREAMS, DifferentialVerifier, run_exhaustive
 
@@ -561,14 +630,15 @@ def _run_verify(args) -> int:
             verifier = DifferentialVerifier(
                 width=args.width, window=args.window, impls=impls,
                 recovery_cycles=args.recovery_cycles, z=args.z, ctx=ctx,
-                shrink=not args.no_shrink)
+                shrink=not args.no_shrink, family=args.family)
             report = verifier.run(vectors=args.vectors, streams=streams,
                                   seed=args.seed, chunk=args.chunk)
         if args.exhaustive_widths:
             grid = run_exhaustive(
                 _parse_widths(args.exhaustive_widths, ()), impls=impls,
                 recovery_cycles=args.recovery_cycles, stride=args.stride,
-                chunk=args.chunk, ctx=ctx, shrink=not args.no_shrink)
+                chunk=args.chunk, ctx=ctx, shrink=not args.no_shrink,
+                family=args.family)
             report = report.merge(grid) if report is not None else grid
     if report is None:
         print("nothing to do: --vectors 0 and no --exhaustive-widths",
@@ -605,6 +675,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "verify":
         return _run_verify(args)
+
+    if args.command == "pareto":
+        return _run_pareto(args)
 
     if args.command == "bench":
         from .bench.cli import run_bench_command

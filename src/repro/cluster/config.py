@@ -14,7 +14,7 @@ import os
 from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
-from ..analysis.error_model import choose_window
+from ..families.base import get_family
 from ..service.executor import EXECUTOR_BACKENDS
 
 __all__ = ["ClusterConfig", "SHARD_POLICY_NAMES"]
@@ -29,7 +29,9 @@ class ClusterConfig:
 
     Args:
         width: Operand bitwidth.
-        window: Speculation window (default: the 99.99 % window).
+        window: The family's primary parameter (for ACA, the
+            speculation window; default: the family's own choice).
+        family: Registered adder family every worker serves.
         recovery_cycles: Extra cycles when the detector fires.
         workers: Worker processes in the pool.
         backend: Executor backend per worker (default: numpy when the
@@ -64,6 +66,7 @@ class ClusterConfig:
 
     width: int = 64
     window: Optional[int] = None
+    family: str = "aca"
     recovery_cycles: int = 1
     workers: int = 2
     backend: Optional[str] = None
@@ -83,9 +86,9 @@ class ClusterConfig:
     def __post_init__(self) -> None:
         if self.width <= 0:
             raise ValueError("width must be positive")
-        if self.window is None:
-            self.window = choose_window(self.width)
-        self.window = min(self.window, self.width)
+        fam = get_family(self.family)
+        params = fam.resolve_params(self.width, window=self.window)
+        self.window = fam.primary_value(self.width, params)
         if self.workers < 1:
             raise ValueError("a cluster needs at least one worker")
         if self.backend is None:
@@ -116,6 +119,7 @@ class ClusterConfig:
         return {
             "width": self.width,
             "window": self.window,
+            "family": self.family,
             "recovery_cycles": self.recovery_cycles,
             "backend": self.backend,
             "heartbeat_interval": self.heartbeat_interval,

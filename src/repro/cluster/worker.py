@@ -39,7 +39,8 @@ def worker_main(worker_id: int, conn, cfg: Dict[str, Any]) -> None:
     """
     executor = VlsaBatchExecutor(cfg["width"], window=cfg["window"],
                                  recovery_cycles=cfg["recovery_cycles"],
-                                 backend=cfg["backend"])
+                                 backend=cfg["backend"],
+                                 family=cfg.get("family", "aca"))
     registry = MetricsRegistry()
     m_ops = registry.counter(
         "worker_ops_total", "additions executed by this worker")

@@ -76,10 +76,22 @@ class AcaBuilder:
     # ------------------------------------------------------------------
     def build(self) -> "AcaBuilder":
         """Construct strips, window products, carries and sum bits."""
-        self.g, self.p = pg_preprocess(self.circuit, self.a, self.b)
-        self._build_strips()
+        self.build_prefix()
         self._build_windows()
         self._build_carries_and_sums()
+        return self
+
+    def build_prefix(self) -> "AcaBuilder":
+        """Construct only the (g, p) row and the doubling strips.
+
+        The strips are a generic shared-product substrate — every range
+        product up to ``2^ceil(log2(window))`` wide is then one
+        :meth:`range_product` call away — so other speculative-adder
+        families (see :mod:`repro.families`) reuse them without paying
+        for the ACA's own window/carry/sum rows.
+        """
+        self.g, self.p = pg_preprocess(self.circuit, self.a, self.b)
+        self._build_strips()
         return self
 
     # ------------------------------------------------------------------

@@ -9,8 +9,8 @@ stands in for (``run_ints``: input bus ints -> output bus ints), and the
 test suite cross-checks the two by construction through
 :func:`repro.engine.execute_ints`.
 
-:mod:`repro.mc.fastsim` registers the ACA model on import; lookup of an
-unknown kind imports :mod:`repro.mc` first, so
+:mod:`repro.families` registers every built-in family's model on
+import; lookup of an unknown kind imports it first, so
 ``functional_model("aca", width=64, window=18)`` always works.
 """
 
@@ -43,8 +43,8 @@ def available_functionals() -> List[str]:
 
 def _ensure_builtin() -> None:
     if "aca" not in _FUNCTIONALS:
-        # Importing repro.mc triggers its registration.
-        from .. import mc  # noqa: F401
+        # Importing the family zoo registers every built-in model.
+        from .. import families  # noqa: F401
 
 
 def functional_model(kind: str, **params: Any) -> Any:

@@ -1,0 +1,382 @@
+"""The ``AdderFamily`` protocol and registry.
+
+A *family* is one speculative-addition architecture made first-class
+across every layer of the repo.  Each family binds together:
+
+* ``build_speculative`` — the approximate adder core as a gate-level
+  circuit (standard ``a``/``b`` -> ``sum``/``cout`` interface);
+* ``build_circuit`` — the full variable-latency datapath: speculative
+  core + error detector + rectification/recovery netlists (outputs
+  ``sum``, ``cout``, ``err``, ``sum_exact``, ``cout_exact``);
+* ``functional`` — a closed-form big-int model of the *actual hardware
+  behaviour* (speculative result, detector flag, exact recovery),
+  exposing the uniform contract of :class:`SpeculativeModel`;
+* ``numpy_kernel`` — a vectorised batch kernel bit-identical to the
+  functional model (the serving hot path), where the width allows one;
+* ``error_model`` / ``error_distribution`` — exact analytic error-rate
+  and error-distance statistics the verify layer cross-checks observed
+  counts against;
+* parameter defaulting — ``resolve_params`` is the *single* place a
+  deployment knob (CLI ``--window``, service configs, the generator)
+  is turned into concrete family parameters.
+
+The registry is deterministically sorted; ``family_names()`` is the
+discovery surface the CLI help, the verify registry and the bench
+suites all share.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
+                    Tuple, Union)
+
+from ..circuit import Circuit
+from .stats import EdDistribution
+
+__all__ = [
+    "AdderFamily",
+    "FamilyError",
+    "FamilyErrorModel",
+    "KernelBatch",
+    "SpeculativeModel",
+    "register_family",
+    "unregister_family",
+    "get_family",
+    "family_names",
+    "resolve_params",
+    "functional_factory",
+]
+
+
+class FamilyError(ValueError):
+    """Raised for unknown families or invalid family parameters."""
+
+
+# ----------------------------------------------------------------------
+# Batch kernel output
+# ----------------------------------------------------------------------
+@dataclass
+class KernelBatch:
+    """Vectorised output of one family numpy kernel.
+
+    Everything the speculative/detect/recover path produces for a
+    batch, as arrays: the raw speculative result, the detector word,
+    the recovered (always correct) result, and the subset of flags
+    that were actual errors.
+    """
+
+    spec_sums: Any
+    spec_couts: Any
+    exact_sums: Any
+    exact_couts: Any
+    flags: Any
+    spec_errors: Any
+
+
+# ----------------------------------------------------------------------
+# Functional-model contract
+# ----------------------------------------------------------------------
+class SpeculativeModel:
+    """Uniform big-int contract every family functional model obeys.
+
+    Subclasses implement :meth:`add` (the speculative hardware result)
+    and :meth:`flags_error` (the detector).  ``exact``, ``is_correct``
+    and the bus-level ``run_ints`` interface are shared — so the
+    machine, the service executor and the verify reference can treat
+    every family identically (:class:`repro.mc.fastsim.AcaModel`
+    predates this class but satisfies the same contract).
+    """
+
+    width: int
+
+    def _mask(self) -> int:
+        return (1 << self.width) - 1
+
+    def add(self, a: int, b: int, cin: int = 0) -> Tuple[int, int]:
+        """Speculative ``(sum, cout)`` exactly as the hardware computes it."""
+        raise NotImplementedError
+
+    def flags_error(self, a: int, b: int) -> bool:
+        """Whether the detector requests a recovery cycle."""
+        raise NotImplementedError
+
+    def exact(self, a: int, b: int, cin: int = 0) -> Tuple[int, int]:
+        """Reference ``(sum, cout)``."""
+        mask = self._mask()
+        total = (a & mask) + (b & mask) + (cin & 1)
+        return total & mask, total >> self.width
+
+    def is_correct(self, a: int, b: int, cin: int = 0) -> bool:
+        """Whether speculation succeeds on this operand pair."""
+        return self.add(a, b, cin) == self.exact(a, b, cin)
+
+    def run_ints(self, vectors: Mapping[str, Union[int, Sequence[int]]]
+                 ) -> Dict[str, Union[int, List[int]]]:
+        """Bus-level interface mirroring the gate-level circuit.
+
+        Same contract as :func:`repro.engine.execute_ints` on the
+        family's speculative circuit: inputs ``a``/``b`` (optionally
+        ``cin``), outputs ``sum``/``cout``; scalars in, scalars out.
+        """
+        scalar = isinstance(vectors["a"], int)
+
+        def as_list(value: Union[int, Sequence[int]]) -> List[int]:
+            return [value] if isinstance(value, int) else list(value)
+
+        a_vals = as_list(vectors["a"])
+        b_vals = as_list(vectors["b"])
+        cin_vals = as_list(vectors.get("cin", [0] * len(a_vals)))
+        sums: List[int] = []
+        couts: List[int] = []
+        for a, b, cin in zip(a_vals, b_vals, cin_vals):
+            s, c = self.add(a, b, cin)
+            sums.append(s)
+            couts.append(c)
+        if scalar:
+            return {"sum": sums[0], "cout": couts[0]}
+        return {"sum": sums, "cout": couts}
+
+
+# ----------------------------------------------------------------------
+# Analytic error model
+# ----------------------------------------------------------------------
+@dataclass
+class FamilyErrorModel:
+    """Exact analytic error statistics of one family configuration.
+
+    The rational fields are exact over uniform operands (denominator a
+    divisor of ``4^width``) — the verify layer multiplies them by
+    ``4^width`` and demands *integer equality* with brute-force counts.
+    """
+
+    width: int
+    params: Dict[str, int]
+    exact_error_rate: Fraction
+    exact_flag_rate: Fraction
+    #: Marginal per-boundary error probabilities, LSB-most first (empty
+    #: for families without a block decomposition).
+    boundary_error_rates: Tuple[Fraction, ...] = ()
+
+    @property
+    def error_rate(self) -> float:
+        """P(speculative result wrong) on uniform operands."""
+        return float(self.exact_error_rate)
+
+    @property
+    def flag_rate(self) -> float:
+        """P(detector fires); >= :attr:`error_rate` (conservative)."""
+        return float(self.exact_flag_rate)
+
+    def expected_latency_cycles(self, recovery_cycles: int = 1) -> float:
+        """Mean VLSA latency: 1 cycle + the penalty when flagged."""
+        return 1.0 + self.flag_rate * recovery_cycles
+
+
+# ----------------------------------------------------------------------
+# The family protocol
+# ----------------------------------------------------------------------
+class AdderFamily(abc.ABC):
+    """One speculative-adder architecture, end to end.
+
+    Attributes:
+        name: Registry key (stable, lowercase).
+        title: Human-readable architecture name.
+        paper: Reference the architecture reproduces.
+        primary_param: The parameter a bare integer knob (the CLI's
+            ``--window``) maps onto for this family.
+    """
+
+    name: str = "?"
+    title: str = "?"
+    paper: str = "?"
+    primary_param: str = "window"
+
+    # -- parameters ----------------------------------------------------
+    @abc.abstractmethod
+    def default_params(self, width: int) -> Dict[str, int]:
+        """Default parameters for *width* (the family's 'paper' config)."""
+
+    def normalize_params(self, width: int,
+                         params: Dict[str, int]) -> Dict[str, int]:
+        """Clamp/validate *params*; default clamps every value to
+        ``[1, width]``."""
+        out = {}
+        for key, value in params.items():
+            value = int(value)
+            if value < 1:
+                raise FamilyError(
+                    f"{self.name}: parameter {key} must be >= 1")
+            out[key] = min(value, width)
+        return out
+
+    def resolve_params(self, width: int,
+                       window: Optional[int] = None,
+                       **overrides: Optional[int]) -> Dict[str, int]:
+        """Resolve the deployment knobs into concrete parameters.
+
+        This is the single defaulting point every entry layer (CLI,
+        generator, service, cluster, verify, bench) goes through.
+
+        Args:
+            width: Operand bitwidth.
+            window: Bare integer knob; sets :attr:`primary_param`.
+            **overrides: Per-parameter overrides (``None`` values are
+                ignored so call sites can forward optional flags).
+        """
+        if width <= 0:
+            raise FamilyError("width must be positive")
+        params = dict(self.default_params(width))
+        if window is not None:
+            params[self.primary_param] = int(window)
+        for key, value in overrides.items():
+            if value is None:
+                continue
+            if key not in params:
+                raise FamilyError(
+                    f"{self.name} has no parameter {key!r}; "
+                    f"available: {sorted(params)}")
+            params[key] = int(value)
+        return self.normalize_params(width, params)
+
+    def primary_value(self, width: int,
+                      params: Mapping[str, int]) -> int:
+        """The primary knob's value (used for report/window columns)."""
+        return int(params[self.primary_param])
+
+    # -- hardware ------------------------------------------------------
+    @abc.abstractmethod
+    def build_speculative(self, width: int, **params: int) -> Circuit:
+        """The approximate adder core (``a``/``b`` -> ``sum``/``cout``)."""
+
+    @abc.abstractmethod
+    def build_circuit(self, width: int, **params: int) -> Circuit:
+        """The full datapath: speculative core + detector + recovery
+        (outputs ``sum``, ``cout``, ``err``, ``sum_exact``,
+        ``cout_exact``)."""
+
+    def design_kinds(self) -> Dict[str, Callable[[int, Optional[int]],
+                                                 Circuit]]:
+        """Generator entries this family contributes to ``DESIGN_KINDS``.
+
+        Default: ``<name>`` (speculative core) and ``<name>_r``
+        (datapath with rectification/recovery), both resolving their
+        parameters through :meth:`resolve_params`.
+        """
+        def spec(width: int, window: Optional[int] = None) -> Circuit:
+            return self.build_speculative(
+                width, **self.resolve_params(width, window))
+
+        def datapath(width: int, window: Optional[int] = None) -> Circuit:
+            return self.build_circuit(
+                width, **self.resolve_params(width, window))
+
+        return {self.name: spec, f"{self.name}_r": datapath}
+
+    # -- software ------------------------------------------------------
+    @abc.abstractmethod
+    def functional(self, width: int, **params: int) -> SpeculativeModel:
+        """Bit-accurate big-int model of the hardware behaviour."""
+
+    def numpy_kernel(self, width: int, **params: int
+                     ) -> Optional[Callable[..., KernelBatch]]:
+        """Vectorised uint64 batch kernel ``kernel(a, b) -> KernelBatch``
+        bit-identical to :meth:`functional`, or ``None`` when the
+        width/family has no vectorised path."""
+        return None
+
+    # -- analytics -----------------------------------------------------
+    def error_model(self, width: int, **params: int) -> FamilyErrorModel:
+        """Exact analytic error-rate statistics (uniform operands).
+
+        Memoized per family instance: the model is a pure function of
+        ``(width, params)`` and the exact-Fraction computation is
+        expensive enough (longest-run DPs over ``2^width``) that hot
+        callers like the verifier's per-run rate checks must not pay
+        it repeatedly.
+        """
+        key = (width, tuple(sorted(params.items())))
+        cache = self.__dict__.setdefault("_error_model_cache", {})
+        if key not in cache:
+            cache[key] = self._error_model(width, **params)
+        return cache[key]
+
+    @abc.abstractmethod
+    def _error_model(self, width: int, **params: int) -> FamilyErrorModel:
+        """Compute the analytic model (uncached; see :meth:`error_model`)."""
+
+    def error_distribution(self, width: int, **params: int
+                           ) -> Optional[EdDistribution]:
+        """Exact error-distance distribution, where tractable."""
+        return None
+
+    # -- misc ----------------------------------------------------------
+    def label(self, width: int, params: Mapping[str, int]) -> str:
+        tail = "_".join(f"{k[0]}{v}" for k, v in sorted(params.items()))
+        return f"{self.name}{width}_{tail}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<AdderFamily {self.name}>"
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_FAMILIES: Dict[str, AdderFamily] = {}
+
+
+def register_family(family: AdderFamily) -> AdderFamily:
+    """Register *family* (replacing any previous entry of that name)."""
+    if not isinstance(family, AdderFamily):
+        raise FamilyError("register_family expects an AdderFamily")
+    _FAMILIES[family.name] = family
+    return family
+
+
+def unregister_family(name: str) -> None:
+    """Remove a registered family (test cleanup; builtins come back on
+    the next :func:`_ensure_builtin`)."""
+    _FAMILIES.pop(name, None)
+
+
+def _ensure_builtin() -> None:
+    if "aca" not in _FAMILIES:
+        from . import aca, blockspec, cesa  # noqa: F401  (register)
+
+
+def family_names() -> List[str]:
+    """Registered family names, deterministically sorted."""
+    _ensure_builtin()
+    return sorted(_FAMILIES)
+
+
+def get_family(name: str) -> AdderFamily:
+    """Look up a registered family by name."""
+    _ensure_builtin()
+    try:
+        return _FAMILIES[name]
+    except KeyError:
+        raise FamilyError(
+            f"unknown adder family {name!r}; available: "
+            f"{', '.join(family_names())}") from None
+
+
+def resolve_params(name: str, width: int, window: Optional[int] = None,
+                   **overrides: Optional[int]) -> Dict[str, int]:
+    """Shorthand: ``get_family(name).resolve_params(...)``."""
+    return get_family(name).resolve_params(width, window=window,
+                                           **overrides)
+
+
+def functional_factory(family: AdderFamily
+                       ) -> Callable[..., SpeculativeModel]:
+    """Adapter registering a family with the engine's functional-model
+    registry: ``factory(width, window=None, **overrides)`` resolves the
+    knobs through the family and instantiates its functional model."""
+    def make(width: int, window: Optional[int] = None,
+             **overrides: Optional[int]) -> SpeculativeModel:
+        params = family.resolve_params(width, window=window, **overrides)
+        return family.functional(width, **params)
+    return make

@@ -1,0 +1,250 @@
+"""Cross-family delay/area/error-rate Pareto study.
+
+For every registered family a sweep of configurations is built
+gate-level, characterised under one technology library (speculative,
+detector and recovery path delays; cell area), and paired with the
+family's *exact* analytic error statistics.  Each point is then scored
+with the VLSA average-time model — clock period set by
+``max(speculative, detector)`` delay, recovery taking however many of
+those cycles its path needs — and compared against the repo's
+best-of-library exact adder at the same width, reproducing the
+comparisons of the CESA-R (arXiv:2008.11591) and block-based-adder
+(arXiv:1703.03522) papers on equal footing.
+
+``repro pareto`` drives :func:`run_pareto_study` and writes
+``results/pareto_families.{json,md}`` via :func:`write_pareto_report`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..adders import adder_names, build_adder
+from ..circuit import get_library
+from ..circuit.stats import collect_stats
+from ..core.vlsa import characterize_vlsa
+from .base import get_family, family_names
+
+__all__ = [
+    "BaselinePoint",
+    "ParetoPoint",
+    "ParetoReport",
+    "run_pareto_study",
+    "write_pareto_report",
+]
+
+#: Candidate values for a family's primary knob (filtered per width).
+_SWEEP_VALUES = (2, 3, 4, 6, 8, 12, 16, 24, 32)
+
+
+@dataclass
+class BaselinePoint:
+    """One exact library adder at one width."""
+
+    name: str
+    width: int
+    delay: float
+    area: float
+    gates: int
+
+
+@dataclass
+class ParetoPoint:
+    """One family configuration, characterised and scored."""
+
+    family: str
+    width: int
+    params: Dict[str, int]
+    label: str
+    gates: int
+    area: float
+    spec_delay: float
+    detect_delay: float
+    recovery_delay: float
+    clock_period: float
+    recovery_cycles: int
+    error_rate: float
+    flag_rate: float
+    expected_cycles: float
+    avg_time: float
+    speedup_vs_baseline: float
+    on_front: bool = False
+
+
+@dataclass
+class ParetoReport:
+    """Everything the study produced, JSON-serialisable."""
+
+    library: str
+    widths: List[int]
+    baselines: List[BaselinePoint]
+    points: List[ParetoPoint]
+    best_baseline: Dict[int, str] = field(default_factory=dict)
+
+    def to_json_dict(self) -> Dict:
+        return {
+            "library": self.library,
+            "widths": list(self.widths),
+            "best_baseline": {str(w): n
+                              for w, n in sorted(self.best_baseline.items())},
+            "baselines": [asdict(b) for b in self.baselines],
+            "points": [asdict(p) for p in self.points],
+        }
+
+
+def _sweep(family, width: int) -> List[Dict[str, int]]:
+    """Deduplicated parameter sweep for one family at one width."""
+    default = family.default_params(width)
+    values = {family.primary_value(width, default)}
+    values.update(v for v in _SWEEP_VALUES if 1 <= v <= width)
+    configs: List[Dict[str, int]] = []
+    seen = set()
+    for v in sorted(values):
+        if family.name == "blockspec":
+            # Sweep the equal-segment diagonal (block == lookahead),
+            # the configuration the paper's comparison uses.
+            params = family.resolve_params(width, window=v, block=v)
+        else:
+            params = family.resolve_params(width, window=v)
+        key = tuple(sorted(params.items()))
+        if key not in seen:
+            seen.add(key)
+            configs.append(params)
+    return configs
+
+
+def _mark_front(points: List[ParetoPoint]) -> None:
+    """Mark the per-width 3D Pareto front over (avg_time, area,
+    error_rate), minimising all three."""
+    by_width: Dict[int, List[ParetoPoint]] = {}
+    for p in points:
+        by_width.setdefault(p.width, []).append(p)
+    for group in by_width.values():
+        for p in group:
+            dominated = any(
+                q is not p
+                and q.avg_time <= p.avg_time
+                and q.area <= p.area
+                and q.error_rate <= p.error_rate
+                and (q.avg_time < p.avg_time or q.area < p.area
+                     or q.error_rate < p.error_rate)
+                for q in group)
+            p.on_front = not dominated
+
+
+def run_pareto_study(widths: Sequence[int] = (8, 16, 32, 64),
+                     families: Optional[Sequence[str]] = None,
+                     library: str = "umc180") -> ParetoReport:
+    """Characterise every family sweep against the library baseline.
+
+    Args:
+        widths: Operand bitwidths to study.
+        families: Family names (default: every registered family).
+        library: Technology library name for timing/area.
+    """
+    lib = get_library(library)
+    names = sorted(families) if families else family_names()
+    baselines: List[BaselinePoint] = []
+    best: Dict[int, Tuple[str, float]] = {}
+    for width in widths:
+        for adder in adder_names():
+            stats = collect_stats(build_adder(adder, width), lib)
+            baselines.append(BaselinePoint(
+                name=adder, width=width, delay=stats.critical_delay,
+                area=stats.area, gates=stats.gates))
+            cur = best.get(width)
+            if cur is None or stats.critical_delay < cur[1]:
+                best[width] = (adder, stats.critical_delay)
+
+    points: List[ParetoPoint] = []
+    for width in widths:
+        base_delay = best[width][1]
+        for name in names:
+            family = get_family(name)
+            for params in _sweep(family, width):
+                circuit = family.build_circuit(width, **params)
+                stats = collect_stats(circuit, lib)
+                timing = characterize_vlsa(circuit, lib)
+                model = family.error_model(width, **params)
+                clock = timing.clock_period
+                recovery_cycles = max(
+                    1, math.ceil(timing.recovery_delay / clock - 1e-9))
+                expected = 1.0 + model.flag_rate * recovery_cycles
+                avg_time = clock * expected
+                points.append(ParetoPoint(
+                    family=name, width=width, params=dict(params),
+                    label=family.label(width, params),
+                    gates=stats.gates, area=stats.area,
+                    spec_delay=timing.aca_delay,
+                    detect_delay=timing.detect_delay,
+                    recovery_delay=timing.recovery_delay,
+                    clock_period=clock,
+                    recovery_cycles=recovery_cycles,
+                    error_rate=model.error_rate,
+                    flag_rate=model.flag_rate,
+                    expected_cycles=expected,
+                    avg_time=avg_time,
+                    speedup_vs_baseline=base_delay / avg_time,
+                ))
+    _mark_front(points)
+    return ParetoReport(
+        library=library, widths=list(widths), baselines=baselines,
+        points=points,
+        best_baseline={w: n for w, (n, _d) in best.items()})
+
+
+def _markdown(report: ParetoReport) -> str:
+    lines = [
+        "# Cross-family delay/area/error-rate Pareto study",
+        "",
+        f"Library: `{report.library}`.  Baseline per width: the fastest "
+        "exact adder in the repo's library.  `avg time` is the VLSA "
+        "average-time model (clock = max(speculative, detector) delay; "
+        "recovery pays `recovery_cycles` extra clocks at the analytic "
+        "flag rate).  `*` marks the per-width Pareto front over "
+        "(avg time, area, error rate).",
+        "",
+    ]
+    base_by_width = {(b.width, b.name): b for b in report.baselines}
+    for width in report.widths:
+        best_name = report.best_baseline[width]
+        base = base_by_width[(width, best_name)]
+        lines.append(f"## width {width}")
+        lines.append("")
+        lines.append(f"Baseline: `{best_name}` — delay {base.delay:.3f}, "
+                     f"area {base.area:.1f}.")
+        lines.append("")
+        lines.append("| | family | params | clock | avg time | speedup | "
+                     "area | error rate | flag rate |")
+        lines.append("|---|---|---|---|---|---|---|---|---|")
+        pts = sorted((p for p in report.points if p.width == width),
+                     key=lambda p: (p.avg_time, p.area))
+        for p in pts:
+            params = ", ".join(f"{k}={v}"
+                               for k, v in sorted(p.params.items()))
+            lines.append(
+                f"| {'*' if p.on_front else ''} | {p.family} | {params} "
+                f"| {p.clock_period:.3f} | {p.avg_time:.3f} "
+                f"| {p.speedup_vs_baseline:.2f}x | {p.area:.1f} "
+                f"| {p.error_rate:.3g} | {p.flag_rate:.3g} |")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_pareto_report(report: ParetoReport, out_dir: str = "results",
+                        basename: str = "pareto_families") -> List[str]:
+    """Write ``<basename>.json`` and ``<basename>.md`` under *out_dir*."""
+    os.makedirs(out_dir, exist_ok=True)
+    json_path = os.path.join(out_dir, f"{basename}.json")
+    md_path = os.path.join(out_dir, f"{basename}.md")
+    with open(json_path, "w", encoding="utf-8") as f:
+        json.dump(report.to_json_dict(), f, indent=2, sort_keys=True)
+        f.write("\n")
+    with open(md_path, "w", encoding="utf-8") as f:
+        f.write(_markdown(report))
+        f.write("\n")
+    return [json_path, md_path]

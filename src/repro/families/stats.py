@@ -1,0 +1,296 @@
+"""Exact error statistics for block-boundary carry speculation.
+
+Both new adder families (and the ACA itself, viewed through the right
+lens) share one structure: the operands are cut at a set of *boundaries*
+and the carry into each boundary is predicted from a bounded
+*lookahead* window of the bits immediately below it, assuming no carry
+enters that window.  The prediction is the window's group generate, so
+it can only *under*-estimate the true carry: the speculative result is
+wrong at a boundary exactly when the lookahead window is all-propagate
+and a true carry enters it from below.
+
+For uniform operands each bit position is independently propagate with
+probability 1/2 and generate/kill with probability 1/4 each, so every
+event of interest is a function of a small Markov chain over
+``(trailing propagate-run length, carry entering the run)`` — the same
+chain :func:`repro.analysis.error_model.aca_error_probability` walks,
+generalised here to arbitrary boundary sets, to per-boundary marginals,
+and (following Wu et al., arXiv:1703.03522) to the **exact distribution
+of the error distance**.
+
+Everything is computed with integer weights over the common denominator
+``4^width`` — one DP pass yields exact :class:`fractions.Fraction`
+results and their float projections for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Boundary",
+    "BoundaryRates",
+    "EdDistribution",
+    "boundary_rates",
+    "ed_distribution",
+    "MAX_ED_STATES",
+]
+
+#: Bit-type weights out of 4: kill, generate, propagate.
+_W_KILL = 1
+_W_GEN = 1
+_W_PROP = 2
+
+#: Default cap on the ED-distribution DP state count (the support grows
+#: like ``3^blocks``; beyond ~10 blocks the exact distribution stops
+#: being the right tool and callers should stick to the rate DP).
+MAX_ED_STATES = 200_000
+
+
+@dataclass(frozen=True)
+class Boundary:
+    """One speculation cut: the carry into bit *pos* is predicted from
+    the ``lookahead`` bits directly below it (window
+    ``[pos - lookahead, pos - 1]``).
+
+    Anchored cuts (``lookahead >= pos``) see every lower bit plus the
+    external carry-in and are therefore exact; callers simply do not
+    list them.
+    """
+
+    pos: int
+    lookahead: int
+
+    def __post_init__(self) -> None:
+        if self.pos <= 0:
+            raise ValueError("boundary position must be positive")
+        if self.lookahead <= 0:
+            raise ValueError("boundary lookahead must be positive")
+        if self.lookahead >= self.pos:
+            raise ValueError(
+                f"boundary at {self.pos} with lookahead {self.lookahead} "
+                f"is anchored (exact) and must not be listed")
+
+
+@dataclass
+class BoundaryRates:
+    """Exact speculation-failure statistics over uniform operands.
+
+    All counts are integers over the denominator ``4^width``.
+
+    Attributes:
+        width: Operand bitwidth.
+        error_count: Operand pairs (times ``2^(2*width - ...)``) with at
+            least one wrong boundary prediction.
+        flag_count: Pairs on which the detector fires.
+        boundary_error_counts: Per-boundary marginal error counts, in
+            boundary order.
+    """
+
+    width: int
+    error_count: int
+    flag_count: int
+    boundary_error_counts: List[int]
+
+    @property
+    def denominator(self) -> int:
+        return 1 << (2 * self.width)
+
+    def error_rate(self, exact: bool = False):
+        frac = Fraction(self.error_count, self.denominator)
+        return frac if exact else float(frac)
+
+    def flag_rate(self, exact: bool = False):
+        frac = Fraction(self.flag_count, self.denominator)
+        return frac if exact else float(frac)
+
+
+def boundary_rates(width: int, boundaries: Sequence[Boundary],
+                   flag_event: str = "window") -> BoundaryRates:
+    """Exact error/detector rates for a set of speculation boundaries.
+
+    Args:
+        width: Operand bitwidth.
+        boundaries: Non-anchored cuts, any order (sorted internally).
+        flag_event: What makes the detector fire at a boundary —
+            ``"window"`` (the conservative ACA-style detector: the
+            lookahead window is all-propagate, regardless of the
+            incoming carry) or ``"error"`` (an exact detector that
+            fires iff the prediction is actually wrong, the CESA-R
+            rectifier).
+
+    Returns:
+        Exact counts over the ``4^width`` equally-likely operand pairs.
+    """
+    if flag_event not in ("window", "error"):
+        raise ValueError(f"unknown flag event {flag_event!r}")
+    cuts = sorted(boundaries, key=lambda bd: bd.pos)
+    for bd in cuts:
+        if bd.pos >= width:
+            raise ValueError(f"boundary {bd.pos} outside width {width}")
+    rcap = max((bd.lookahead for bd in cuts), default=1)
+    by_pos: Dict[int, Boundary] = {bd.pos: bd for bd in cuts}
+    if len(by_pos) != len(cuts):
+        raise ValueError("duplicate boundary positions")
+
+    # State: (run, carry, erred, flagged) -> integer weight.  ``run`` is
+    # the trailing propagate-run length capped at rcap; ``carry`` the
+    # carry entering that run (cin = 0 below bit 0).
+    states: Dict[Tuple[int, int, int, int], int] = {(0, 0, 0, 0): 1}
+    marginals: List[int] = []
+
+    for pos in range(width + 1):
+        bd = by_pos.get(pos)
+        if bd is not None:
+            nxt: Dict[Tuple[int, int, int, int], int] = {}
+            marg = 0
+            for (run, carry, erred, flagged), w in states.items():
+                hit = run >= bd.lookahead
+                err = hit and carry == 1
+                if err:
+                    marg += w
+                fired = err if flag_event == "error" else hit
+                key = (run, carry, erred | err, flagged | fired)
+                nxt[key] = nxt.get(key, 0) + w
+            states = nxt
+            marginals.append(marg)
+        if pos == width:
+            break
+        nxt = {}
+        for (run, carry, erred, flagged), w in states.items():
+            for drun, dcarry, dw in ((0, 0, _W_KILL), (0, 1, _W_GEN),
+                                     (min(run + 1, rcap), carry, _W_PROP)):
+                key = (drun, dcarry, erred, flagged)
+                nxt[key] = nxt.get(key, 0) + w * dw
+        states = nxt
+
+    scale = {pos: 4 ** (width - pos) for pos in by_pos}
+    err_count = sum(w for (r, c, e, f), w in states.items() if e)
+    flag_count = sum(w for (r, c, e, f), w in states.items() if f)
+    # Marginals were measured mid-sweep with only 4^pos mass expanded.
+    per_boundary = [m * scale[bd.pos]
+                    for m, bd in zip(marginals, cuts)]
+    return BoundaryRates(width=width, error_count=err_count,
+                         flag_count=flag_count,
+                         boundary_error_counts=per_boundary)
+
+
+@dataclass
+class EdDistribution:
+    """Exact distribution of the error distance ``E = exact - spec``.
+
+    The error distance is measured on the full ``width + 1``-bit output
+    value (sum plus carry-out), matching the repo's bit-identical
+    correctness contract.  ``counts[e]`` is the number of operand pairs
+    (weighted over ``4^width``) whose speculative result is off by
+    exactly ``e``.
+    """
+
+    width: int
+    counts: Dict[int, int]
+
+    @property
+    def denominator(self) -> int:
+        return 1 << (2 * self.width)
+
+    def probability(self, value: int, exact: bool = False):
+        frac = Fraction(self.counts.get(value, 0), self.denominator)
+        return frac if exact else float(frac)
+
+    def error_rate(self, exact: bool = False):
+        frac = Fraction(self.denominator - self.counts.get(0, 0),
+                        self.denominator)
+        return frac if exact else float(frac)
+
+    def mean_abs(self, exact: bool = False):
+        total = sum(abs(v) * w for v, w in self.counts.items())
+        frac = Fraction(total, self.denominator)
+        return frac if exact else float(frac)
+
+    def mean(self, exact: bool = False):
+        total = sum(v * w for v, w in self.counts.items())
+        frac = Fraction(total, self.denominator)
+        return frac if exact else float(frac)
+
+    def second_moment(self, exact: bool = False):
+        total = sum(v * v * w for v, w in self.counts.items())
+        frac = Fraction(total, self.denominator)
+        return frac if exact else float(frac)
+
+    def max_abs(self) -> int:
+        return max((abs(v) for v in self.counts), default=0)
+
+
+def ed_distribution(width: int, boundaries: Sequence[Boundary],
+                    max_states: int = MAX_ED_STATES) -> EdDistribution:
+    """Exact error-distance distribution (Wu et al. style).
+
+    A wrong prediction at boundary ``b_j`` makes the true result larger
+    by ``2^(b_j)`` — unless the block ``[b_j, b_{j+1})`` it feeds is
+    itself all-propagate, in which case the missing carry would have
+    wrapped the block and rippled out of it: the block's contribution
+    flips to ``2^(b_j) - 2^(b_{j+1})``.  (The final block's overflow
+    lands in the carry-out, which the error distance includes, so it
+    never wraps.)  The DP below tracks the trailing-run state plus the
+    pending-wrap flag and the accumulated distance.
+
+    Args:
+        width: Operand bitwidth.
+        boundaries: Non-anchored cuts, as for :func:`boundary_rates`.
+        max_states: Abort bound on the DP state count (the support is
+            exponential in the number of blocks).
+
+    Raises:
+        ValueError: When the state count exceeds *max_states*.
+    """
+    cuts = sorted(boundaries, key=lambda bd: bd.pos)
+    for bd in cuts:
+        if bd.pos >= width:
+            raise ValueError(f"boundary {bd.pos} outside width {width}")
+    positions = [bd.pos for bd in cuts]
+    if len(set(positions)) != len(positions):
+        raise ValueError("duplicate boundary positions")
+    gaps = [b - a for a, b in zip(positions, positions[1:])]
+    rcap = max([bd.lookahead for bd in cuts] + gaps + [1])
+    by_pos = {bd.pos: (i, bd) for i, bd in enumerate(cuts)}
+
+    # State: (run, carry, pending, distance) -> weight.  ``pending`` is
+    # set when the previous boundary mispredicted and the wrap of the
+    # block it feeds is still undecided.
+    states: Dict[Tuple[int, int, int, int], int] = {(0, 0, 0, 0): 1}
+
+    for pos in range(width):
+        entry = by_pos.get(pos)
+        if entry is not None:
+            idx, bd = entry
+            gap = gaps[idx - 1] if idx > 0 else None
+            nxt: Dict[Tuple[int, int, int, int], int] = {}
+            for (run, carry, pending, dist), w in states.items():
+                if pending and gap is not None and run >= gap:
+                    # Previous block was all-propagate: its missed
+                    # carry wraps the block and escapes into this one.
+                    dist -= 1 << pos
+                err = run >= bd.lookahead and carry == 1
+                if err:
+                    dist += 1 << pos
+                key = (run, carry, 1 if err else 0, dist)
+                nxt[key] = nxt.get(key, 0) + w
+            states = nxt
+        nxt = {}
+        for (run, carry, pending, dist), w in states.items():
+            for drun, dcarry, dw in ((0, 0, _W_KILL), (0, 1, _W_GEN),
+                                     (min(run + 1, rcap), carry, _W_PROP)):
+                key = (drun, dcarry, pending, dist)
+                nxt[key] = nxt.get(key, 0) + w * dw
+        states = nxt
+        if len(states) > max_states:
+            raise ValueError(
+                f"error-distance support exceeds {max_states} DP states "
+                f"at bit {pos}; use boundary_rates for this geometry")
+
+    counts: Dict[int, int] = {}
+    for (run, carry, pending, dist), w in states.items():
+        counts[dist] = counts.get(dist, 0) + w
+    return EdDistribution(width=width, counts=counts)

@@ -30,13 +30,15 @@ from .core import (
     build_speculative_subtractor,
     build_vlsa_datapath,
 )
+from .families.base import family_names, get_family, resolve_params
 
 __all__ = ["DESIGN_KINDS", "build_design", "export_design"]
 
 
 def _spec_design(builder: Callable) -> Callable:
     def make(width: int, window: Optional[int]) -> Circuit:
-        return builder(width, window or choose_window(width))
+        # Window defaulting lives in one place: the family registry.
+        return builder(width, resolve_params("aca", width, window)["window"])
     return make
 
 
@@ -58,6 +60,14 @@ DESIGN_KINDS: Dict[str, Callable[[int, Optional[int]], Circuit]] = {
 for _name in adder_names():
     DESIGN_KINDS[_name] = (
         lambda n, w, _b=_name: build_adder(_b, n))
+# Every registered adder family contributes its speculative core and
+# recovery datapath (e.g. cesa / cesa_r); entries the table already
+# names keep their original builders.
+for _fname in family_names():
+    for _kind, _builder in sorted(get_family(_fname).design_kinds().items()):
+        DESIGN_KINDS.setdefault(_kind, _builder)
+# Deterministic listing order for --help and docs.
+DESIGN_KINDS = dict(sorted(DESIGN_KINDS.items()))
 
 
 def build_design(kind: str, width: int,

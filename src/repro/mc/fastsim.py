@@ -25,7 +25,6 @@ import numpy as np
 
 from ..analysis.runs import longest_run_of_ones
 from ..engine.context import RunContext, resolve_rng
-from ..engine.functional import register_functional
 
 __all__ = [
     "carry_word",
@@ -283,7 +282,3 @@ def sample_detector_rate(width: int, window: int, samples: int = 100000,
             flags += 1
     return flags / samples
 
-
-# The functional fast path stands in for build_aca(width, window) in the
-# engine's cross-check registry (see repro.engine.functional).
-register_functional("aca", AcaModel)

@@ -28,9 +28,9 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..analysis.error_model import choose_window
 from ..engine.context import RunContext
 from ..engine.functional import functional_model
+from ..families.base import get_family
 
 __all__ = ["BatchOutcome", "BatchArrays", "VlsaBatchExecutor",
            "EXECUTOR_BACKENDS"]
@@ -128,25 +128,29 @@ class VlsaBatchExecutor:
 
     Args:
         width: Operand bitwidth.
-        window: Speculation window (default: the 99.99 % window).
+        window: The family's primary parameter (for ACA, the
+            speculation window; default: the family's own choice).
         recovery_cycles: Cycles added when the detector fires.
         backend: ``"numpy"``, ``"bigint"``, or ``None`` for automatic
             (numpy when the width fits a machine word).
         ctx: Optional run context; batches bump its ``service_ops`` /
             ``service_stalls`` counters and the ``service_execute``
             phase timer.
+        family: Registered adder family (default the paper's ``"aca"``,
+            which keeps the hand-tuned inline kernel; other families
+            run their own vectorised numpy kernels).
     """
 
     def __init__(self, width: int, window: Optional[int] = None,
                  recovery_cycles: int = 1, backend: Optional[str] = None,
-                 ctx: Optional[RunContext] = None):
+                 ctx: Optional[RunContext] = None, family: str = "aca"):
         if width <= 0:
             raise ValueError("width must be positive")
         if recovery_cycles < 1:
             raise ValueError("recovery needs at least one extra cycle")
-        if window is None:
-            window = choose_window(width)
-        window = min(window, width)
+        fam = get_family(family)
+        params = fam.resolve_params(width, window=window)
+        window = fam.primary_value(width, params)
         if backend is None:
             backend = "numpy" if width <= 64 else "bigint"
         if backend not in EXECUTOR_BACKENDS:
@@ -157,11 +161,21 @@ class VlsaBatchExecutor:
                              " — use the bigint fallback")
         self.width = width
         self.window = window
+        self.family = family
         self.recovery_cycles = recovery_cycles
         self.backend = backend
         self.ctx = ctx
         # Functional reference model (shared with VlsaMachine).
-        self.model = functional_model("aca", width=width, window=window)
+        self.model = functional_model(family, width=width, window=window)
+        # The ACA keeps its original inline uint64 kernel below; every
+        # other family brings its own vectorised kernel via the registry.
+        self._kernel = None
+        if family != "aca" and backend == "numpy":
+            self._kernel = fam.numpy_kernel(width, **params)
+            if self._kernel is None:
+                raise ValueError(
+                    f"family {family!r} has no numpy kernel at width "
+                    f"{width} — use the bigint backend")
 
     # ------------------------------------------------------------------
     def execute(self, pairs: Sequence[Tuple[int, int]]) -> BatchOutcome:
@@ -206,6 +220,17 @@ class VlsaBatchExecutor:
         """
         if self.backend != "numpy":
             raise ValueError("execute_arrays requires the numpy backend")
+        if self._kernel is not None:
+            batch = self._kernel(arr[:, 0], arr[:, 1])
+            flags = np.asarray(batch.flags, dtype=bool)
+            spec_err = np.asarray(batch.spec_errors, dtype=bool)
+            stall_count = int(flags.sum())
+            return BatchArrays(
+                sums=np.asarray(batch.exact_sums, dtype=np.uint64),
+                couts=np.asarray(batch.exact_couts, dtype=np.uint64),
+                stalled=flags, spec_errors=spec_err,
+                cycles=arr.shape[0] + self.recovery_cycles * stall_count,
+                recovery_cycles=self.recovery_cycles)
         width, window = self.width, self.window
         int_mask = (1 << width) - 1
         mask = np.uint64(int_mask if width < 64 else 0xFFFFFFFFFFFFFFFF)

@@ -139,7 +139,9 @@ class VlsaService:
 
     Args:
         width: Operand bitwidth.
-        window: Speculation window (default: 99.99 % window for *width*).
+        window: The family's primary parameter (for ACA, the
+            speculation window; default: the family's own choice).
+        family: Registered adder family to serve (default ``"aca"``).
         recovery_cycles: Extra cycles when the detector fires.
         queue_capacity: Max requests waiting for the batcher (Q); further
             submissions are rejected with :class:`ServiceOverloadedError`.
@@ -159,16 +161,19 @@ class VlsaService:
                  recovery_cycles: int = 1, queue_capacity: int = 1024,
                  max_batch_ops: int = 4096, backend: Optional[str] = None,
                  ctx: Optional[RunContext] = None,
-                 registry: Optional[MetricsRegistry] = None):
+                 registry: Optional[MetricsRegistry] = None,
+                 family: str = "aca"):
         if queue_capacity < 1:
             raise ValueError("queue_capacity must be at least 1")
         if max_batch_ops < 1:
             raise ValueError("max_batch_ops must be at least 1")
         self.executor = VlsaBatchExecutor(width, window=window,
                                           recovery_cycles=recovery_cycles,
-                                          backend=backend, ctx=ctx)
+                                          backend=backend, ctx=ctx,
+                                          family=family)
         self.width = self.executor.width
         self.window = self.executor.window
+        self.family = family
         self.recovery_cycles = recovery_cycles
         self.queue_capacity = queue_capacity
         self.max_batch_ops = max_batch_ops

@@ -1,48 +1,54 @@
 """The differential verification engine.
 
-Every claim of "bit-identical ACA/VLSA behaviour" in this repository is
-enforced here, from one place, against one reference: the closed-form
-functional model in :mod:`repro.mc.fastsim` (itself cross-checked
-exactly against the analytic recurrences).  Implementations register as
-adapters with a uniform batch interface and fall into two families:
+Every claim of "bit-identical speculative-adder behaviour" in this
+repository is enforced here, from one place, against one reference: the
+*functional model* of the adder family under test (registered in
+:mod:`repro.engine.functional`, itself cross-checked exactly against the
+analytic recurrences).  Implementations register as adapters with a
+uniform batch interface and fall into two groups:
 
-* ``speculative`` — produce the raw speculative ``(sum, cout)`` the ACA
+* ``speculative`` — produce the raw speculative ``(sum, cout)`` the
   hardware emits (gate-level circuits under every engine backend, the
-  legacy interpreter, the functional model itself);
+  legacy interpreter, the functional model itself, the family's
+  vectorised numpy kernel);
 * ``exact`` — produce the corrected sum plus the detector/stall flag and
   per-op latency (:class:`~repro.arch.vlsa_machine.VlsaMachine`, the
   service's :class:`~repro.service.executor.VlsaBatchExecutor` under
-  both its backends).
+  both its backends, the gate-level recovery datapath).
+
+Which adder is being verified is a *family* choice
+(:mod:`repro.families`): ``family="aca"`` (the default) drives the
+paper's Almost Correct Adder; ``"cesa"`` and ``"blockspec"`` drive the
+other zoo members through exactly the same machinery.  The single
+``window`` knob maps onto each family's primary parameter via
+:func:`repro.families.base.resolve_params`.
 
 One seeded vector stream drives every registered pair; any elementwise
 disagreement is recorded with its first failing vector and a minimised
 reproducer.  On top of the elementwise comparison, observed detector /
-error **counts** on the uniform stream are tested against the exact
-analytic probabilities with a binomial bound — so a probabilistically
-wrong detector fails the run even when every sum matches (the recovery
-path hides under- or over-firing detectors from sum comparison).
+error **counts** on the uniform stream are tested against the family's
+exact analytic probabilities with a binomial bound — so a
+probabilistically wrong detector fails the run even when every sum
+matches (the recovery path hides under- or over-firing detectors from
+sum comparison).
 
 Exhaustive mode enumerates *all* operand pairs of a small-width grid and
 upgrades the statistical check to exact integer equality: over the full
 ``4^n`` pair space the number of speculative errors must equal
 ``P_error * 4^n`` computed with ``Fraction`` arithmetic — a zero-slack
-cross-check of the ``A_n(x)`` recurrence against brute force.
+cross-check of the analytic model against brute force.
 """
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
-from fractions import Fraction
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (Any, Callable, Dict, Iterable, List, Optional, Sequence,
+                    Tuple)
 
-from ..analysis.error_model import (
-    aca_error_probability,
-    choose_window,
-    detector_flag_probability,
-)
-from ..analysis.runs import count_max_run_at_most
 from ..engine.context import RunContext, get_default_context
-from ..mc.fastsim import AcaModel, aca_add, aca_is_correct, detector_flag
+from ..engine.functional import functional_model
+from ..families.base import get_family
 from ..service.metrics import MetricsRegistry
 from .report import Coverage, Discrepancy, ExhaustiveCell, VerifyReport
 from .shrink import shrink_pair
@@ -78,6 +84,14 @@ class VerificationError(AssertionError):
             f"differential verification failed: "
             f"{report.mismatch_count} mismatches, "
             f"{len(report.stat_failures)} failed rate checks")
+
+
+def _resolved(family: str, width: int, window: Optional[int]
+              ) -> Tuple[Any, Dict[str, int], int]:
+    """(family object, resolved params, primary value) for one config."""
+    fam = get_family(family)
+    params = fam.resolve_params(width, window=window)
+    return fam, params, fam.primary_value(width, params)
 
 
 # ----------------------------------------------------------------------
@@ -118,13 +132,14 @@ class Implementation:
 
 
 class FunctionalImpl(Implementation):
-    """`AcaModel` through its bus-level ``run_ints`` interface."""
+    """The family's functional model through its ``run_ints`` interface."""
 
     family = "speculative"
 
-    def __init__(self, width: int, window: int, recovery_cycles: int = 1):
+    def __init__(self, width: int, window: int, recovery_cycles: int = 1,
+                 family: str = "aca"):
         self.name = "functional"
-        self.model = AcaModel(width, window)
+        self.model = functional_model(family, width=width, window=window)
 
     def run(self, pairs: Sequence[Pair]) -> ImplResult:
         out = self.model.run_ints({"a": [a for a, _ in pairs],
@@ -135,18 +150,17 @@ class FunctionalImpl(Implementation):
 
 
 class EngineImpl(Implementation):
-    """Gate-level ACA circuit evaluated by one compiled-engine backend."""
+    """Gate-level speculative core under one compiled-engine backend."""
 
     family = "speculative"
 
     def __init__(self, width: int, window: int, backend: str,
-                 recovery_cycles: int = 1):
-        from ..core import build_aca
-
+                 recovery_cycles: int = 1, family: str = "aca"):
+        fam, params, _ = _resolved(family, width, window)
         self.name = f"engine:{backend}"
         self.backend = backend
         self.width = width
-        self.circuit = build_aca(width, min(window, width))
+        self.circuit = fam.build_speculative(width, **params)
 
     def run(self, pairs: Sequence[Pair]) -> ImplResult:
         from ..engine import execute_ints
@@ -159,15 +173,15 @@ class EngineImpl(Implementation):
 
 
 class InterpreterImpl(Implementation):
-    """The legacy per-gate interpreter on the same gate-level ACA."""
+    """The legacy per-gate interpreter on the same gate-level core."""
 
     family = "speculative"
 
-    def __init__(self, width: int, window: int, recovery_cycles: int = 1):
-        from ..core import build_aca
-
+    def __init__(self, width: int, window: int, recovery_cycles: int = 1,
+                 family: str = "aca"):
+        fam, params, _ = _resolved(family, width, window)
         self.name = "interpreter"
-        self.circuit = build_aca(width, min(window, width))
+        self.circuit = fam.build_speculative(width, **params)
 
     def run(self, pairs: Sequence[Pair]) -> ImplResult:
         from ..circuit import simulate_interpreted
@@ -185,17 +199,75 @@ class InterpreterImpl(Implementation):
                           couts=unpack_vectors(words["cout"], n))
 
 
+class KernelImpl(Implementation):
+    """The family's vectorised numpy kernel (widths up to 64 bits)."""
+
+    family = "speculative"
+
+    def __init__(self, width: int, window: int, recovery_cycles: int = 1,
+                 family: str = "aca"):
+        fam, params, _ = _resolved(family, width, window)
+        self.name = "kernel"
+        self.kernel = fam.numpy_kernel(width, **params)
+        if self.kernel is None:
+            raise ValueError(
+                f"family {family!r} has no numpy kernel at width {width}")
+
+    def run(self, pairs: Sequence[Pair]) -> ImplResult:
+        import numpy as np
+
+        a = np.array([a for a, _ in pairs], dtype=np.uint64)
+        b = np.array([b for _, b in pairs], dtype=np.uint64)
+        batch = self.kernel(a, b)
+        return ImplResult(
+            sums=[int(v) for v in batch.spec_sums],
+            couts=[int(v) for v in batch.spec_couts],
+            flags=[bool(v) for v in batch.flags],
+            spec_errors=[bool(v) for v in batch.spec_errors])
+
+
+class RecoveryImpl(Implementation):
+    """The gate-level recovery datapath (exact outputs + detector flag).
+
+    Drives the family's full :meth:`~repro.families.base.AdderFamily.
+    build_circuit` netlist — speculative core, detector and shared-logic
+    recovery path — and holds the *corrected* ``sum_exact``/``cout_exact``
+    outputs plus the ``err`` flag to the reference.  This is the adapter
+    that makes "the recovery hardware is exact for every family" a
+    registry-enforced property rather than a per-family test.
+    """
+
+    family = "exact"
+
+    def __init__(self, width: int, window: int, recovery_cycles: int = 1,
+                 family: str = "aca"):
+        fam, params, _ = _resolved(family, width, window)
+        self.name = "recovery"
+        self.circuit = fam.build_circuit(width, **params)
+
+    def run(self, pairs: Sequence[Pair]) -> ImplResult:
+        from ..engine import execute_ints
+
+        out = execute_ints(self.circuit,
+                           {"a": [a for a, _ in pairs],
+                            "b": [b for _, b in pairs]})
+        return ImplResult(sums=out["sum_exact"], couts=out["cout_exact"],
+                          flags=[bool(v) for v in out["err"]])
+
+
 class MachineImpl(Implementation):
     """The cycle-accurate :class:`VlsaMachine` (corrected sums + stalls)."""
 
     family = "exact"
 
-    def __init__(self, width: int, window: int, recovery_cycles: int = 1):
+    def __init__(self, width: int, window: int, recovery_cycles: int = 1,
+                 family: str = "aca"):
         from ..arch import VlsaMachine
 
         self.name = "machine"
         self.machine = VlsaMachine(width, window=window,
-                                   recovery_cycles=recovery_cycles)
+                                   recovery_cycles=recovery_cycles,
+                                   family=family)
 
     def run(self, pairs: Sequence[Pair]) -> ImplResult:
         trace = self.machine.run(pairs)
@@ -214,13 +286,13 @@ class ExecutorImpl(Implementation):
     family = "exact"
 
     def __init__(self, width: int, window: int, backend: str,
-                 recovery_cycles: int = 1):
+                 recovery_cycles: int = 1, family: str = "aca"):
         from ..service.executor import VlsaBatchExecutor
 
         self.name = f"service:{backend}"
         self.executor = VlsaBatchExecutor(width, window=window,
                                           recovery_cycles=recovery_cycles,
-                                          backend=backend)
+                                          backend=backend, family=family)
 
     def run(self, pairs: Sequence[Pair]) -> ImplResult:
         out = self.executor.execute(pairs)
@@ -246,7 +318,7 @@ class ClusterImpl(Implementation):
     family = "exact"
 
     def __init__(self, width: int, window: int, recovery_cycles: int = 1,
-                 workers: Optional[int] = None):
+                 family: str = "aca", workers: Optional[int] = None):
         import os
 
         from ..cluster import ClusterConfig
@@ -258,7 +330,7 @@ class ClusterImpl(Implementation):
                                          "2"))
         self.cluster = shared_cluster(ClusterConfig(
             width=width, window=window, recovery_cycles=recovery_cycles,
-            workers=workers, heartbeat_interval=0.1))
+            workers=workers, heartbeat_interval=0.1, family=family))
 
     def run(self, pairs: Sequence[Pair]) -> ImplResult:
         out = self.cluster.add_batch(list(pairs))
@@ -266,8 +338,11 @@ class ClusterImpl(Implementation):
                           flags=out.stalled, latencies=out.latencies)
 
 
-#: name -> factory(width, window, recovery_cycles) -> Implementation
-_FACTORIES: Dict[str, Callable[[int, int, int], Implementation]] = {}
+#: name -> factory(width, window, recovery_cycles[, family]) ->
+#: Implementation.  Factories that do not accept a ``family`` keyword
+#: (legacy three-argument ones, e.g. the mutation-test mutants) remain
+#: usable for the default ``"aca"`` family.
+_FACTORIES: Dict[str, Callable[..., Implementation]] = {}
 #: The built-in adapter names (a default run drives exactly these;
 #: externally registered implementations must be named explicitly).
 _BUILTIN: List[str] = []
@@ -275,7 +350,7 @@ _BUILTIN: List[str] = []
 
 def register_implementation(
         name: str,
-        factory: Callable[[int, int, int], Implementation]) -> None:
+        factory: Callable[..., Implementation]) -> None:
     """Register *factory* under *name* (used by tests for mutants too)."""
     _FACTORIES[name] = factory
 
@@ -296,20 +371,25 @@ def _ensure_builtin() -> None:
     for backend in available_backends():
         register_implementation(
             f"engine:{backend}",
-            lambda w, win, rc, _b=backend: EngineImpl(w, win, _b, rc))
+            lambda w, win, rc, family="aca", _b=backend:
+                EngineImpl(w, win, _b, rc, family=family))
     register_implementation("interpreter", InterpreterImpl)
+    register_implementation("kernel", KernelImpl)
+    register_implementation("recovery", RecoveryImpl)
     register_implementation("machine", MachineImpl)
     register_implementation(
         "service:numpy",
-        lambda w, win, rc: ExecutorImpl(w, win, "numpy", rc))
+        lambda w, win, rc, family="aca":
+            ExecutorImpl(w, win, "numpy", rc, family=family))
     register_implementation(
         "service:bigint",
-        lambda w, win, rc: ExecutorImpl(w, win, "bigint", rc))
+        lambda w, win, rc, family="aca":
+            ExecutorImpl(w, win, "bigint", rc, family=family))
     _BUILTIN.extend(sorted(_FACTORIES))
-    # Ninth implementation: the whole multi-process cluster.  Registered
-    # after the _BUILTIN snapshot on purpose — it spawns OS processes,
-    # so a plain `repro verify` run does not pay for it; CI and the
-    # cluster tests opt in with explicit impl lists.
+    # One more implementation: the whole multi-process cluster.
+    # Registered after the _BUILTIN snapshot on purpose — it spawns OS
+    # processes, so a plain `repro verify` run does not pay for it; CI
+    # and the cluster tests opt in with explicit impl lists.
     register_implementation("cluster", ClusterImpl)
 
 
@@ -319,18 +399,28 @@ def available_implementations() -> List[str]:
     return sorted(_FACTORIES)
 
 
-def default_implementations(width: int) -> List[str]:
+def default_implementations(width: int, family: str = "aca") -> List[str]:
     """The built-in implementations a plain run drives for *width*."""
     _ensure_builtin()
     names = list(_BUILTIN)
     if width > 64:
-        # The numpy service kernel is a machine-word kernel by design.
-        names = [n for n in names if n != "service:numpy"]
+        # Machine-word kernels by design; bigint paths cover wide cores.
+        names = [n for n in names if n not in ("service:numpy", "kernel")]
     return names
 
 
+def _accepts_family(factory: Callable[..., Implementation]) -> bool:
+    try:
+        sig = inspect.signature(factory)
+    except (TypeError, ValueError):  # builtins / C callables
+        return False
+    return any(p.name == "family" or p.kind is p.VAR_KEYWORD
+               for p in sig.parameters.values())
+
+
 def make_implementation(name: str, width: int, window: int,
-                        recovery_cycles: int = 1) -> Implementation:
+                        recovery_cycles: int = 1,
+                        family: str = "aca") -> Implementation:
     """Instantiate the registered implementation *name*."""
     _ensure_builtin()
     try:
@@ -339,7 +429,14 @@ def make_implementation(name: str, width: int, window: int,
         raise KeyError(
             f"no implementation registered as {name!r}; available: "
             f"{', '.join(available_implementations())}") from None
-    impl = factory(width, window, recovery_cycles)
+    if _accepts_family(factory):
+        impl = factory(width, window, recovery_cycles, family=family)
+    elif family == "aca":
+        impl = factory(width, window, recovery_cycles)
+    else:
+        raise ValueError(
+            f"implementation {name!r} is registered with a legacy "
+            f"factory that does not accept family={family!r}")
     impl.name = name
     return impl
 
@@ -357,8 +454,10 @@ class _Reference:
     correct: List[bool]
 
 
-def _reference(pairs: Sequence[Pair], width: int,
-               window: int) -> _Reference:
+def _reference(pairs: Sequence[Pair], width: int, window: int,
+               family: str = "aca", model: Any = None) -> _Reference:
+    if model is None:
+        model = functional_model(family, width=width, window=window)
     mask = (1 << width) - 1
     spec_sums: List[int] = []
     spec_couts: List[int] = []
@@ -369,14 +468,14 @@ def _reference(pairs: Sequence[Pair], width: int,
     for a, b in pairs:
         a &= mask
         b &= mask
-        ss, sc = aca_add(a, b, width, window)
+        ss, sc = model.add(a, b)
         total = a + b
         spec_sums.append(ss)
         spec_couts.append(sc)
         exact_sums.append(total & mask)
         exact_couts.append(total >> width)
-        flags.append(detector_flag(a, b, width, window))
-        correct.append(aca_is_correct(a, b, width, window))
+        flags.append(model.flags_error(a, b))
+        correct.append(model.is_correct(a, b))
     return _Reference(spec_sums, spec_couts, exact_sums, exact_couts,
                       flags, correct)
 
@@ -389,8 +488,9 @@ class DifferentialVerifier:
 
     Args:
         width: Operand bitwidth.
-        window: Speculation window (default: the 99.99 % window, clamped
-            to *width*).
+        window: The family's primary parameter (for ACA, the speculation
+            window; default: the family's own choice, clamped to
+            *width*).
         impls: Implementation names to drive (default:
             :func:`default_implementations`).
         recovery_cycles: Recovery penalty for the exact family.
@@ -403,6 +503,7 @@ class DifferentialVerifier:
         shrink: Minimise failing vectors (re-runs the implementation).
         max_discrepancies: Recorded-discrepancy cap (counts keep
             accumulating in coverage beyond it).
+        family: Registered adder family to verify (default ``"aca"``).
     """
 
     def __init__(self, width: int, window: Optional[int] = None,
@@ -410,14 +511,20 @@ class DifferentialVerifier:
                  recovery_cycles: int = 1, z: float = 5.0,
                  ctx: Optional[RunContext] = None,
                  registry: Optional[MetricsRegistry] = None,
-                 shrink: bool = True, max_discrepancies: int = 16):
+                 shrink: bool = True, max_discrepancies: int = 16,
+                 family: str = "aca"):
         if width <= 0:
             raise ValueError("width must be positive")
         self.width = width
-        self.window = min(window if window is not None
-                          else choose_window(width), width)
+        self.family = family
+        fam, params, primary = _resolved(family, width, window)
+        self.params = params
+        self.window = primary
         if self.window <= 0:
             raise ValueError("window must be positive")
+        self._family_obj = fam
+        self._model = functional_model(family, width=width,
+                                       window=self.window)
         self.recovery_cycles = recovery_cycles
         self.z = z
         self.ctx = ctx if ctx is not None else get_default_context()
@@ -426,15 +533,20 @@ class DifferentialVerifier:
         self.shrink = shrink
         self.max_discrepancies = max_discrepancies
         names = list(impls) if impls is not None else (
-            default_implementations(width))
+            default_implementations(width, family))
         self.impls = [make_implementation(n, self.width, self.window,
-                                          recovery_cycles) for n in names]
+                                          recovery_cycles, family=family)
+                      for n in names]
         self.m_vectors = self.registry.counter(
             "verify_vectors_total", "vectors driven per implementation")
         self.m_mismatch = self.registry.counter(
             "verify_mismatches_total", "elementwise disagreements found")
         self.m_stat_fail = self.registry.counter(
             "verify_stat_failures_total", "failed binomial rate checks")
+
+    def _reference(self, pairs: Sequence[Pair]) -> _Reference:
+        return _reference(pairs, self.width, self.window,
+                          family=self.family, model=self._model)
 
     # ------------------------------------------------------------------
     def run(self, vectors: int = 10000,
@@ -444,7 +556,8 @@ class DifferentialVerifier:
         """Fuzz every implementation with *vectors* per stream."""
         seed = self.ctx.seed if seed is None else seed
         report = VerifyReport(width=self.width, window=self.window,
-                              seed=seed, streams=list(streams),
+                              seed=seed, family=self.family,
+                              streams=list(streams),
                               impls=[i.name for i in self.impls])
         coverage = {i.name: Coverage(impl=i.name) for i in self.impls}
         uniform = {"n": 0, "errors": 0, "flags": 0}
@@ -454,7 +567,7 @@ class DifferentialVerifier:
                 base = 0
                 for pairs in pair_stream(stream, self.width, self.window,
                                          vectors, seed=seed, chunk=chunk):
-                    ref = _reference(pairs, self.width, self.window)
+                    ref = self._reference(pairs)
                     self._check_reference(ref, pairs, stream, base, seed,
                                           report)
                     if stream == "uniform":
@@ -490,7 +603,8 @@ class DifferentialVerifier:
         """Drive explicit pair chunks (exhaustive mode's entry point)."""
         seed = self.ctx.seed if seed is None else seed
         report = VerifyReport(width=self.width, window=self.window,
-                              seed=seed, streams=[stream],
+                              seed=seed, family=self.family,
+                              streams=[stream],
                               impls=[i.name for i in self.impls])
         coverage = {i.name: Coverage(impl=i.name) for i in self.impls}
         totals = {"n": 0, "errors": 0, "flags": 0}
@@ -498,7 +612,7 @@ class DifferentialVerifier:
         with self.ctx.phase("verify"):
             for pairs in pairs_iter:
                 pairs = list(pairs)
-                ref = _reference(pairs, self.width, self.window)
+                ref = self._reference(pairs)
                 self._check_reference(ref, pairs, stream, base, seed,
                                       report)
                 totals["n"] += len(pairs)
@@ -541,7 +655,8 @@ class DifferentialVerifier:
                     a=pairs[i][0], b=pairs[i][1],
                     expected={"correct": ref.correct[i],
                               "flag": ref.flags[i]},
-                    got={"spec_matches_exact": spec_ok}, seed=seed))
+                    got={"spec_matches_exact": spec_ok}, seed=seed,
+                    family=self.family))
 
     def _compare(self, impl: Implementation, res: ImplResult,
                  ref: _Reference, pairs: Sequence[Pair], stream: str,
@@ -585,7 +700,7 @@ class DifferentialVerifier:
         disc = Discrepancy(kind=kind, impl=impl.name, stream=stream,
                            width=self.width, window=self.window,
                            index=index, a=a, b=b, expected=expected,
-                           got=got, seed=seed)
+                           got=got, seed=seed, family=self.family)
         if self.shrink:
             predicate = self._predicate(impl, kind)
             sa, sb = shrink_pair(predicate, a, b, self.width)
@@ -596,10 +711,9 @@ class DifferentialVerifier:
     def _predicate(self, impl: Implementation,
                    kind: str) -> Callable[[int, int], bool]:
         """Single-pair "still fails" predicate for the shrinker."""
-        width, window = self.width, self.window
 
         def fails(a: int, b: int) -> bool:
-            ref = _reference([(a, b)], width, window)
+            ref = self._reference([(a, b)])
             try:
                 res = impl.run([(a, b)])
             except Exception:
@@ -641,8 +755,9 @@ class DifferentialVerifier:
         n = uniform["n"]
         if n == 0:
             return
-        p_err = float(aca_error_probability(self.width, self.window))
-        p_flag = detector_flag_probability(self.width, self.window)
+        model = self._family_obj.error_model(self.width, **self.params)
+        p_err = model.error_rate
+        p_flag = model.flag_rate
         report.rate_checks.append(check_rate(
             "error_rate/reference", "uniform", uniform["errors"], n,
             p_err, self.z))
@@ -678,30 +793,25 @@ def _all_pairs(width: int, stride: int = 1,
         yield out
 
 
-def _exact_counts(width: int, window: int) -> Tuple[int, int]:
+def _exact_counts(width: int, window: int,
+                  family: str = "aca") -> Tuple[int, int]:
     """Exact (error, flag) counts over all ``4^width`` operand pairs.
 
-    ``P(flag)`` for uniform pairs is the longest-1-run tail of the XOR
-    word; multiplied by ``4^n`` (each XOR word arises from ``2^n``
-    pairs) it is an integer.  The error probability comes from the exact
-    ``Fraction`` Markov chain; its denominator divides ``4^n`` as well.
+    The family's analytic model produces both probabilities as exact
+    ``Fraction`` values whose denominators divide ``4^n``; multiplied by
+    the pair-space size they are integers, checked here.
     """
+    fam, params, _ = _resolved(family, width, window)
+    model = fam.error_model(width, **params)
     total = 1 << (2 * width)
-    if window >= width:
-        flag_count = (1 << width)  # only the all-propagate XOR word
-        if window > width:
-            flag_count = 0
-        err = Fraction(0)
-    else:
-        below = count_max_run_at_most(width, window - 1)
-        flag_count = ((1 << width) - below) * (1 << width)
-        err = aca_error_probability(width, window, exact=True)
-    err_count = err * total
-    if err_count.denominator != 1:
+    err_count = model.exact_error_rate * total
+    flag_count = model.exact_flag_rate * total
+    if err_count.denominator != 1 or flag_count.denominator != 1:
         raise AssertionError(
-            f"exact error probability for n={width}, w={window} is not "
-            f"a multiple of 4^-n: {err}")
-    return int(err_count), flag_count
+            f"exact probabilities for family={family} n={width} "
+            f"window={window} are not multiples of 4^-n: "
+            f"{model.exact_error_rate}, {model.exact_flag_rate}")
+    return int(err_count), int(flag_count)
 
 
 def run_exhaustive(widths: Sequence[int],
@@ -711,18 +821,21 @@ def run_exhaustive(widths: Sequence[int],
                    chunk: int = 4096,
                    ctx: Optional[RunContext] = None,
                    registry: Optional[MetricsRegistry] = None,
-                   shrink: bool = True) -> VerifyReport:
+                   shrink: bool = True,
+                   family: str = "aca") -> VerifyReport:
     """Exhaustive (or strided) sweep over a small ``(width, window)`` grid.
 
     Args:
         widths: Bitwidths to enumerate (keep ``<= 10``; ``4^n`` pairs).
-        windows: Windows per width (default: every ``1..width``).
+        windows: Primary-parameter values per width (default: every
+            ``1..width``).
         impls: Implementation names (default: all registered for the
             width).
         recovery_cycles, ctx, registry, shrink: As for
             :class:`DifferentialVerifier`.
         stride: Check every *stride*-th pair (1 = complete; complete
             cells additionally get the exact count-equality check).
+        family: Registered adder family to sweep.
 
     Returns:
         One merged :class:`VerifyReport` with an
@@ -736,11 +849,11 @@ def run_exhaustive(widths: Sequence[int],
             if window > width:
                 continue
             names = (list(impls) if impls is not None
-                     else default_implementations(width))
+                     else default_implementations(width, family))
             verifier = DifferentialVerifier(
                 width, window=window, impls=names,
                 recovery_cycles=recovery_cycles, ctx=ctx,
-                registry=registry, shrink=shrink)
+                registry=registry, shrink=shrink, family=family)
             rep = verifier.run_pairs(
                 _all_pairs(width, stride=stride, chunk=chunk),
                 stream=f"exhaustive[{width},{window}]")
@@ -751,9 +864,10 @@ def run_exhaustive(widths: Sequence[int],
                 complete=complete,
                 mismatches=sum(c.mismatches for c in rep.coverage),
                 error_count=totals["errors"],
-                flag_count=totals["flags"])
+                flag_count=totals["flags"],
+                family=family)
             if complete:
-                exp_err, exp_flag = _exact_counts(width, window)
+                exp_err, exp_flag = _exact_counts(width, window, family)
                 cell.expected_error_count = exp_err
                 cell.expected_flag_count = exp_flag
             rep.exhaustive.append(cell)
@@ -761,5 +875,5 @@ def run_exhaustive(widths: Sequence[int],
             # cell record; drop per-impl coverage duplication of counts.
             merged = rep if merged is None else merged.merge(rep)
     if merged is None:
-        merged = VerifyReport(width=0, window=0, seed=0)
+        merged = VerifyReport(width=0, window=0, seed=0, family=family)
     return merged

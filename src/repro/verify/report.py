@@ -57,9 +57,11 @@ class Discrepancy:
     seed: Optional[int] = None
     shrunk_a: Optional[int] = None
     shrunk_b: Optional[int] = None
+    family: str = "aca"
 
     def as_dict(self) -> Dict[str, Any]:
         return {
+            "family": self.family,
             "kind": self.kind,
             "impl": self.impl,
             "stream": self.stream,
@@ -77,7 +79,8 @@ class Discrepancy:
 
     def describe(self) -> str:
         base = (f"{self.impl}: {self.kind} mismatch at "
-                f"{self.stream}[{self.index}] (width={self.width}, "
+                f"{self.stream}[{self.index}] (family={self.family}, "
+                f"width={self.width}, "
                 f"window={self.window}, seed={self.seed}): "
                 f"a={self.a:#x} b={self.b:#x} "
                 f"expected {self.expected!r} got {self.got!r}")
@@ -130,6 +133,7 @@ class ExhaustiveCell:
     expected_error_count: Optional[int] = None
     flag_count: int = 0
     expected_flag_count: Optional[int] = None
+    family: str = "aca"
 
     @property
     def ok(self) -> bool:
@@ -146,6 +150,7 @@ class ExhaustiveCell:
 
     def as_dict(self) -> Dict[str, Any]:
         return {
+            "family": self.family,
             "width": self.width,
             "window": self.window,
             "pairs": self.pairs,
@@ -166,6 +171,7 @@ class VerifyReport:
     width: int
     window: int
     seed: int
+    family: str = "aca"
     streams: List[str] = field(default_factory=list)
     impls: List[str] = field(default_factory=list)
     coverage: List[Coverage] = field(default_factory=list)
@@ -205,6 +211,7 @@ class VerifyReport:
 
     def as_dict(self) -> Dict[str, Any]:
         return {
+            "family": self.family,
             "width": self.width,
             "window": self.window,
             "seed": self.seed,
@@ -223,7 +230,8 @@ class VerifyReport:
         """Human-readable text rendering (coverage + rates + failures)."""
         chunks: List[str] = []
         cov = Table(
-            f"Differential verification: width={self.width} "
+            f"Differential verification: family={self.family} "
+            f"width={self.width} "
             f"window={self.window} seed={self.seed}",
             ["implementation", "reference", "vectors", "mismatches",
              "streams"])
@@ -249,15 +257,16 @@ class VerifyReport:
         if self.exhaustive:
             grid = Table(
                 "Exhaustive grid (exact count equality when complete)",
-                ["width", "window", "pairs", "complete", "mismatches",
-                 "errors (got/exp)", "flags (got/exp)", "ok"])
+                ["family", "width", "window", "pairs", "complete",
+                 "mismatches", "errors (got/exp)", "flags (got/exp)",
+                 "ok"])
             for cell in self.exhaustive:
                 exp_err = (cell.expected_error_count
                            if cell.expected_error_count is not None else "-")
                 exp_flag = (cell.expected_flag_count
                             if cell.expected_flag_count is not None else "-")
                 grid.add_row(
-                    cell.width, cell.window, cell.pairs,
+                    cell.family, cell.width, cell.window, cell.pairs,
                     "yes" if cell.complete else "sampled",
                     cell.mismatches,
                     f"{cell.error_count}/{exp_err}",

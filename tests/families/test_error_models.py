@@ -1,0 +1,72 @@
+"""Analytic error models vs brute force, and the verify-registry path."""
+
+import pytest
+
+from repro.families.base import family_names, get_family
+from repro.verify.differential import run_exhaustive
+
+from ..conftest import nightly
+
+
+@pytest.mark.parametrize("width", (2, 3, 4))
+@pytest.mark.parametrize("name", family_names())
+def test_exact_rates_match_brute_force(name, width):
+    fam = get_family(name)
+    for knob in range(1, width + 1):
+        params = fam.resolve_params(width, window=knob)
+        model = fam.error_model(width, **params)
+        functional = fam.functional(width, **params)
+        errors = flags = 0
+        for a in range(1 << width):
+            for b in range(1 << width):
+                if not functional.is_correct(a, b):
+                    errors += 1
+                if functional.flags_error(a, b):
+                    flags += 1
+        total = 1 << (2 * width)
+        # Exact Fractions: the counts must match as integers.
+        assert model.exact_error_rate * total == errors, params
+        assert model.exact_flag_rate * total == flags, params
+        # The detector may be conservative but never misses.
+        assert flags >= errors
+
+
+@pytest.mark.parametrize("name", family_names())
+def test_flag_rate_dominates_error_rate(name):
+    fam = get_family(name)
+    for width in (8, 16):
+        for knob in (1, 2, 4, width):
+            params = fam.resolve_params(width, window=knob)
+            model = fam.error_model(width, **params)
+            assert 0 <= model.error_rate <= model.flag_rate <= 1
+            assert model.expected_latency_cycles(3) == pytest.approx(
+                1.0 + 3 * model.flag_rate)
+
+
+@pytest.mark.parametrize("name", family_names())
+def test_error_distribution_mass_and_rate(name):
+    fam = get_family(name)
+    width = 8
+    params = fam.resolve_params(width, window=2)
+    dist = fam.error_distribution(width, **params)
+    if dist is None:
+        pytest.skip(f"{name} has no tractable error distribution")
+    model = fam.error_model(width, **params)
+    # P(error distance != 0) must equal the model's exact error rate.
+    assert dist.error_rate(exact=True) == model.exact_error_rate
+
+
+@pytest.mark.parametrize("name", family_names())
+def test_verify_registry_exhaustive_per_family(name):
+    report = run_exhaustive((3,), family=name)
+    assert report.ok, report.describe()
+    assert report.family == name
+    assert report.exhaustive
+    assert all(cell.family == name for cell in report.exhaustive)
+
+
+@nightly
+@pytest.mark.parametrize("name", family_names())
+def test_verify_registry_exhaustive_wider_nightly(name):
+    report = run_exhaustive((4, 5), family=name)
+    assert report.ok, report.describe()

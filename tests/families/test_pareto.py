@@ -1,0 +1,62 @@
+"""The cross-family delay/area/error-rate Pareto study."""
+
+import json
+
+from repro.families.base import family_names
+from repro.families.pareto import (run_pareto_study, write_pareto_report)
+
+
+def test_pareto_study_structure():
+    report = run_pareto_study(widths=(4, 8))
+    assert report.widths == [4, 8] or list(report.widths) == [4, 8]
+    assert report.points
+    assert report.baselines
+    # Every registered family contributes points at every width.
+    seen = {(p.family, p.width) for p in report.points}
+    for name in family_names():
+        for width in (4, 8):
+            assert (name, width) in seen
+    # Every width names a best exact baseline.
+    assert set(report.best_baseline) == {4, 8}
+
+
+def test_pareto_front_is_nondominated():
+    report = run_pareto_study(widths=(8,))
+    points = [p for p in report.points if p.width == 8]
+    front = [p for p in points if p.on_front]
+    assert front
+    for p in front:
+        for q in points:
+            if q is p:
+                continue
+            strictly_better = (q.avg_time <= p.avg_time
+                               and q.area <= p.area
+                               and q.error_rate <= p.error_rate
+                               and (q.avg_time < p.avg_time
+                                    or q.area < p.area
+                                    or q.error_rate < p.error_rate))
+            assert not strictly_better, (p.label, q.label)
+
+
+def test_pareto_point_sanity():
+    report = run_pareto_study(widths=(8,), families=("aca",))
+    for p in report.points:
+        assert p.family == "aca"
+        assert 0.0 <= p.error_rate <= p.flag_rate <= 1.0
+        assert p.gates > 0 and p.area > 0
+        assert p.expected_cycles >= 1.0
+        assert p.avg_time > 0
+
+
+def test_write_pareto_report(tmp_path):
+    report = run_pareto_study(widths=(4,))
+    written = write_pareto_report(report, out_dir=str(tmp_path))
+    names = {p.rsplit("/", 1)[-1] for p in written}
+    assert "pareto_families.json" in names
+    assert "pareto_families.md" in names
+    payload = json.loads((tmp_path / "pareto_families.json").read_text())
+    assert payload["points"]
+    assert payload["widths"] == [4]
+    md = (tmp_path / "pareto_families.md").read_text()
+    for name in family_names():
+        assert name in md

@@ -1,0 +1,84 @@
+"""The family registry: listing, parameter resolution, design kinds."""
+
+import pytest
+
+from repro.analysis import choose_window
+from repro.families.base import (FamilyError, family_names, get_family,
+                                 resolve_params)
+from repro.generator import DESIGN_KINDS
+
+
+def test_family_names_sorted_and_complete():
+    names = family_names()
+    assert list(names) == sorted(names)
+    assert {"aca", "blockspec", "cesa"} <= set(names)
+    # Deterministic across calls.
+    assert family_names() == names
+
+
+def test_get_family_unknown_raises():
+    with pytest.raises(FamilyError):
+        get_family("carry-pigeon")
+
+
+@pytest.mark.parametrize("name", family_names())
+def test_resolve_params_roundtrip(name):
+    fam = get_family(name)
+    width = 32
+    params = fam.resolve_params(width)
+    assert params == fam.normalize_params(width, params)
+    # The bare --window knob sets the primary parameter.
+    forced = fam.resolve_params(width, window=3)
+    assert fam.primary_value(width, forced) == 3
+    # module-level helper agrees with the method
+    assert resolve_params(name, width, 3) == forced
+
+
+def test_aca_default_window_is_the_analysis_choice():
+    # Satellite: window defaulting lives in ONE place — the registry —
+    # and that place delegates to the paper's choose_window rule.
+    for width in (8, 16, 32, 64, 128):
+        params = resolve_params("aca", width, None)
+        # choose_window may exceed the width at small n; the registry
+        # clamps every parameter into [1, width].
+        assert params["window"] == min(choose_window(width), width)
+
+
+@pytest.mark.parametrize("name", family_names())
+def test_params_clamped_to_width(name):
+    fam = get_family(name)
+    params = fam.resolve_params(8, window=99)
+    assert all(1 <= v <= 8 for v in params.values())
+    with pytest.raises(FamilyError):
+        fam.resolve_params(8, window=0)
+    with pytest.raises(FamilyError):
+        fam.resolve_params(0)
+
+
+def test_resolve_params_rejects_unknown_override():
+    with pytest.raises(FamilyError):
+        get_family("aca").resolve_params(16, frobnicate=3)
+
+
+def test_design_kinds_sorted_and_include_families():
+    kinds = list(DESIGN_KINDS)
+    assert kinds == sorted(kinds)
+    for name in family_names():
+        assert name in DESIGN_KINDS
+        assert f"{name}_r" in DESIGN_KINDS
+
+
+@pytest.mark.parametrize("name", family_names())
+def test_design_kind_builders_emit_contracted_outputs(name):
+    spec = DESIGN_KINDS[name](8, None)
+    assert {"sum", "cout"} <= set(spec.outputs)
+    datapath = DESIGN_KINDS[f"{name}_r"](8, None)
+    assert {"sum", "cout", "err", "sum_exact",
+            "cout_exact"} <= set(datapath.outputs)
+
+
+def test_error_model_is_memoized():
+    fam = get_family("aca")
+    assert fam.error_model(24, window=5) is fam.error_model(24, window=5)
+    # Distinct parameters get distinct models.
+    assert fam.error_model(24, window=5) is not fam.error_model(24, window=6)
