@@ -163,6 +163,27 @@ class Bdd:
         """Total nodes allocated in the manager."""
         return len(self._nodes)
 
+    def reachable_size(self, *roots: int) -> int:
+        """Nodes reachable from *roots* (the size of those functions).
+
+        Unlike :meth:`size` this excludes dead intermediate nodes, so it
+        is the number the PolyAdd-style polynomial bounds apply to.
+        Terminals are not counted.
+        """
+        seen = set()
+        stack = [r for r in roots if r > 1]
+        while stack:
+            nid = stack.pop()
+            if nid in seen:
+                continue
+            seen.add(nid)
+            _, low, high = self._nodes[nid]
+            if low > 1:
+                stack.append(low)
+            if high > 1:
+                stack.append(high)
+        return len(seen)
+
 
 def interleaved_order(circuit: Circuit) -> Dict[int, int]:
     """Variable order interleaving same-index bits of all input buses.

@@ -429,25 +429,38 @@ def _build_parser() -> argparse.ArgumentParser:
 
     ver = sub.add_parser(
         "verify",
-        help="differential verification: every implementation pair vs "
-             "the functional reference + analytic rate cross-checks",
+        help="differential + formal verification: fuzzing, exhaustive "
+             "sweeps, and BDD proofs vs the analytic model",
         description="Drive every registered ACA/VLSA implementation "
                     "(engine backends, interpreter, functional model, "
                     "VLSA machine, service executors) from one seeded "
                     "vector stream; report elementwise mismatches with "
                     "minimised reproducers, and check empirical error/"
                     "detector rates against the exact analytic model. "
+                    "--method formal instead proves the recovery path "
+                    "bit-exact and the error set equal to the analytic "
+                    "model by BDD model counting, at full width. "
                     "Exit code 1 when anything disagrees.  "
                     "Registered families (sorted): "
                     + ", ".join(family_names()) + ".")
+    ver.add_argument("--method", choices=("statistical", "exhaustive",
+                                          "formal"),
+                     default="statistical",
+                     help="verification method: statistical fuzzing "
+                          "(plus optional --exhaustive-widths), "
+                          "exhaustive enumeration only, or formal BDD "
+                          "proof with certificates "
+                          "(default: %(default)s)")
     ver.add_argument("--width", type=int, default=64,
                      help="operand bitwidth (default: %(default)s)")
     ver.add_argument("--window", type=int, default=None,
                      help="the family's primary parameter (for ACA the "
                           "speculation window; default: the family's "
-                          "own choice)")
-    ver.add_argument("--family", choices=family_names(), default="aca",
-                     help="adder family to verify (default: %(default)s)")
+                          "own choice; formal: the tier-1 point matrix)")
+    ver.add_argument("--family", choices=list(family_names()) + ["all"],
+                     default=None,
+                     help="adder family to verify (default: aca; "
+                          "--method formal defaults to all families)")
     ver.add_argument("--vectors", type=int, default=10000,
                      help="fuzz vectors per stream (default: %(default)s)")
     ver.add_argument("--streams", default=None, metavar="S,S,...",
@@ -615,31 +628,47 @@ def _run_pareto(args) -> int:
 
 
 def _run_verify(args) -> int:
-    from .verify import DEFAULT_STREAMS, DifferentialVerifier, run_exhaustive
+    from .families import family_names
+    from .verify import (DEFAULT_STREAMS, DifferentialVerifier, run_exhaustive,
+                         run_formal)
 
     ctx = RunContext(seed=args.seed, label="verify")
     set_default_context(ctx)
-    streams = (tuple(s for s in args.streams.split(",") if s)
-               if args.streams else DEFAULT_STREAMS)
-    impls = (tuple(i for i in args.impls.split(",") if i)
-             if args.impls else None)
 
     report = None
-    with ctx.phase("verify"):
-        if args.vectors > 0:
-            verifier = DifferentialVerifier(
-                width=args.width, window=args.window, impls=impls,
-                recovery_cycles=args.recovery_cycles, z=args.z, ctx=ctx,
-                shrink=not args.no_shrink, family=args.family)
-            report = verifier.run(vectors=args.vectors, streams=streams,
-                                  seed=args.seed, chunk=args.chunk)
-        if args.exhaustive_widths:
-            grid = run_exhaustive(
-                _parse_widths(args.exhaustive_widths, ()), impls=impls,
-                recovery_cycles=args.recovery_cycles, stride=args.stride,
-                chunk=args.chunk, ctx=ctx, shrink=not args.no_shrink,
-                family=args.family)
-            report = report.merge(grid) if report is not None else grid
+    if args.method == "formal":
+        families = (list(family_names())
+                    if args.family in (None, "all") else [args.family])
+        report = run_formal(families=families, width=args.width,
+                            window=args.window, ctx=ctx, seed=args.seed)
+    else:
+        if args.family == "all":
+            print("--family all is only supported with --method formal",
+                  file=sys.stderr)
+            return 2
+        family = args.family or "aca"
+        streams = (tuple(s for s in args.streams.split(",") if s)
+                   if args.streams else DEFAULT_STREAMS)
+        impls = (tuple(i for i in args.impls.split(",") if i)
+                 if args.impls else None)
+        with ctx.phase("verify"):
+            if args.vectors > 0 and args.method == "statistical":
+                verifier = DifferentialVerifier(
+                    width=args.width, window=args.window, impls=impls,
+                    recovery_cycles=args.recovery_cycles, z=args.z, ctx=ctx,
+                    shrink=not args.no_shrink, family=family)
+                report = verifier.run(vectors=args.vectors, streams=streams,
+                                      seed=args.seed, chunk=args.chunk)
+            exhaustive_widths = args.exhaustive_widths
+            if args.method == "exhaustive" and not exhaustive_widths:
+                exhaustive_widths = str(args.width)
+            if exhaustive_widths:
+                grid = run_exhaustive(
+                    _parse_widths(exhaustive_widths, ()), impls=impls,
+                    recovery_cycles=args.recovery_cycles, stride=args.stride,
+                    chunk=args.chunk, ctx=ctx, shrink=not args.no_shrink,
+                    family=family)
+                report = report.merge(grid) if report is not None else grid
     if report is None:
         print("nothing to do: --vectors 0 and no --exhaustive-widths",
               file=sys.stderr)

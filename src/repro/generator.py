@@ -10,6 +10,7 @@ report.  Exposed on the CLI as ``python -m repro export``.
 
 from __future__ import annotations
 
+import hashlib
 import os
 from typing import Callable, Dict, List, Optional
 
@@ -32,7 +33,7 @@ from .core import (
 )
 from .families.base import family_names, get_family, resolve_params
 
-__all__ = ["DESIGN_KINDS", "build_design", "export_design"]
+__all__ = ["DESIGN_KINDS", "build_design", "design_digest", "export_design"]
 
 
 def _spec_design(builder: Callable) -> Callable:
@@ -79,6 +80,22 @@ def build_design(kind: str, width: int,
         raise KeyError(f"unknown design {kind!r}; available: "
                        f"{sorted(DESIGN_KINDS)}") from None
     return builder(width, window)
+
+
+def design_digest(kind: str, width: int,
+                  window: Optional[int] = None) -> Dict[str, str]:
+    """SHA-256 digests of the emitted HDL for one design.
+
+    The emitters are deterministic functions of the netlist, so these
+    digests pin the exact generated RTL — the golden-snapshot tests
+    compare them against ``tests/golden/netlist_digests.json`` to catch
+    unintended changes to any generated design.
+    """
+    circuit = build_design(kind, width, window)
+    return {
+        "vhdl": hashlib.sha256(to_vhdl(circuit).encode()).hexdigest(),
+        "verilog": hashlib.sha256(to_verilog(circuit).encode()).hexdigest(),
+    }
 
 
 def export_design(kind: str, width: int, out_dir: str,

@@ -857,6 +857,7 @@ def run_exhaustive(widths: Sequence[int],
             rep = verifier.run_pairs(
                 _all_pairs(width, stride=stride, chunk=chunk),
                 stream=f"exhaustive[{width},{window}]")
+            rep.method = "exhaustive"
             totals = rep.totals  # type: ignore[attr-defined]
             complete = stride == 1
             cell = ExhaustiveCell(
@@ -875,5 +876,6 @@ def run_exhaustive(widths: Sequence[int],
             # cell record; drop per-impl coverage duplication of counts.
             merged = rep if merged is None else merged.merge(rep)
     if merged is None:
-        merged = VerifyReport(width=0, window=0, seed=0, family=family)
+        merged = VerifyReport(width=0, window=0, seed=0, family=family,
+                              method="exhaustive")
     return merged

@@ -1,0 +1,34 @@
+"""Formal verification backend: BDD proofs over generated netlists.
+
+The third — and strongest — verification method of the repo, next to
+statistical fuzzing and exhaustive small-width sweeps.  It symbolically
+simulates each family's gate-level datapath into ROBDDs (the engine of
+:mod:`repro.circuit.bdd`), proves the recovery path bit-exact against a
+golden in-manager specification of true addition at full production
+width, proves the detector sound, and characterises the speculative
+error set *exactly* by BDD model counting, cross-checked against the
+family's analytic ``Fraction`` error model by integer equality.
+
+Entry points: :func:`run_formal` (the ``repro verify --method formal``
+backend, producing :class:`~repro.verify.report.ProofCertificate`
+records inside a :class:`~repro.verify.report.VerifyReport`) and
+:func:`prove_datapath` (one netlist, e.g. a mutant from
+:mod:`~repro.verify.formal.mutants`).
+"""
+
+from .mutants import (MUTANTS, build_dropped_carry_mutant,
+                      build_lazy_detector_mutant)
+from .prover import OBLIGATIONS, prove_datapath, run_formal, tier1_param_points
+from .spec import SymbolicAdder, golden_adder
+
+__all__ = [
+    "MUTANTS",
+    "OBLIGATIONS",
+    "SymbolicAdder",
+    "build_dropped_carry_mutant",
+    "build_lazy_detector_mutant",
+    "golden_adder",
+    "prove_datapath",
+    "run_formal",
+    "tier1_param_points",
+]

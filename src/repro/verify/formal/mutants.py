@@ -1,0 +1,131 @@
+"""Known-bug netlist mutants the formal checker must refute.
+
+The statistical mutation test (PR 3) showed a lazy detector is caught
+*probabilistically* — zero sum mismatches, a rate check several sigma
+out.  These builders inject the same class of bugs into generated
+datapath netlists so the test suite can assert the formal prover
+refutes each one **deterministically**, with a concrete counterexample,
+independent of any vector stream:
+
+* ``lazy_detector`` — the detector fires only on propagate runs of
+  length ``window + 1``, so it misses exactly the length-``window``
+  runs: ``detector_sound`` and ``flag_count`` must be refuted while the
+  recovery obligations still prove (the recovery path is untouched).
+* ``dropped_recovery_carry`` — the recovery mux for the first bit of
+  the second block drops its block-carry input, so ``sum_exact`` is
+  wrong whenever a carry actually enters that block: ``recovery_sum``
+  must be refuted.
+
+Both mutants keep the standard datapath interface (``a``/``b`` in;
+``sum``, ``cout``, ``err``, ``sum_exact``, ``cout_exact`` out) so they
+drive through :func:`~repro.verify.formal.prover.prove_datapath`
+unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from ...adders.cla import lookahead_carries
+from ...circuit import Circuit, or_tree
+from ...core.aca import AcaBuilder
+from ...core.error_detect import attach_error_detector
+from ...core.error_recovery import attach_error_recovery
+
+__all__ = ["MUTANTS", "build_lazy_detector_mutant",
+           "build_dropped_carry_mutant"]
+
+_OR_ARITY = 4
+
+
+def _start_datapath(name: str, width: int,
+                    window: int) -> Tuple[Circuit, AcaBuilder]:
+    circuit = Circuit(name)
+    a = circuit.add_input_bus("a", width)
+    b = circuit.add_input_bus("b", width)
+    builder = AcaBuilder(circuit, a, b, window).build()
+    return circuit, builder
+
+
+def _finish_datapath(circuit: Circuit, builder: AcaBuilder, err: int,
+                     exact_sums: List[int], exact_cout: int) -> Circuit:
+    circuit.set_output("sum", builder.sums)
+    circuit.set_output("cout", builder.spec_carries[builder.width])
+    circuit.set_output("err", err)
+    circuit.set_output("sum_exact", exact_sums)
+    circuit.set_output("cout_exact", exact_cout)
+    circuit.attrs["window"] = builder.window
+    return circuit
+
+
+def build_lazy_detector_mutant(width: int, window: int) -> Circuit:
+    """ACA datapath whose detector only sees ``window + 1``-long runs.
+
+    The classic off-by-one: each OR term ANDs the window propagate with
+    one extra propagate bit below it, so an error caused by a run of
+    exactly ``window`` propagates goes unflagged.
+    """
+    circuit, builder = _start_datapath(
+        f"vlsa{width}_w{window}_lazy_detector", width, window)
+    w = builder.window
+    # Run of length w+1 ending at i: the w-wide window product's
+    # propagate half AND the propagate bit just below the window.
+    terms = [circuit.add_gate("AND", builder.windows[i][1],
+                              builder.p[i - w], pos=float(i))
+             for i in range(w, width)]
+    err = (or_tree(circuit, terms, max_arity=_OR_ARITY) if terms
+           else circuit.const(0))
+    exact_sums, exact_cout = attach_error_recovery(builder)
+    return _finish_datapath(circuit, builder, err, exact_sums, exact_cout)
+
+
+def build_dropped_carry_mutant(width: int, window: int) -> Circuit:
+    """ACA datapath whose recovery path drops one block carry.
+
+    Reproduces :func:`~repro.core.error_recovery.attach_error_recovery`
+    except that the carry into the first bit of the second ``window``-bit
+    block is tied to 0 instead of the lookahead's block carry — the
+    recovered sum is then wrong for every operand pair that actually
+    carries into that block.  Requires ``width > window`` (at least two
+    blocks).
+    """
+    if width <= window:
+        raise ValueError("dropped-carry mutant needs width > window")
+    circuit, builder = _start_datapath(
+        f"vlsa{width}_w{window}_dropped_carry", width, window)
+    err = attach_error_detector(builder)
+
+    n, w = builder.width, builder.window
+    bounds: List[Tuple[int, int]] = []
+    lo = 0
+    while lo < n:
+        hi = min(lo + w, n) - 1
+        bounds.append((lo, hi))
+        lo = hi + 1
+    grp = [builder.range_product(lo, hi) for lo, hi in bounds]
+    block_carries, exact_cout = lookahead_carries(
+        circuit, [g for g, _ in grp], [p for _, p in grp], None,
+        pos_step=float(w))
+
+    zero = circuit.const(0)
+    carries: List[int] = []
+    for k, (lo, hi) in enumerate(bounds):
+        c_blk = block_carries[k]
+        for i in range(lo, hi + 1):
+            if i == lo:
+                # THE BUG: block 1's mux ignores its carry input.
+                carries.append(zero if k == 1 else c_blk)
+                continue
+            g_pre, p_pre = builder.range_product(lo, i - 1)
+            carries.append(circuit.add_gate("AO21", p_pre, c_blk, g_pre,
+                                            pos=float(i)))
+    exact_sums = [circuit.add_gate("XOR", builder.p[i], carries[i],
+                                   pos=float(i)) for i in range(n)]
+    return _finish_datapath(circuit, builder, err, exact_sums, exact_cout)
+
+
+#: name -> builder(width, window); the mutation suite iterates this.
+MUTANTS: Dict[str, Callable[[int, int], Circuit]] = {
+    "lazy_detector": build_lazy_detector_mutant,
+    "dropped_recovery_carry": build_dropped_carry_mutant,
+}

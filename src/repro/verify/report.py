@@ -22,7 +22,14 @@ from typing import Any, Dict, List, Optional
 from ..reporting import Table
 from .stats import RateCheck
 
-__all__ = ["Discrepancy", "Coverage", "ExhaustiveCell", "VerifyReport"]
+__all__ = ["Discrepancy", "Coverage", "ExhaustiveCell", "ProofCertificate",
+           "VerifyReport", "VERIFY_METHODS"]
+
+#: The three escalating verification methods a report can carry:
+#: seeded fuzzing with binomial rate bounds, complete small-width
+#: enumeration with exact count equality, and BDD-backed symbolic proof
+#: over the gate-level netlists (exact at any width).
+VERIFY_METHODS = ("statistical", "exhaustive", "formal")
 
 
 @dataclass
@@ -165,6 +172,91 @@ class ExhaustiveCell:
 
 
 @dataclass
+class ProofCertificate:
+    """Machine-readable outcome of one formal proof obligation.
+
+    A certificate records everything needed to audit (and re-run) one
+    symbolic check of one family configuration: which obligation was
+    discharged, on which netlist, under which engine and variable
+    order, and — for the counting obligations — the exact BDD model
+    count next to the analytic expectation.  ``status`` is ``"proved"``
+    or ``"refuted"``; a refuted obligation carries a concrete
+    counterexample operand pair extracted from the BDD.
+
+    Obligations:
+
+    * ``recovery_sum`` / ``recovery_cout`` — the recovery datapath's
+      ``sum_exact``/``cout_exact`` equal true addition on **all**
+      ``4^width`` operand pairs (pointer equality against a golden
+      ripple specification built directly in the manager);
+    * ``core_consistent`` — the standalone speculative core netlist is
+      equivalent to the datapath's speculative outputs;
+    * ``detector_sound`` — ``err = 0`` implies the speculative result
+      is exact (the detector never misses an error);
+    * ``error_count`` — the BDD model count of the speculative-vs-true
+      miter equals ``exact_error_rate * 4^width`` as an integer;
+    * ``flag_count`` — the model count of ``err`` equals
+      ``exact_flag_rate * 4^width`` as an integer.
+
+    Together ``detector_sound`` + ``error_count`` + ``flag_count``
+    characterise the family's error set exactly: when the two counts
+    coincide (CESA-R), soundness upgrades to flag *iff* error.
+    """
+
+    family: str
+    width: int
+    params: Dict[str, int]
+    obligation: str
+    status: str
+    circuit: str = ""
+    engine: str = "robdd"
+    variable_order: str = "interleaved"
+    bdd_nodes: int = 0
+    expected_count: Optional[int] = None
+    counted: Optional[int] = None
+    counterexample: Optional[Dict[str, int]] = None
+    detail: str = ""
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "proved"
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "family": self.family,
+            "width": self.width,
+            "params": dict(self.params),
+            "obligation": self.obligation,
+            "status": self.status,
+            "ok": self.ok,
+            "circuit": self.circuit,
+            "engine": self.engine,
+            "variable_order": self.variable_order,
+            "bdd_nodes": self.bdd_nodes,
+            "expected_count": self.expected_count,
+            "counted": self.counted,
+            "counterexample": (dict(self.counterexample)
+                               if self.counterexample else None),
+            "detail": self.detail,
+            "elapsed_s": self.elapsed_s,
+        }
+
+    def describe(self) -> str:
+        base = (f"{self.family} width={self.width} "
+                f"params={self.params}: {self.obligation} {self.status}")
+        if self.counted is not None:
+            base += (f" (counted {self.counted}, "
+                     f"expected {self.expected_count})")
+        if self.counterexample:
+            base += (f"; counterexample a={self.counterexample['a']:#x} "
+                     f"b={self.counterexample['b']:#x}")
+        if self.detail:
+            base += f" — {self.detail}"
+        return base
+
+
+@dataclass
 class VerifyReport:
     """Complete outcome of a verification run."""
 
@@ -172,12 +264,14 @@ class VerifyReport:
     window: int
     seed: int
     family: str = "aca"
+    method: str = "statistical"
     streams: List[str] = field(default_factory=list)
     impls: List[str] = field(default_factory=list)
     coverage: List[Coverage] = field(default_factory=list)
     discrepancies: List[Discrepancy] = field(default_factory=list)
     rate_checks: List[RateCheck] = field(default_factory=list)
     exhaustive: List[ExhaustiveCell] = field(default_factory=list)
+    proofs: List[ProofCertificate] = field(default_factory=list)
 
     @property
     def mismatch_count(self) -> int:
@@ -190,10 +284,15 @@ class VerifyReport:
         return [rc for rc in self.rate_checks if not rc.ok]
 
     @property
+    def refuted_proofs(self) -> List[ProofCertificate]:
+        return [p for p in self.proofs if not p.ok]
+
+    @property
     def ok(self) -> bool:
         return (self.mismatch_count == 0
                 and not self.stat_failures
-                and all(cell.ok for cell in self.exhaustive))
+                and all(cell.ok for cell in self.exhaustive)
+                and all(p.ok for p in self.proofs))
 
     def merge(self, other: "VerifyReport") -> "VerifyReport":
         """Fold *other*'s results into this report (grid aggregation)."""
@@ -201,17 +300,22 @@ class VerifyReport:
         self.discrepancies.extend(other.discrepancies)
         self.rate_checks.extend(other.rate_checks)
         self.exhaustive.extend(other.exhaustive)
+        self.proofs.extend(other.proofs)
         for name in other.impls:
             if name not in self.impls:
                 self.impls.append(name)
         for name in other.streams:
             if name not in self.streams:
                 self.streams.append(name)
+        if other.method != self.method:
+            used = set(self.method.split("+")) | set(other.method.split("+"))
+            self.method = "+".join(m for m in VERIFY_METHODS if m in used)
         return self
 
     def as_dict(self) -> Dict[str, Any]:
         return {
             "family": self.family,
+            "method": self.method,
             "width": self.width,
             "window": self.window,
             "seed": self.seed,
@@ -223,22 +327,32 @@ class VerifyReport:
             "discrepancies": [d.as_dict() for d in self.discrepancies],
             "rate_checks": [rc.as_dict() for rc in self.rate_checks],
             "exhaustive": [cell.as_dict() for cell in self.exhaustive],
+            "proofs": [p.as_dict() for p in self.proofs],
         }
+
+    def describe(self) -> str:
+        """One-line verdict summary (the footer of :meth:`render`)."""
+        verdict = "PASS" if self.ok else "FAIL"
+        return (f"{verdict}: method={self.method} family={self.family} "
+                f"width={self.width} — {self.mismatch_count} mismatches, "
+                f"{len(self.stat_failures)} failed rate checks, "
+                f"{len(self.refuted_proofs)} refuted proofs")
 
     # ------------------------------------------------------------------
     def render(self) -> str:
         """Human-readable text rendering (coverage + rates + failures)."""
         chunks: List[str] = []
-        cov = Table(
-            f"Differential verification: family={self.family} "
-            f"width={self.width} "
-            f"window={self.window} seed={self.seed}",
-            ["implementation", "reference", "vectors", "mismatches",
-             "streams"])
-        for c in self.coverage:
-            cov.add_row(c.impl, c.reference, c.vectors, c.mismatches,
-                        ",".join(sorted(c.per_stream)))
-        chunks.append(cov.render())
+        if self.coverage or not self.proofs:
+            cov = Table(
+                f"Differential verification: family={self.family} "
+                f"method={self.method} width={self.width} "
+                f"window={self.window} seed={self.seed}",
+                ["implementation", "reference", "vectors", "mismatches",
+                 "streams"])
+            for c in self.coverage:
+                cov.add_row(c.impl, c.reference, c.vectors, c.mismatches,
+                            ",".join(sorted(c.per_stream)))
+            chunks.append(cov.render())
 
         if self.rate_checks:
             rates = Table(
@@ -274,6 +388,25 @@ class VerifyReport:
                     "yes" if cell.ok else "NO")
             chunks.append(grid.render())
 
+        if self.proofs:
+            proof = Table(
+                "Formal proofs (BDD symbolic, exact over all "
+                "4^width operand pairs)",
+                ["family", "width", "params", "obligation", "status",
+                 "counted/expected", "bdd nodes"])
+            for p in self.proofs:
+                counts = ("-" if p.counted is None
+                          else f"{p.counted}/{p.expected_count}")
+                proof.add_row(
+                    p.family, p.width,
+                    " ".join(f"{k}={v}" for k, v in sorted(p.params.items())),
+                    p.obligation,
+                    p.status if p.ok else p.status.upper(),
+                    counts, p.bdd_nodes)
+            chunks.append(proof.render())
+            for p in self.refuted_proofs:
+                chunks.append(f"REFUTED: {p.describe()}")
+
         if self.discrepancies:
             lines = ["Discrepancies:"]
             lines += [f"  - {d.describe()}" for d in self.discrepancies]
@@ -282,5 +415,6 @@ class VerifyReport:
         verdict = "PASS" if self.ok else "FAIL"
         chunks.append(f"verdict: {verdict} "
                       f"({self.mismatch_count} mismatches, "
-                      f"{len(self.stat_failures)} failed rate checks)")
+                      f"{len(self.stat_failures)} failed rate checks, "
+                      f"{len(self.refuted_proofs)} refuted proofs)")
         return "\n\n".join(chunks)

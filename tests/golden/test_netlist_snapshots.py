@@ -1,0 +1,55 @@
+"""Golden snapshots of every generated netlist.
+
+The generator is the paper's "C++ program that generates VHDL files" —
+its output is the reproduction's primary artefact, so every design kind
+is pinned by the SHA-256 of its emitted VHDL **and** Verilog at a fixed
+width.  An intentional change to a builder or an emitter is a one-liner:
+
+    REPRO_UPDATE_GOLDEN=1 python -m pytest tests/golden -q
+
+then review the diff of ``netlist_digests.json`` like any other code.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.generator import DESIGN_KINDS, design_digest
+
+GOLDEN = Path(__file__).with_name("netlist_digests.json")
+WIDTH = 8
+
+
+def _load_golden():
+    if os.environ.get("REPRO_UPDATE_GOLDEN"):
+        data = {kind: design_digest(kind, WIDTH)
+                for kind in sorted(DESIGN_KINDS)}
+        GOLDEN.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n",
+                          encoding="utf-8")
+    return json.loads(GOLDEN.read_text(encoding="utf-8"))
+
+
+GOLDEN_DIGESTS = _load_golden()
+
+
+def test_snapshot_covers_every_design_kind():
+    """New design kinds must be snapshotted; removed ones pruned."""
+    assert set(GOLDEN_DIGESTS) == set(DESIGN_KINDS)
+
+
+@pytest.mark.parametrize("kind", sorted(DESIGN_KINDS))
+def test_generated_hdl_matches_golden(kind):
+    got = design_digest(kind, WIDTH)
+    want = GOLDEN_DIGESTS[kind]
+    assert got == want, (
+        f"{kind}: emitted HDL changed (vhdl/verilog digests differ). "
+        f"If intentional, regenerate with REPRO_UPDATE_GOLDEN=1 and "
+        f"review the json diff.")
+
+
+def test_emission_is_deterministic():
+    """Two independent builds emit byte-identical HDL."""
+    for kind in ("aca_r", "cesa_r", "blockspec_r"):
+        assert design_digest(kind, WIDTH) == design_digest(kind, WIDTH)

@@ -1,0 +1,143 @@
+"""The formal verification method: proofs, certificates, reports."""
+
+import json
+
+import pytest
+
+from repro.circuit import Circuit
+from repro.circuit.netlist import CircuitError
+from repro.families.base import family_names, get_family
+from repro.verify import VERIFY_METHODS, ProofCertificate, VerifyReport
+from repro.verify.formal import (
+    OBLIGATIONS,
+    prove_datapath,
+    run_formal,
+    tier1_param_points,
+)
+
+
+# ------------------------------------------------------------ proof matrix
+@pytest.mark.parametrize("name", family_names())
+def test_run_formal_proves_family_at_16(name):
+    report = run_formal(families=[name], width=16)
+    assert report.ok, report.describe()
+    assert report.method == "formal"
+    assert report.family == name
+    points = tier1_param_points(name, 16)
+    assert len(report.proofs) == len(points) * len(OBLIGATIONS)
+    assert {p.obligation for p in report.proofs} == set(OBLIGATIONS)
+    assert all(p.status == "proved" for p in report.proofs)
+    assert not report.refuted_proofs
+
+
+def test_run_formal_all_families_pinned_window():
+    report = run_formal(width=12, window=4)
+    assert report.ok, report.describe()
+    assert report.family == "all"
+    assert {p.family for p in report.proofs} == set(family_names())
+    # One pinned point per family, every obligation discharged.
+    assert len(report.proofs) == len(family_names()) * len(OBLIGATIONS)
+
+
+def test_counts_are_exact_integers_not_floats():
+    report = run_formal(families=["aca"], width=10, window=3)
+    counted = {p.obligation: p for p in report.proofs}
+    for ob in ("error_count", "flag_count"):
+        cert = counted[ob]
+        assert isinstance(cert.counted, int)
+        assert isinstance(cert.expected_count, int)
+        assert cert.counted == cert.expected_count
+    # ACA's window detector is conservative: flags dominate errors.
+    assert counted["flag_count"].counted >= counted["error_count"].counted
+
+
+def test_tier1_param_points_resolved_and_deduplicated():
+    for name in family_names():
+        points = tier1_param_points(name, 16)
+        assert points, name
+        keys = [tuple(sorted(p.items())) for p in points]
+        assert len(keys) == len(set(keys)), f"{name}: duplicate points"
+        fam = get_family(name)
+        for params in points:
+            # Each point is already in resolved (fixed-point) form.
+            assert fam.resolve_params(16, **params) == params
+
+
+def test_prove_datapath_rejects_partial_interface():
+    c = Circuit("half")
+    a = c.add_input_bus("a", 4)
+    b = c.add_input_bus("b", 4)
+    c.set_output("sum", [c.add_gate("XOR", x, y) for x, y in zip(a, b)])
+    with pytest.raises(CircuitError, match="lacks output"):
+        prove_datapath(c)
+
+
+# ---------------------------------------------------- report integration
+def test_certificate_round_trips_through_json():
+    report = run_formal(families=["cesa"], width=8, window=4)
+    blob = json.loads(json.dumps(report.as_dict()))
+    assert blob["method"] == "formal"
+    assert len(blob["proofs"]) == len(report.proofs)
+    for raw, cert in zip(blob["proofs"], report.proofs):
+        assert raw["obligation"] == cert.obligation
+        assert raw["status"] == "proved"
+        assert raw["engine"] == "robdd"
+        assert raw["variable_order"] == "interleaved"
+        assert raw["width"] == 8
+
+
+def test_report_render_mentions_proofs():
+    report = run_formal(families=["aca"], width=8, window=2)
+    text = report.render()
+    assert "Formal proofs" in text
+    assert "0 refuted proofs" in text
+    assert report.describe().startswith("PASS")
+
+
+def test_refuted_proof_fails_the_report():
+    report = VerifyReport(width=8, window=2, seed=0, method="formal")
+    report.proofs.append(ProofCertificate(
+        family="aca", width=8, params={"window": 2},
+        obligation="recovery_sum", status="refuted", circuit="x",
+        counterexample={"a": 3, "b": 5}))
+    assert not report.ok
+    assert report.refuted_proofs
+    assert "REFUTED" in report.render()
+    assert "FAIL" in report.describe()
+
+
+# ------------------------------------------------------------------- CLI
+def test_cli_formal_method_writes_certificates(tmp_path, monkeypatch, capsys):
+    from repro.cli import main
+
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    assert main(["verify", "--method", "formal", "--family", "all",
+                 "--width", "12"]) == 0
+    out = capsys.readouterr().out
+    assert "Formal proofs" in out and "PASS" in out
+    blob = json.loads((tmp_path / "verify_report.json").read_text())
+    assert blob["method"] == "formal"
+    assert blob["ok"]
+    assert {p["family"] for p in blob["proofs"]} == set(family_names())
+    # The manifest records the proof-matrix counters.
+    manifest = json.loads((tmp_path / "verify_manifest.json").read_text())
+    assert manifest["counters"]["formal_obligations"] == len(blob["proofs"])
+    assert manifest["counters"]["formal_refuted"] == 0
+
+
+def test_cli_family_all_requires_formal_method(capsys):
+    from repro.cli import main
+
+    assert main(["verify", "--family", "all", "--vectors", "10",
+                 "--no-save"]) == 2
+    assert "only supported" in capsys.readouterr().err
+
+
+def test_method_merge_orders_by_strength():
+    stat = VerifyReport(width=8, window=2, seed=0, method="statistical")
+    formal = run_formal(families=["aca"], width=8, window=2)
+    stat.merge(formal)
+    assert stat.method == "statistical+formal"
+    assert stat.proofs  # certificates carried over
+    assert tuple(sorted(VERIFY_METHODS)) == (
+        "exhaustive", "formal", "statistical")

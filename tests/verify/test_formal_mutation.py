@@ -1,0 +1,103 @@
+"""Mutation testing at the proof level.
+
+The statistical verifier catches an injected detector bug only
+*probabilistically* (a rate check several sigma out, given enough
+vectors).  Here we assert something strictly stronger: for each known-bug
+mutant in :data:`repro.verify.formal.MUTANTS`, the formal prover refutes
+exactly the obligations the bug breaks — deterministically, with a
+concrete counterexample operand pair, and independent of any vector
+stream — while the obligations the bug does *not* touch still prove.
+"""
+
+import pytest
+
+from repro.families.base import get_family
+from repro.verify.formal import MUTANTS, OBLIGATIONS, prove_datapath
+
+WIDTH, WINDOW = 16, 4
+
+#: mutant name -> obligations its bug must break (and nothing else).
+EXPECTED_REFUTED = {
+    "lazy_detector": {"detector_sound", "flag_count"},
+    "dropped_recovery_carry": {"recovery_sum"},
+}
+
+
+def _prove_mutant(name):
+    fam = get_family("aca")
+    params = fam.resolve_params(WIDTH, window=WINDOW)
+    model = fam.error_model(WIDTH, **params)
+    datapath = MUTANTS[name](WIDTH, WINDOW)
+    return prove_datapath(datapath, model=model, family="aca",
+                          params=params)
+
+
+def test_mutant_registry_covers_detector_and_recovery():
+    assert set(MUTANTS) == set(EXPECTED_REFUTED)
+
+
+@pytest.mark.parametrize("name", sorted(MUTANTS))
+def test_mutant_is_refuted_exactly_where_broken(name):
+    certs = _prove_mutant(name)
+    by_status = {c.obligation: c.status for c in certs}
+    refuted = {ob for ob, st in by_status.items() if st == "refuted"}
+    assert refuted == EXPECTED_REFUTED[name], by_status
+    # The untouched obligations still prove — the refutation is
+    # pinpointed, not collateral.
+    assert all(st == "proved" for ob, st in by_status.items()
+               if ob not in refuted)
+
+
+@pytest.mark.parametrize("name", sorted(MUTANTS))
+def test_refutations_carry_deterministic_counterexamples(name):
+    first = _prove_mutant(name)
+    second = _prove_mutant(name)
+    refuted_first = [c for c in first if not c.ok]
+    refuted_second = [c for c in second if not c.ok]
+    assert refuted_first, "mutant was not refuted at all"
+    for c1, c2 in zip(refuted_first, refuted_second):
+        assert c1.obligation == c2.obligation
+        if c1.obligation in ("recovery_sum", "recovery_cout",
+                             "core_consistent", "detector_sound"):
+            assert c1.counterexample is not None
+            # Bit-for-bit identical witness on an independent rebuild.
+            assert c1.counterexample == c2.counterexample
+            assert c1.detail and c1.detail == c2.detail
+
+
+def test_lazy_detector_counterexample_is_a_real_missed_error():
+    certs = _prove_mutant("lazy_detector")
+    cex = next(c.counterexample for c in certs
+               if c.obligation == "detector_sound")
+    a, b = cex["a"], cex["b"]
+    fam = get_family("aca")
+    params = fam.resolve_params(WIDTH, window=WINDOW)
+    functional = fam.functional(WIDTH, **params)
+    # The witness is an operand pair the speculative core really gets
+    # wrong — and the *correct* detector does flag it.
+    assert not functional.is_correct(a, b)
+    assert functional.flags_error(a, b)
+
+
+def test_dropped_carry_counterexample_actually_carries():
+    certs = _prove_mutant("dropped_recovery_carry")
+    cex = next(c.counterexample for c in certs
+               if c.obligation == "recovery_sum")
+    a, b = cex["a"], cex["b"]
+    # The bug drops the carry into the second window-wide block, so the
+    # witness must produce a carry out of the first block.
+    mask = (1 << WINDOW) - 1
+    assert (a & mask) + (b & mask) > mask
+
+
+def test_unmutated_datapath_is_the_control():
+    """The same proof battery passes on the genuine generator output."""
+    fam = get_family("aca")
+    params = fam.resolve_params(WIDTH, window=WINDOW)
+    certs = prove_datapath(
+        fam.build_circuit(WIDTH, **params),
+        spec_core=fam.build_speculative(WIDTH, **params),
+        model=fam.error_model(WIDTH, **params),
+        family="aca", params=params)
+    assert [c.obligation for c in certs] == list(OBLIGATIONS)
+    assert all(c.ok for c in certs), [c.describe() for c in certs]
