@@ -1,0 +1,51 @@
+"""Adaptive autotuning: SLA-driven online control of window & batch size.
+
+The subsystem closes the loop the paper leaves open: speculative window
+size trades delay against a *predictable* stall rate, so a serving
+stack can pick — and keep re-picking — the best configuration for the
+traffic it is actually seeing.  Four pieces:
+
+* :mod:`~repro.autotune.profile` — sliding-window operand statistics
+  (per-bit propagate/generate fractions) estimated online.
+* :mod:`~repro.autotune.predictor` — analytic stall-rate and latency
+  forecasts per ``(family, knob, batch size)`` candidate, built on the
+  families' exact error models.
+* :mod:`~repro.autotune.policy` — SLA knobs (``stall rate <= Y``,
+  ``p99 latency <= X``) filtering the candidate space to the
+  predicted-safe set, ranked by a throughput objective.
+* :mod:`~repro.autotune.controller` — the online controller applying
+  reconfigurations atomically between micro-batches on a live
+  :class:`~repro.service.service.VlsaService` or
+  :class:`~repro.cluster.router.ClusterRouter`; bit-exactness holds by
+  construction (recovery is exact at every window) and is re-checked by
+  the ``service:autotuned`` verify implementation.
+
+Offline entry points live in :mod:`~repro.autotune.offline`
+(`what_if`, `run_online`) and behind the ``repro autotune`` CLI verb.
+"""
+
+from .controller import AutotuneController, DecisionRecord, \
+    SyncAutotunedExecutor
+from .offline import run_online, what_if
+from .policy import SLA, Decision, PolicyEngine, default_windows
+from .predictor import (CandidateConfig, Forecast, delay_units, forecast,
+                        predict_stall_rate)
+from .profile import OperandProfile
+
+__all__ = [
+    "AutotuneController",
+    "CandidateConfig",
+    "Decision",
+    "DecisionRecord",
+    "Forecast",
+    "OperandProfile",
+    "PolicyEngine",
+    "SLA",
+    "SyncAutotunedExecutor",
+    "default_windows",
+    "delay_units",
+    "forecast",
+    "predict_stall_rate",
+    "run_online",
+    "what_if",
+]

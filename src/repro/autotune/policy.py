@@ -1,0 +1,206 @@
+"""SLA-driven policy engine over the analytic candidate space.
+
+The policy turns an operand profile into a concrete configuration
+choice.  It enumerates candidates ``(family, primary knob, batch_ops)``,
+forecasts each with :mod:`repro.autotune.predictor`, filters to the set
+the model predicts **safe** under the SLA knobs, and ranks the safe set
+by the throughput objective ``avg_time_units``.  Only predicted-safe
+configurations are ever proposed; if nothing is safe the policy falls
+back to the most conservative candidate (minimum predicted stall rate,
+largest window) and marks the decision infeasible so callers can alarm.
+
+A hysteresis margin suppresses flapping: the incumbent configuration is
+kept unless the challenger's predicted objective improves on it by more
+than ``hysteresis`` (relative), or the incumbent has become unsafe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..families import family_names, get_family
+from .predictor import (DEFAULT_BATCH_OVERHEAD_UNITS, CandidateConfig,
+                        Forecast, forecast)
+from .profile import OperandProfile
+
+__all__ = ["SLA", "Decision", "PolicyEngine", "default_windows"]
+
+# Safety margin applied to the stall-rate SLA: a candidate is proposed
+# only if its *predicted* rate clears the knob with this much headroom,
+# absorbing profile-estimation noise (see the binomial cross-check in
+# tests/autotune/test_controller.py).
+DEFAULT_SAFETY_MARGIN = 0.8
+
+
+@dataclass(frozen=True)
+class SLA:
+    """Service-level objectives the policy must satisfy.
+
+    ``None`` disables a knob.  ``stall_rate`` bounds the predicted flag
+    probability per op; ``p99_latency_cycles`` bounds the forecast
+    queueing-inclusive tail latency (which makes it a batch-size knob).
+    """
+
+    stall_rate: Optional[float] = 0.02
+    p99_latency_cycles: Optional[float] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"stall_rate": self.stall_rate,
+                "p99_latency_cycles": self.p99_latency_cycles}
+
+
+def default_windows(width: int) -> List[int]:
+    """Geometric ladder of primary-knob values clamped to the width.
+
+    Covers the interesting regimes: tiny windows (fast, stall-heavy),
+    the paper's accuracy-targeted sizes, and the degenerate
+    window == width point that behaves as the exact adder (stall rate
+    ~0) — the fail-safe the policy falls back to under adversarial
+    traffic.
+    """
+    ladder = [2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256]
+    return sorted({w for w in ladder if w <= width} | {width})
+
+
+@dataclass(frozen=True)
+class Decision:
+    """Outcome of one policy evaluation."""
+
+    chosen: Forecast
+    feasible: bool
+    switched: bool
+    considered: int
+    sla: SLA
+    profile: Dict[str, Any]
+    alternatives: List[Forecast] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "chosen": self.chosen.as_dict(),
+            "feasible": self.feasible,
+            "switched": self.switched,
+            "considered": self.considered,
+            "sla": self.sla.as_dict(),
+            "profile": dict(self.profile),
+            "alternatives": [f.as_dict() for f in self.alternatives],
+        }
+
+
+class PolicyEngine:
+    """Search the candidate space under SLA constraints.
+
+    Parameters
+    ----------
+    width:
+        Operand width of the deployment.
+    sla:
+        The knobs; see :class:`SLA`.
+    families:
+        Family names to consider (default: every registered family).
+    windows:
+        Primary-knob ladder (default :func:`default_windows`).
+    batch_sizes:
+        ``max_batch_ops`` candidates (default: the service default only,
+        so batch size is tuned only when the caller opts in).
+    hysteresis:
+        Relative objective improvement a challenger must show before the
+        incumbent is replaced.
+    """
+
+    def __init__(self, width: int, sla: SLA,
+                 families: Optional[Sequence[str]] = None,
+                 windows: Optional[Sequence[int]] = None,
+                 batch_sizes: Optional[Sequence[int]] = None,
+                 recovery_cycles: int = 1,
+                 overhead_units: float = DEFAULT_BATCH_OVERHEAD_UNITS,
+                 safety_margin: float = DEFAULT_SAFETY_MARGIN,
+                 hysteresis: float = 0.05) -> None:
+        self.width = width
+        self.sla = sla
+        self.families = list(families) if families else family_names()
+        for name in self.families:
+            get_family(name)  # fail fast on unknown names
+        self.windows = sorted(set(windows)) if windows \
+            else default_windows(width)
+        self.batch_sizes = sorted(set(batch_sizes)) if batch_sizes \
+            else [4096]
+        self.recovery_cycles = recovery_cycles
+        self.overhead_units = overhead_units
+        self.safety_margin = safety_margin
+        self.hysteresis = hysteresis
+        self._candidates = self._build_candidates()
+
+    def _build_candidates(self) -> List[CandidateConfig]:
+        out: List[CandidateConfig] = []
+        seen = set()
+        for name in self.families:
+            fam = get_family(name)
+            for w in self.windows:
+                # resolve_params maps the bare knob onto the family's
+                # primary parameter and clamps it to a legal value.
+                params = fam.resolve_params(self.width, window=w)
+                for batch in self.batch_sizes:
+                    cand = CandidateConfig(family=name, width=self.width,
+                                           params=params, batch_ops=batch)
+                    if cand.key() in seen:
+                        continue
+                    seen.add(cand.key())
+                    out.append(cand)
+        return out
+
+    @property
+    def candidates(self) -> List[CandidateConfig]:
+        return list(self._candidates)
+
+    # -- decision -------------------------------------------------------
+
+    def _safe(self, fc: Forecast) -> bool:
+        if self.sla.stall_rate is not None and \
+                fc.stall_rate > self.sla.stall_rate * self.safety_margin:
+            return False
+        if self.sla.p99_latency_cycles is not None and \
+                fc.p99_latency_cycles > self.sla.p99_latency_cycles:
+            return False
+        return True
+
+    def decide(self, profile: OperandProfile,
+               current: Optional[CandidateConfig] = None,
+               alternatives: int = 5) -> Decision:
+        """Pick the best predicted-safe configuration for the profile."""
+        p, g = profile.p_propagate, profile.p_generate
+        forecasts = [forecast(c, p, g, self.recovery_cycles,
+                              self.overhead_units)
+                     for c in self._candidates]
+        # Deterministic ranking: objective, then the more conservative
+        # (larger) window, then family name, so ties never flap.
+        forecasts.sort(key=lambda f: (f.avg_time_units,
+                                      -f.candidate.primary,
+                                      f.candidate.family,
+                                      f.candidate.batch_ops))
+        safe = [f for f in forecasts if self._safe(f)]
+        feasible = bool(safe)
+        if safe:
+            best = safe[0]
+        else:
+            # Fail-safe: most conservative candidate — minimum predicted
+            # stall, ties to the largest window (exact-adder behavior).
+            best = min(forecasts,
+                       key=lambda f: (f.stall_rate, -f.candidate.primary))
+        switched = True
+        if current is not None:
+            cur_fc = forecast(current, p, g, self.recovery_cycles,
+                              self.overhead_units)
+            keep = self._safe(cur_fc) and (
+                best.candidate.key() == current.key()
+                or best.avg_time_units >
+                cur_fc.avg_time_units * (1.0 - self.hysteresis))
+            if keep:
+                best = cur_fc
+                switched = False
+            elif best.candidate.key() == current.key():
+                switched = False
+        return Decision(chosen=best, feasible=feasible, switched=switched,
+                        considered=len(forecasts), sla=self.sla,
+                        profile=profile.snapshot(),
+                        alternatives=forecasts[:alternatives])

@@ -1,0 +1,244 @@
+"""Analytic stall/latency forecasts for candidate adder configurations.
+
+This is the bridge between the exact-Fraction error models of
+:mod:`repro.families` and the online policy engine: given an observed
+operand profile ``(p_propagate, p_generate)`` it predicts, *before any
+reconfiguration is committed*, the stall (flag) rate and latency of a
+candidate ``(family, primary knob, batch size)``.
+
+Model per family (i.i.d. bits at the profiled fractions — the same
+assumption under which the families' uniform Fractions are exact):
+
+``aca``
+    The detector fires iff the operand word contains a propagate run of
+    length >= ``window``; the biased probability of that event is the
+    linear DP :func:`repro.analysis.biased.run_at_least_probability_biased`.
+    At ``p_propagate = 0.5`` this reproduces the family's exact uniform
+    flag rate.  A window >= width degenerates to the all-propagate word
+    (probability ``p^width``), matching the reference detector.
+
+``blockspec`` (Wu et al., arXiv:1703.03522)
+    Each non-anchored block boundary speculates its carry-in from a
+    ``lookahead``-bit window and flags whenever that window is
+    all-propagate: per-boundary probability ``p^L``.  Boundaries are
+    combined under an independence approximation,
+    ``1 - prod(1 - p_j)`` — the same union bound Wu et al. use; at
+    uniform inputs it agrees with the exact boundary DP to well under a
+    percent for practical knobs (cross-checked by the bench band).
+
+``cesa`` (arXiv:2008.11591)
+    The rectifier flag fires only on *actual* mispredictions: the
+    1-bit lookahead window is all-propagate **and** a true carry enters
+    it from below.  The carry-in probability at bit ``i`` follows the
+    stationary recurrence ``c_{i+1} = p_generate + p_propagate * c_i``
+    (Kedem's general inaccurate-adder model, arXiv:1606.01753), giving
+    per-boundary probability ``p^L * c`` before the same combination.
+
+Unknown externally-registered families fall back to their exact uniform
+flag rate (bias-insensitive but always available).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..analysis.biased import run_at_least_probability_biased
+from ..families import get_family
+from ..families.blocks import block_boundaries
+
+__all__ = [
+    "CandidateConfig",
+    "Forecast",
+    "predict_stall_rate",
+    "delay_units",
+    "forecast",
+]
+
+# Detector/recovery mux overhead of the analytic delay proxy, in the
+# same log2 gate-depth units as the prefix tree (see delay_units).
+_EXTRA_DEPTH = 4.0
+# Fixed per-batch dispatch overhead (queue pop, slicing, future wakeup)
+# amortized over the batch in the throughput objective, expressed in
+# delay units so it trades directly against per-op latency.
+DEFAULT_BATCH_OVERHEAD_UNITS = 64.0
+
+
+def _carry_in_probability(bits: int, p: float, g: float) -> float:
+    """P(true carry into bit ``bits``) under i.i.d. (p, g) bits.
+
+    Linear recurrence ``c_0 = 0, c_{i+1} = g + p * c_i``; converges to
+    the stationary ``g / (1 - p)`` within a few bits.
+    """
+    c = 0.0
+    for _ in range(bits):
+        c = g + p * c
+    return c
+
+
+def predict_stall_rate(family: str, width: int, params: Dict[str, int],
+                       p_propagate: float,
+                       p_generate: Optional[float] = None) -> float:
+    """Forecast the flag (stall) probability of one configuration.
+
+    ``params`` are resolved family knobs (``resolve_params`` output).
+    ``p_generate`` defaults to a symmetric split of the non-propagate
+    mass, which is exact for independent uniform-ish operands.
+    """
+    p = min(max(p_propagate, 0.0), 1.0)
+    if p_generate is None:
+        g = (1.0 - p) / 2.0
+    else:
+        g = min(max(p_generate, 0.0), 1.0 - p)
+
+    if family == "aca":
+        window = params["window"]
+        if window >= width:
+            # Degenerate detector: fires only on the all-propagate word.
+            return p ** width
+        return run_at_least_probability_biased(width, window, p)
+
+    if family in ("blockspec", "cesa"):
+        if family == "cesa":
+            boundaries = block_boundaries(width, params["block"], 1)
+        else:
+            boundaries = block_boundaries(width, params["block"],
+                                          params["lookahead"])
+        ok = 1.0
+        for bnd in boundaries:
+            p_window = p ** bnd.lookahead
+            if family == "cesa":
+                # Rectifier flags actual errors only: window
+                # all-propagate AND a true carry arriving below it.
+                p_window *= _carry_in_probability(
+                    bnd.pos - bnd.lookahead, p, g)
+            ok *= 1.0 - p_window
+        return 1.0 - ok
+
+    # Unknown family: exact uniform rate, insensitive to the profile.
+    fam = get_family(family)
+    return float(fam.error_model(width, **params).flag_rate)
+
+
+def delay_units(family: str, width: int, params: Dict[str, int]) -> float:
+    """Analytic combinational-depth proxy for the speculative core.
+
+    The paper's argument is that an almost-correct adder needs only a
+    prefix tree over its ``w``-bit window: depth ``ceil(log2 w)`` plus a
+    constant for pg-setup, detector, and the recovery mux.  The proxy
+    ranks candidates by that depth; absolute units cancel in the policy
+    comparison.
+    """
+    fam = get_family(family)
+    primary = fam.primary_value(width, params)
+    span = min(max(int(primary), 2), max(width, 2))
+    return 2.0 * math.ceil(math.log2(span)) + _EXTRA_DEPTH
+
+
+def exact_delay_units(width: int) -> float:
+    """Same proxy for the exact reference adder (full-width prefix)."""
+    return 2.0 * math.ceil(math.log2(max(width, 2))) + _EXTRA_DEPTH
+
+
+@dataclass(frozen=True)
+class CandidateConfig:
+    """One point of the policy search space."""
+
+    family: str
+    width: int
+    params: Dict[str, int] = field(hash=False)
+    batch_ops: int = 4096
+
+    @property
+    def primary(self) -> int:
+        fam = get_family(self.family)
+        return int(fam.primary_value(self.width, self.params))
+
+    def key(self) -> tuple:
+        return (self.family, self.width,
+                tuple(sorted(self.params.items())), self.batch_ops)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"family": self.family, "width": self.width,
+                "params": dict(self.params), "primary": self.primary,
+                "batch_ops": self.batch_ops}
+
+
+@dataclass(frozen=True)
+class Forecast:
+    """Analytic prediction for one candidate under one profile."""
+
+    candidate: CandidateConfig
+    p_propagate: float
+    p_generate: float
+    stall_rate: float
+    uniform_stall_rate: float
+    mean_latency_cycles: float
+    p99_latency_cycles: float
+    delay_units: float
+    avg_time_units: float
+
+    def as_dict(self) -> Dict[str, Any]:
+        d = self.candidate.as_dict()
+        d.update({
+            "p_propagate": self.p_propagate,
+            "p_generate": self.p_generate,
+            "stall_rate": self.stall_rate,
+            "uniform_stall_rate": self.uniform_stall_rate,
+            "mean_latency_cycles": self.mean_latency_cycles,
+            "p99_latency_cycles": self.p99_latency_cycles,
+            "delay_units": self.delay_units,
+            "avg_time_units": self.avg_time_units,
+        })
+        return d
+
+
+def forecast(candidate: CandidateConfig, p_propagate: float,
+             p_generate: Optional[float] = None,
+             recovery_cycles: int = 1,
+             overhead_units: float = DEFAULT_BATCH_OVERHEAD_UNITS,
+             ) -> Forecast:
+    """Full analytic forecast for one candidate configuration.
+
+    The latency model is the paper's variable-latency accounting: a
+    non-flagged add completes in 1 cycle, a flagged one in
+    ``1 + recovery_cycles``.  The p99 figure additionally charges batch
+    queueing — the last request admitted to a micro-batch waits for the
+    whole batch — so the ``p99`` SLA knob constrains ``batch_ops``
+    while the stall SLA constrains the window:
+
+        p99 ~= (1 + rc) + (batch_ops - 1) * mean_op_latency
+
+    ``avg_time_units`` is the throughput objective the policy minimizes:
+    per-op wall time proportional to core depth times mean cycles, plus
+    the fixed batch overhead amortized over the batch.
+    """
+    p = min(max(p_propagate, 0.0), 1.0)
+    g = (1.0 - p) / 2.0 if p_generate is None else p_generate
+    fam = get_family(candidate.family)
+    stall = predict_stall_rate(candidate.family, candidate.width,
+                               candidate.params, p, g)
+    uniform = float(fam.error_model(candidate.width,
+                                    **candidate.params).flag_rate)
+    mean_cycles = 1.0 + stall * recovery_cycles
+    # Worst-case queueing for the last op of a full batch, with recovery
+    # charged whenever stalls are non-negligible at batch scale.
+    tail_recovery = recovery_cycles if stall * candidate.batch_ops >= 0.01 \
+        else 0.0
+    p99 = 1.0 + tail_recovery + (candidate.batch_ops - 1) * mean_cycles
+    depth = delay_units(candidate.family, candidate.width, candidate.params)
+    avg = depth * mean_cycles + overhead_units / max(candidate.batch_ops, 1)
+    return Forecast(candidate=candidate, p_propagate=p, p_generate=g,
+                    stall_rate=stall, uniform_stall_rate=uniform,
+                    mean_latency_cycles=mean_cycles, p99_latency_cycles=p99,
+                    delay_units=depth, avg_time_units=avg)
+
+
+def forecast_many(candidates: Sequence[CandidateConfig], p_propagate: float,
+                  p_generate: Optional[float] = None,
+                  recovery_cycles: int = 1,
+                  overhead_units: float = DEFAULT_BATCH_OVERHEAD_UNITS,
+                  ) -> List[Forecast]:
+    return [forecast(c, p_propagate, p_generate, recovery_cycles,
+                     overhead_units) for c in candidates]

@@ -188,7 +188,8 @@ class BenchmarkRegistry:
 #: The process-wide default registry.
 registry = BenchmarkRegistry()
 
-_BUILTIN_SUITES = ("engine", "families", "service", "verify", "cluster")
+_BUILTIN_SUITES = ("engine", "families", "service", "verify", "cluster",
+                   "autotune")
 _loaded_builtins = False
 
 

@@ -1,13 +1,15 @@
 """Built-in benchmark suites.
 
 Importing this package registers the ``engine``, ``families``,
-``service``, ``verify`` and ``cluster`` suites against the default
-:data:`repro.bench.spec.registry`.  Most modules are the migrated
+``service``, ``verify``, ``cluster`` and ``autotune`` suites against
+the default :data:`repro.bench.spec.registry`.  Most modules are the migrated
 successors of the matching ad-hoc ``benchmarks/bench_*_throughput.py``
 script (the scripts themselves survive as thin shims over these
 suites); ``families`` is native to the suite registry.
 """
 
-from . import cluster, engine, families, service, verify  # noqa: F401
+from . import (autotune, cluster, engine, families,  # noqa: F401
+               service, verify)
 
-__all__ = ["cluster", "engine", "families", "service", "verify"]
+__all__ = ["autotune", "cluster", "engine", "families", "service",
+           "verify"]

@@ -519,6 +519,70 @@ def _build_parser() -> argparse.ArgumentParser:
     par.add_argument("--no-save", action="store_true",
                      help="print only, skip writing results/")
 
+    aut = sub.add_parser(
+        "autotune",
+        help="SLA-driven window/batch autotuning (what-if or online)",
+        description="Search every registered family's analytic error "
+                    "model for the best (family, window, batch) "
+                    "configuration under SLA knobs.  Offline (default): "
+                    "a what-if decision for a synthetic operand profile "
+                    "— prints the chosen config with its forecast and "
+                    "the ranked alternatives.  --online: drive a "
+                    "workload (default: the nonstationary drift stream) "
+                    "through a live autotuned VlsaService and grade "
+                    "per-phase convergence with the verify subsystem's "
+                    "binomial cross-check.")
+    aut.add_argument("--width", type=int, default=64,
+                     help="operand bitwidth (default: %(default)s)")
+    aut.add_argument("--sla-stall-rate", type=float, default=0.02,
+                     metavar="Y", dest="sla_stall_rate",
+                     help="SLA: stall rate <= Y (default: %(default)s; "
+                          "negative disables)")
+    aut.add_argument("--sla-p99", type=float, default=None, metavar="X",
+                     dest="sla_p99",
+                     help="SLA: p99 latency <= X cycles, batch queueing "
+                          "included (default: off)")
+    aut.add_argument("--families", metavar="F,F,...", default=None,
+                     help="families to consider (default: all registered)")
+    aut.add_argument("--windows", metavar="W,W,...", default=None,
+                     help="primary-knob ladder (default: geometric)")
+    aut.add_argument("--batch-sizes", metavar="B,B,...", default=None,
+                     dest="batch_sizes",
+                     help="max_batch_ops candidates (default: 4096)")
+    aut.add_argument("--p-propagate", type=float, default=0.5,
+                     dest="p_propagate",
+                     help="offline profile: per-bit propagate "
+                          "probability (default: %(default)s)")
+    aut.add_argument("--recovery-cycles", type=int, default=1,
+                     dest="recovery_cycles",
+                     help="recovery penalty in cycles (default: "
+                          "%(default)s)")
+    aut.add_argument("--online", action="store_true",
+                     help="run the online controller against --workload")
+    aut.add_argument("--workload", default="drift",
+                     help="online workload (default: %(default)s)")
+    aut.add_argument("--ops", type=int, default=60000,
+                     help="online: total additions (default: %(default)s)")
+    aut.add_argument("--chunk", type=int, default=512,
+                     help="online: additions per batch (default: "
+                          "%(default)s)")
+    aut.add_argument("--alpha", type=float, default=0.75,
+                     help="online: biased-phase bit probability "
+                          "(default: %(default)s)")
+    aut.add_argument("--decide-every", type=int, default=2048,
+                     dest="decide_every",
+                     help="online: decision cadence in ops (default: "
+                          "%(default)s)")
+    aut.add_argument("--z", type=float, default=3.0,
+                     help="binomial cross-check z (default: %(default)s)")
+    aut.add_argument("--strict", action="store_true",
+                     help="exit 1 when no config is predicted safe "
+                          "(offline) or convergence/SLA fails (online)")
+    aut.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                     help="root RNG seed (default: %(default)s)")
+    aut.add_argument("--no-save", action="store_true",
+                     help="print only, skip writing results/")
+
     from .bench.cli import add_bench_parser
     add_bench_parser(sub)
     return parser
@@ -627,6 +691,92 @@ def _run_pareto(args) -> int:
     return 0
 
 
+def _parse_int_list(text):
+    return tuple(int(x) for x in text.split(",") if x) if text else None
+
+
+def _run_autotune(args) -> int:
+    from .autotune import SLA, run_online, what_if
+
+    ctx = RunContext(seed=args.seed, label="autotune")
+    set_default_context(ctx)
+    sla = SLA(stall_rate=(None if args.sla_stall_rate is not None
+                          and args.sla_stall_rate < 0
+                          else args.sla_stall_rate),
+              p99_latency_cycles=args.sla_p99)
+    families = (tuple(f for f in args.families.split(",") if f)
+                if args.families else None)
+    windows = _parse_int_list(args.windows)
+    batch_sizes = _parse_int_list(args.batch_sizes)
+
+    if args.online:
+        with ctx.phase("autotune-online"):
+            report = run_online(
+                width=args.width, sla=sla, ops=args.ops,
+                workload=args.workload, chunk=args.chunk, alpha=args.alpha,
+                families=families, windows=windows, batch_sizes=batch_sizes,
+                recovery_cycles=args.recovery_cycles,
+                decide_every_ops=args.decide_every, z=args.z,
+                seed=args.seed, ctx=ctx)
+        print(f"autotune online: {report['workload']} workload, "
+              f"{report['ops']} ops, width {report['width']}, "
+              f"SLA stall<={sla.stall_rate}")
+        for ph in report["phases"]:
+            verdict = "converged" if ph["converged"] else "NOT CONVERGED"
+            print(f"  phase {ph['name']:<12} -> "
+                  f"{ph['final_family']}/w={ph['final_window']}  "
+                  f"observed={ph['observed_stall_rate']:.5f}  "
+                  f"predicted={ph['predicted_stall_rate']:.5f}  "
+                  f"[{verdict}]")
+        final = report["final"]
+        print(f"final config: {final['family']} window={final['window']} "
+              f"batch={final['batch_ops']}; "
+              f"{report['reconfigurations']} reconfigurations, "
+              f"sla_met={report['sla_met']}")
+        if not args.no_save:
+            path = save_json("autotune_report.json", report)
+            trace = save_json("autotune_decisions.json",
+                              report["decisions"])
+            manifest = save_json("autotune_manifest.json",
+                                 ctx.as_manifest())
+            print(f"[report: {path}]\n[decisions: {trace}]"
+                  f"\n[manifest: {manifest}]", file=sys.stderr)
+        if args.strict and not (report["converged"] and report["sla_met"]):
+            return 1
+        return 0
+
+    with ctx.phase("autotune-whatif"):
+        decision = what_if(args.width, sla, p_propagate=args.p_propagate,
+                           families=families, windows=windows,
+                           batch_sizes=batch_sizes,
+                           recovery_cycles=args.recovery_cycles)
+    chosen = decision.chosen
+    cand = chosen.candidate
+    print(f"autotune what-if: width {args.width}, "
+          f"p_propagate={args.p_propagate}, SLA stall<={sla.stall_rate} "
+          f"p99<={sla.p99_latency_cycles}")
+    print(f"chosen: {cand.family} {cand.params} batch={cand.batch_ops}  "
+          f"(considered {decision.considered}, "
+          f"feasible={decision.feasible})")
+    print(f"  forecast: stall={chosen.stall_rate:.6g}  "
+          f"mean={chosen.mean_latency_cycles:.6f} cycles  "
+          f"p99={chosen.p99_latency_cycles:.1f} cycles  "
+          f"objective={chosen.avg_time_units:.3f}")
+    print("alternatives:")
+    for alt in decision.alternatives:
+        c = alt.candidate
+        print(f"  {c.family:<10} w={c.primary:<4} batch={c.batch_ops:<6} "
+              f"stall={alt.stall_rate:<12.6g} "
+              f"objective={alt.avg_time_units:.3f}")
+    if not args.no_save:
+        path = save_json("autotune_report.json", decision.as_dict())
+        manifest = save_json("autotune_manifest.json", ctx.as_manifest())
+        print(f"[report: {path}]\n[manifest: {manifest}]", file=sys.stderr)
+    if args.strict and not decision.feasible:
+        return 1
+    return 0
+
+
 def _run_verify(args) -> int:
     from .families import family_names
     from .verify import (DEFAULT_STREAMS, DifferentialVerifier, run_exhaustive,
@@ -707,6 +857,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "pareto":
         return _run_pareto(args)
+
+    if args.command == "autotune":
+        return _run_autotune(args)
 
     if args.command == "bench":
         from .bench.cli import run_bench_command

@@ -107,6 +107,30 @@ class ClusterConfig:
         if self.degraded_mode not in ("exact", "error"):
             raise ValueError("degraded_mode must be 'exact' or 'error'")
 
+    def reconfigure(self, window: Optional[int] = None,
+                    family: Optional[str] = None,
+                    max_batch_ops: Optional[int] = None) -> Dict[str, Any]:
+        """Re-resolve the serving knobs in place (the autotune path).
+
+        Mutates this config so future worker (re)spawns inherit the new
+        configuration; returns :meth:`worker_dict` for broadcasting to
+        already-live workers.  ``window`` follows the constructor
+        convention (the family's primary knob; ``None`` with a family
+        change = the new family's default).
+        """
+        if family is not None:
+            get_family(family)  # fail fast before mutating
+            self.family = family
+        if window is not None or family is not None:
+            fam = get_family(self.family)
+            params = fam.resolve_params(self.width, window=window)
+            self.window = fam.primary_value(self.width, params)
+        if max_batch_ops is not None:
+            if max_batch_ops < 1:
+                raise ValueError("max_batch_ops must be positive")
+            self.max_batch_ops = max_batch_ops
+        return self.worker_dict()
+
     def resolve_start_method(self) -> str:
         method = (self.start_method
                   or os.environ.get("REPRO_MP_START", "spawn"))

@@ -12,6 +12,12 @@ Router -> worker:
   is a ``(n, 2)`` uint64 ndarray on the numpy backend, else a list of
   ``(a, b)`` int tuples (arbitrary-width bigint path).
 * ``(SHUTDOWN,)`` — finish in-hand work, ship a final snapshot, exit 0.
+* ``(CONFIG, cfg)`` — live reconfiguration (autotune): *cfg* is a
+  partial :meth:`~repro.cluster.config.ClusterConfig.worker_dict`; the
+  worker rebuilds its executor with the merged configuration before the
+  next batch.  The worker loop is serial, so the swap is atomic with
+  respect to batches — exactly the service's between-micro-batch
+  guarantee.
 * ``(HANG, seconds)`` / ``(CRASH, exit_code)`` — chaos hooks for the
   supervision tests (a real deployment never sends them).
 
@@ -32,15 +38,16 @@ from __future__ import annotations
 from typing import Any, Dict, Tuple
 
 __all__ = [
-    "BATCH", "SHUTDOWN", "HANG", "CRASH",
+    "BATCH", "SHUTDOWN", "CONFIG", "HANG", "CRASH",
     "RESULT", "HEARTBEAT", "BYE",
-    "batch_msg", "result_msg", "heartbeat_msg", "bye_msg",
+    "batch_msg", "config_msg", "result_msg", "heartbeat_msg", "bye_msg",
     "light_counters",
 ]
 
 # Router -> worker kinds.
 BATCH = "batch"
 SHUTDOWN = "shutdown"
+CONFIG = "config"
 HANG = "hang"
 CRASH = "crash"
 
@@ -54,6 +61,10 @@ Message = Tuple[Any, ...]
 
 def batch_msg(msg_id: int, payload: Any) -> Message:
     return (BATCH, msg_id, payload)
+
+
+def config_msg(cfg: Dict[str, Any]) -> Message:
+    return (CONFIG, cfg)
 
 
 def result_msg(msg_id: int, result: Dict[str, Any]) -> Message:

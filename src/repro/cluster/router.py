@@ -47,10 +47,8 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..analysis.error_model import (
-    detector_flag_probability,
-    expected_latency_cycles,
-)
+from ..analysis.error_model import expected_latency_cycles
+from ..families import get_family
 from ..engine.context import RunContext
 from ..service.metrics import MetricsRegistry
 from ..service.service import (
@@ -170,6 +168,7 @@ class ClusterRouter:
         self.cfg = cfg
         self.width = cfg.width
         self.window = cfg.window
+        self.family = cfg.family
         self.recovery_cycles = cfg.recovery_cycles
         self.max_batch_ops = cfg.max_batch_ops
         self._operand_mask = (1 << self.width) - 1
@@ -220,6 +219,9 @@ class ClusterRouter:
         self.m_failed = reg.counter(
             "failed_requests_total",
             "requests that exhausted redirects or died with the cluster")
+        self.m_reconfigs = reg.counter(
+            "reconfigurations_total",
+            "live configuration swaps broadcast to the pool")
         self.m_queue_depth = reg.gauge(
             "queue_depth", "additions backlogged across all workers")
         self.m_inflight = reg.gauge(
@@ -236,7 +238,9 @@ class ClusterRouter:
     # -- analytic model / descriptors -----------------------------------
     @property
     def analytic_stall_probability(self) -> float:
-        return detector_flag_probability(self.width, self.window)
+        fam = get_family(self.family)
+        params = fam.resolve_params(self.width, window=self.window)
+        return float(fam.error_model(self.width, **params).flag_rate)
 
     @property
     def analytic_latency_cycles(self) -> float:
@@ -264,8 +268,39 @@ class ClusterRouter:
     def mean_latency_cycles(self) -> float:
         return self.h_latency.mean if self.h_latency.count else 0.0
 
+    def reconfigure(self, window: Optional[int] = None,
+                    family: Optional[str] = None,
+                    max_batch_ops: Optional[int] = None) -> Dict[str, Any]:
+        """Reconfigure the whole pool live (the autotune path).
+
+        The shared :class:`~repro.cluster.config.ClusterConfig` is
+        mutated first — workers (re)spawned later inherit the new
+        knobs — then a ``CONFIG`` message is broadcast to every live
+        worker, which swaps its executor between wire batches.  Batches
+        already on the wire complete under the old configuration;
+        either way every result is bit-exact, so no fence is needed.
+        Returns the applied configuration.
+        """
+        wd = self.cfg.reconfigure(window=window, family=family,
+                                  max_batch_ops=max_batch_ops)
+        old = {"window": self.window, "family": self.family,
+               "max_batch_ops": self.max_batch_ops}
+        self.window = self.cfg.window
+        self.family = self.cfg.family
+        self.max_batch_ops = self.cfg.max_batch_ops
+        patch = {"window": wd["window"], "family": wd["family"]}
+        for handle in self.supervisor.live:
+            handle.send(protocol.config_msg(patch))
+        applied = {"window": self.window, "family": self.family,
+                   "max_batch_ops": self.max_batch_ops}
+        self.m_reconfigs.inc()
+        self.tracer.emit("cluster_reconfigured", old=old, new=applied,
+                         live_workers=len(self.supervisor.live))
+        return applied
+
     def describe(self) -> Dict[str, Any]:
         return {"width": self.width, "window": self.window,
+                "family": self.family,
                 "recovery_cycles": self.recovery_cycles,
                 "backend": self.backend_name,
                 "workers": self.cfg.workers,

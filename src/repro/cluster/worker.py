@@ -48,6 +48,8 @@ def worker_main(worker_id: int, conn, cfg: Dict[str, Any]) -> None:
         "worker_stalls_total", "additions that took the recovery path")
     m_batches = registry.counter(
         "worker_batches_total", "wire batches executed")
+    m_reconfigs = registry.counter(
+        "worker_reconfigs_total", "live configuration swaps applied")
     m_cycles = registry.gauge(
         "worker_cycles", "virtual cycles on this worker's accelerator")
     h_batch = registry.histogram(
@@ -77,6 +79,19 @@ def worker_main(worker_id: int, conn, cfg: Dict[str, Any]) -> None:
         if kind == protocol.SHUTDOWN:
             conn.send(protocol.bye_msg(worker_id, registry.state()))
             return
+        if kind == protocol.CONFIG:
+            # Live reconfiguration (autotune): rebuild the executor
+            # from the merged config.  The loop is serial, so this
+            # always lands between batches; recovery is exact at every
+            # configuration, so results stay bit-identical.
+            cfg = {**cfg, **msg[1]}
+            executor = VlsaBatchExecutor(
+                cfg["width"], window=cfg["window"],
+                recovery_cycles=cfg["recovery_cycles"],
+                backend=cfg["backend"],
+                family=cfg.get("family", "aca"))
+            m_reconfigs.inc()
+            continue
         if kind == protocol.HANG:  # chaos hook: go silent
             time.sleep(msg[1])
             continue

@@ -49,7 +49,16 @@ from .service import VlsaService
 __all__ = ["WORKLOADS", "LoadgenReport", "make_workload", "run_loadgen",
            "capture_attack_pairs"]
 
-WORKLOADS = ("uniform", "biased", "adversarial", "attack", "mixed")
+WORKLOADS = ("uniform", "biased", "adversarial", "attack", "mixed",
+             "drift")
+
+# Per-bit propagate probability of the drift workload's final phase:
+# i.i.d. propagate-heavy bits (OR of 3 uniform words selects the
+# propagate mask), statistically adversarial for carry chains while
+# staying inside the i.i.d. model the autotuner's forecasts assume —
+# unlike the fixed `adversarial` workload, whose deterministic
+# full-width chains are maximally correlated by design.
+DRIFT_ADVERSARIAL_P = 1.0 - 0.5 ** 3
 
 PairChunk = List[Tuple[int, int]]
 
@@ -204,6 +213,62 @@ def make_workload(name: str, width: int, window: int, ops: int,
                 done += n
         return Workload(name, width, gen_mixed(), analytic,
                         params={"adversarial_fraction": frac})
+
+    if name == "drift":
+        # Nonstationary stream for autotune convergence and soak runs:
+        # the operand distribution shifts uniform -> biased ->
+        # propagate-heavy adversarial in three equal phases, chunks
+        # never spanning a shift.  Each phase is i.i.d. per bit, so the
+        # analytic stall probability is exact *within* a phase (recorded
+        # per phase in params); the stream as a whole has none.
+        if width > 64:
+            raise ValueError("drift workload supports widths up to 64")
+        n1 = ops // 3
+        n2 = ops // 3
+        n3 = ops - n1 - n2
+        phase_uniform = make_workload("uniform", width, window, n1,
+                                      chunk=chunk, rng=rng)
+        phase_biased = make_workload("biased", width, window, n2,
+                                     chunk=chunk, alpha=alpha, rng=rng)
+        q = DRIFT_ADVERSARIAL_P
+
+        def gen_propheavy() -> Iterator[PairChunk]:
+            word_mask = np.uint64((1 << width) - 1)
+            done = 0
+            while done < n3:
+                n = min(chunk, n3 - done)
+                # propagate mask: each bit propagates w.p. q (i.i.d.);
+                # a uniform, b = a ^ p_mask realizes exactly that
+                # per-bit propagate/generate/kill split.
+                p_mask = _uniform_words(rng, n)
+                for _ in range(2):
+                    p_mask |= _uniform_words(rng, n)
+                a_words = _uniform_words(rng, n) & word_mask
+                b_words = (a_words ^ p_mask) & word_mask
+                yield list(zip(a_words.tolist(), b_words.tolist()))
+                done += n
+
+        def gen_drift() -> Iterator[PairChunk]:
+            yield from phase_uniform.chunks
+            yield from phase_biased.chunks
+            yield from gen_propheavy()
+
+        phases = [
+            {"name": "uniform", "ops": n1,
+             "p_propagate": 0.5,
+             "analytic_stall_rate": phase_uniform.analytic_stall_probability},
+            {"name": "biased", "ops": n2,
+             "p_propagate": phase_biased.params.get("p_propagate"),
+             "alpha": phase_biased.params.get("alpha"),
+             "analytic_stall_rate": phase_biased.analytic_stall_probability},
+            {"name": "adversarial", "ops": n3,
+             "p_propagate": q,
+             "analytic_stall_rate":
+                 run_at_least_probability_biased(width, min(window, width), q)
+                 if window < width else q ** width},
+        ]
+        return Workload("drift", width, gen_drift(), None,
+                        params={"phases": phases, "alpha": alpha})
 
     # attack: capture the ARX cipher's actual add stream and replay it.
     pairs = _capture_attack_pairs(ops, rng)

@@ -41,11 +41,9 @@ import itertools
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
-from ..analysis.error_model import (
-    detector_flag_probability,
-    expected_latency_cycles,
-)
+from ..analysis.error_model import expected_latency_cycles
 from ..engine.context import RunContext
+from ..families import get_family
 from .executor import VlsaBatchExecutor
 from .metrics import MetricsRegistry
 from .tracing import Tracer
@@ -185,6 +183,7 @@ class VlsaService:
         self._batcher: "Optional[asyncio.Task]" = None
         self._cycle = 0
         self._ids = itertools.count()
+        self._batch_observers: List = []
         self._make_metrics()
 
     def _make_metrics(self) -> None:
@@ -211,6 +210,12 @@ class VlsaService:
         self.m_batch_failures = reg.counter(
             "batch_failures_total",
             "executor batches that raised (their requests see the error)")
+        self.m_reconfigs = reg.counter(
+            "reconfigurations_total",
+            "live configuration swaps applied between micro-batches")
+        self.m_observer_errors = reg.counter(
+            "batch_observer_errors_total",
+            "batch observers that raised (contained, batch unaffected)")
         self.m_queue_depth = reg.gauge(
             "queue_depth", "requests waiting for the batcher")
         self.m_inflight = reg.gauge(
@@ -227,8 +232,15 @@ class VlsaService:
     # -- analytic model -------------------------------------------------
     @property
     def analytic_stall_probability(self) -> float:
-        """P(detector fires) for uniform operands at this configuration."""
-        return detector_flag_probability(self.width, self.window)
+        """P(detector fires) for uniform operands at this configuration.
+
+        Routed through the family's exact error model so non-ACA
+        families report their own flag rate (the memoized Fraction DP),
+        not the ACA run-length formula.
+        """
+        fam = get_family(self.family)
+        params = fam.resolve_params(self.width, window=self.window)
+        return float(fam.error_model(self.width, **params).flag_rate)
 
     @property
     def analytic_latency_cycles(self) -> float:
@@ -503,6 +515,68 @@ class VlsaService:
                     stall_count=sum(outcome.stalled[sl]))
             pending.future.set_result(response)
 
+        # Observers (e.g. the autotune controller) see every executed
+        # batch; they run after futures resolve and may reconfigure the
+        # service — the swap lands before the next batch by construction
+        # (single batcher task, serial loop).  Observer failures are
+        # contained: the batch already succeeded.
+        for observer in self._batch_observers:
+            try:
+                observer(pairs, outcome)
+            except Exception as exc:
+                self.m_observer_errors.inc()
+                self.tracer.emit("batch_observer_failed", error=repr(exc))
+
+    # -- live reconfiguration -------------------------------------------
+    def add_batch_observer(self, observer) -> None:
+        """Register ``observer(pairs, outcome)`` called after each batch.
+
+        Called synchronously on the batcher task, so an observer may
+        call :meth:`reconfigure` and the new configuration is in place
+        for the next micro-batch (atomic with respect to batching).
+        """
+        self._batch_observers.append(observer)
+
+    def remove_batch_observer(self, observer) -> None:
+        self._batch_observers.remove(observer)
+
+    def reconfigure(self, window: Optional[int] = None,
+                    family: Optional[str] = None,
+                    max_batch_ops: Optional[int] = None) -> dict:
+        """Swap the executor configuration between micro-batches.
+
+        Bit-exactness is preserved by construction: recovery is exact at
+        every window of every registered family, so sums/couts are
+        bit-identical across any reconfiguration schedule — only flags
+        and latency change (re-checked by the ``service:autotuned``
+        verify implementation).
+
+        ``window`` follows the constructor convention (the family's
+        primary knob; ``None`` = the target family's default).  Returns
+        the applied configuration.
+        """
+        family = family if family is not None else self.family
+        backend = self.executor.backend
+        if backend.startswith("cluster"):
+            raise ServiceError("reconfigure the cluster via ClusterRouter")
+        old = {"window": self.window, "family": self.family,
+               "max_batch_ops": self.max_batch_ops}
+        self.executor = VlsaBatchExecutor(
+            self.width, window=window,
+            recovery_cycles=self.recovery_cycles,
+            backend=backend, ctx=self.ctx, family=family)
+        self.window = self.executor.window
+        self.family = family
+        if max_batch_ops is not None:
+            if max_batch_ops < 1:
+                raise ValueError("max_batch_ops must be at least 1")
+            self.max_batch_ops = max_batch_ops
+        applied = {"window": self.window, "family": self.family,
+                   "max_batch_ops": self.max_batch_ops}
+        self.m_reconfigs.inc()
+        self.tracer.emit("service_reconfigured", old=old, new=applied)
+        return applied
+
     # -- reporting ------------------------------------------------------
     def metrics_json(self) -> dict:
         """Snapshot of the metrics registry as a nested dict."""
@@ -525,6 +599,7 @@ class VlsaService:
     def describe(self) -> dict:
         """The ``info`` payload the TCP server hands to clients."""
         return {"width": self.width, "window": self.window,
+                "family": self.family,
                 "recovery_cycles": self.recovery_cycles,
                 "backend": self.backend_name,
                 "queue_capacity": self.queue_capacity,

@@ -338,6 +338,40 @@ class ClusterImpl(Implementation):
                           flags=out.stalled, latencies=out.latencies)
 
 
+class AutotunedImpl(Implementation):
+    """The autotuned service path: config changes mid-stream.
+
+    Wraps :class:`~repro.autotune.controller.SyncAutotunedExecutor` —
+    the online controller reconfigures window, family and batch size
+    *between micro-batches while the vector stream is being verified*
+    (the adversarial/biased streams force real switches).  The paper's
+    invariant under test: recovery is exact at every configuration, so
+    sums/couts must stay bit-identical to ``service:numpy`` no matter
+    the reconfiguration schedule.  Flags and latencies legitimately
+    differ per configuration, so this adapter reports none and the
+    verifier compares values only.
+    """
+
+    family = "exact"
+
+    def __init__(self, width: int, window: int, recovery_cycles: int = 1,
+                 family: str = "aca"):
+        from ..autotune import SLA, PolicyEngine, SyncAutotunedExecutor
+
+        self.name = "service:autotuned"
+        policy = PolicyEngine(width, SLA(stall_rate=0.05),
+                              batch_sizes=[1024],
+                              recovery_cycles=recovery_cycles)
+        self.executor = SyncAutotunedExecutor(
+            width, policy, window=window, family=family,
+            recovery_cycles=recovery_cycles,
+            decide_every_ops=512, profile_pairs=2048)
+
+    def run(self, pairs: Sequence[Pair]) -> ImplResult:
+        out = self.executor.execute(list(pairs))
+        return ImplResult(sums=out.sums, couts=out.couts)
+
+
 #: name -> factory(width, window, recovery_cycles[, family]) ->
 #: Implementation.  Factories that do not accept a ``family`` keyword
 #: (legacy three-argument ones, e.g. the mutation-test mutants) remain
@@ -391,6 +425,11 @@ def _ensure_builtin() -> None:
     # processes, so a plain `repro verify` run does not pay for it; CI
     # and the cluster tests opt in with explicit impl lists.
     register_implementation("cluster", ClusterImpl)
+    # Likewise post-snapshot: the autotuned path reconfigures itself
+    # mid-stream, so its flags are schedule-dependent — it exists to
+    # prove sums/couts stay bit-identical across reconfigurations and
+    # is driven explicitly (--impls service:numpy,service:autotuned).
+    register_implementation("service:autotuned", AutotunedImpl)
 
 
 def available_implementations() -> List[str]:

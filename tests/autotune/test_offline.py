@@ -1,0 +1,70 @@
+"""Offline what-if analysis and the ``repro autotune`` CLI verb."""
+
+import json
+
+import pytest
+
+from repro.autotune import SLA, what_if
+from repro.cli import main
+
+
+@pytest.fixture(autouse=True)
+def _results_tmpdir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    return tmp_path
+
+
+def test_what_if_uniform_two_families_feasible():
+    decision = what_if(64, SLA(stall_rate=0.02), p_propagate=0.5,
+                       families=["aca", "blockspec"])
+    assert decision.feasible
+    assert decision.chosen.candidate.family in ("aca", "blockspec")
+    assert decision.chosen.stall_rate <= 0.02
+    assert decision.alternatives
+
+
+def test_what_if_adversarial_profile_still_has_a_safe_config():
+    decision = what_if(64, SLA(stall_rate=0.02), p_propagate=7 / 8,
+                       families=["aca"])
+    assert decision.feasible
+    assert decision.chosen.candidate.primary == 64
+
+
+def test_what_if_impossible_sla_reported_infeasible():
+    decision = what_if(64, SLA(stall_rate=1e-12), p_propagate=0.5,
+                       windows=[2, 4], families=["aca"])
+    assert not decision.feasible
+
+
+def test_autotune_cli_offline_saves_report(capsys, _results_tmpdir):
+    assert main(["autotune", "--families", "aca,blockspec",
+                 "--sla-stall-rate", "0.02"]) == 0
+    out = capsys.readouterr().out
+    assert "autotune" in out.lower()
+    path = _results_tmpdir / "autotune_report.json"
+    assert path.exists()
+    report = json.loads(path.read_text())
+    assert report["chosen"]["stall_rate"] <= 0.02
+
+
+def test_autotune_cli_offline_strict_exit_on_infeasible(capsys):
+    rc = main(["autotune", "--families", "aca", "--windows", "2,3",
+               "--sla-stall-rate", "1e-12", "--strict", "--no-save"])
+    assert rc == 1
+
+
+def test_autotune_cli_online_strict_converges(capsys, _results_tmpdir):
+    rc = main(["autotune", "--online", "--ops", "24000", "--chunk", "512",
+               "--decide-every", "1024", "--strict"])
+    assert rc == 0
+    report = json.loads(
+        (_results_tmpdir / "autotune_report.json").read_text())
+    assert report["converged"] and report["sla_met"]
+    decisions = json.loads(
+        (_results_tmpdir / "autotune_decisions.json").read_text())
+    assert decisions, "decision trace artifact must not be empty"
+
+
+def test_autotune_cli_no_save_writes_nothing(capsys, _results_tmpdir):
+    assert main(["autotune", "--no-save"]) == 0
+    assert list(_results_tmpdir.iterdir()) == []

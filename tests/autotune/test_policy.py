@@ -1,0 +1,117 @@
+"""PolicyEngine: SLA filtering, fail-safe fallback, hysteresis."""
+
+import pytest
+
+from repro.autotune import OperandProfile, PolicyEngine, SLA, \
+    default_windows
+from repro.autotune.predictor import forecast
+
+
+def test_default_windows_ladder_clamped_and_includes_width():
+    ws = default_windows(64)
+    assert ws[0] == 2 and ws[-1] == 64
+    assert all(w <= 64 for w in ws)
+    assert default_windows(20)[-1] == 20  # width always present
+
+
+def test_candidate_space_covers_families_and_windows():
+    policy = PolicyEngine(64, SLA(), families=["aca", "blockspec"],
+                          windows=[4, 8, 64])
+    fams = {c.family for c in policy.candidates}
+    assert fams == {"aca", "blockspec"}
+    assert len(policy.candidates) >= 4  # dedup may merge clamped knobs
+
+
+def test_unknown_family_rejected_at_construction():
+    from repro.families.base import FamilyError
+    with pytest.raises(FamilyError):
+        PolicyEngine(64, SLA(), families=["nope"])
+
+
+def test_chosen_config_respects_stall_sla_with_margin():
+    sla = SLA(stall_rate=0.02)
+    policy = PolicyEngine(64, sla)
+    decision = policy.decide(OperandProfile.fixed(64, 0.5))
+    assert decision.feasible
+    assert decision.chosen.stall_rate <= sla.stall_rate * \
+        policy.safety_margin + 1e-12
+    assert decision.considered == len(policy.candidates)
+
+
+def test_adversarial_profile_drives_window_to_width():
+    """Propagate-heavy traffic forces the fail-safe exact-like config."""
+    policy = PolicyEngine(64, SLA(stall_rate=0.02), families=["aca"])
+    decision = policy.decide(OperandProfile.fixed(64, 7 / 8))
+    assert decision.feasible
+    assert decision.chosen.candidate.primary == 64
+    assert decision.chosen.stall_rate == pytest.approx((7 / 8) ** 64)
+
+
+def test_biased_profile_admits_smaller_window_than_uniform():
+    policy = PolicyEngine(64, SLA(stall_rate=0.02), families=["aca"])
+    uniform = policy.decide(OperandProfile.fixed(64, 0.5))
+    biased = policy.decide(OperandProfile.fixed(64, 0.25))
+    # Less propagate mass -> a smaller (faster) window clears the SLA.
+    assert biased.chosen.candidate.primary < \
+        uniform.chosen.candidate.primary
+    assert biased.feasible and uniform.feasible
+    assert biased.chosen.stall_rate <= 0.02 * policy.safety_margin
+
+
+def test_infeasible_sla_falls_back_to_most_conservative():
+    # No candidate of a tiny-window-only ladder can meet a 1e-9 SLA at
+    # uniform traffic: the decision must be flagged infeasible and pick
+    # the minimum-stall candidate anyway.
+    policy = PolicyEngine(64, SLA(stall_rate=1e-9), families=["aca"],
+                          windows=[2, 3, 4])
+    decision = policy.decide(OperandProfile.fixed(64, 0.5))
+    assert not decision.feasible
+    rates = [forecast(c, 0.5).stall_rate for c in policy.candidates]
+    assert decision.chosen.stall_rate == pytest.approx(min(rates))
+
+
+def test_p99_sla_constrains_batch_size():
+    tight = PolicyEngine(64, SLA(stall_rate=None, p99_latency_cycles=200.0),
+                         families=["aca"], batch_sizes=[64, 1024, 4096])
+    decision = tight.decide(OperandProfile.fixed(64, 0.5))
+    assert decision.feasible
+    assert decision.chosen.candidate.batch_ops == 64
+    loose = PolicyEngine(64, SLA(stall_rate=None, p99_latency_cycles=None),
+                         families=["aca"], batch_sizes=[64, 1024, 4096])
+    relaxed = loose.decide(OperandProfile.fixed(64, 0.5))
+    assert relaxed.chosen.candidate.batch_ops == 4096
+
+
+def test_hysteresis_keeps_safe_incumbent():
+    policy = PolicyEngine(64, SLA(stall_rate=0.02), families=["aca"],
+                          hysteresis=0.5)
+    profile = OperandProfile.fixed(64, 0.5)
+    first = policy.decide(profile)
+    # Re-deciding with the chosen config as incumbent must not switch.
+    again = policy.decide(profile, current=first.chosen.candidate)
+    assert not again.switched
+    # A *slightly* worse but still-safe incumbent survives wide
+    # hysteresis too.
+    incumbent = next(c for c in policy.candidates
+                     if c.primary == 64)
+    sticky = policy.decide(profile, current=incumbent)
+    assert not sticky.switched
+    assert sticky.chosen.candidate.key() == incumbent.key()
+
+
+def test_unsafe_incumbent_is_always_replaced():
+    policy = PolicyEngine(64, SLA(stall_rate=0.02), families=["aca"],
+                          hysteresis=0.9)
+    profile = OperandProfile.fixed(64, 7 / 8)
+    incumbent = next(c for c in policy.candidates if c.primary == 8)
+    decision = policy.decide(profile, current=incumbent)
+    assert decision.switched
+    assert decision.chosen.candidate.primary == 64
+
+
+def test_decision_as_dict_round_trips_to_json():
+    import json
+    policy = PolicyEngine(32, SLA())
+    decision = policy.decide(OperandProfile.fixed(32, 0.5))
+    blob = json.dumps(decision.as_dict())
+    assert json.loads(blob)["chosen"]["width"] == 32

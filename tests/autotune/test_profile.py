@@ -1,0 +1,102 @@
+"""OperandProfile: popcount accounting, sliding window, priors."""
+
+import numpy as np
+import pytest
+
+from repro.autotune import OperandProfile
+from repro.autotune.profile import profile_from_pairs
+
+
+def test_empty_profile_uses_uniform_priors():
+    prof = OperandProfile(width=64)
+    assert prof.pairs == 0
+    assert prof.p_propagate == 0.5
+    assert prof.p_generate == 0.25
+    assert prof.p_kill == pytest.approx(0.25)
+
+
+def test_observe_pairs_matches_bin_popcounts(rng):
+    width = 32
+    pairs = [(rng.getrandbits(width), rng.getrandbits(width))
+             for _ in range(200)]
+    prof = profile_from_pairs(width, pairs)
+    prop = sum(bin(a ^ b).count("1") for a, b in pairs)
+    gen = sum(bin(a & b).count("1") for a, b in pairs)
+    assert prof.pairs == len(pairs)
+    assert prof.p_propagate == pytest.approx(prop / (len(pairs) * width))
+    assert prof.p_generate == pytest.approx(gen / (len(pairs) * width))
+
+
+def test_observe_arrays_agrees_with_observe_pairs(rng):
+    width = 64
+    n = 300
+    a = np.array([rng.getrandbits(width) for _ in range(n)], dtype=np.uint64)
+    b = np.array([rng.getrandbits(width) for _ in range(n)], dtype=np.uint64)
+    via_arrays = OperandProfile(width=width)
+    via_arrays.observe_arrays(a, b)
+    via_pairs = OperandProfile(width=width)
+    via_pairs.observe_pairs([(int(x), int(y)) for x, y in zip(a, b)])
+    assert via_arrays.p_propagate == pytest.approx(via_pairs.p_propagate)
+    assert via_arrays.p_generate == pytest.approx(via_pairs.p_generate)
+
+
+def test_observe_dispatches_on_pairs_matrix(rng):
+    width = 16
+    mat = np.array([[3, 5], [0xFFFF, 1], [7, 8]], dtype=np.uint64)
+    prof = OperandProfile(width=width)
+    prof.observe(mat)
+    assert prof.pairs == 3
+    ref = profile_from_pairs(width, [(3, 5), (0xFFFF, 1), (7, 8)])
+    assert prof.p_propagate == pytest.approx(ref.p_propagate)
+
+
+def test_sliding_window_evicts_old_segments():
+    width = 8
+    prof = OperandProfile(width=width, window_pairs=100)
+    # First segment: all-propagate pairs (a ^ b = 0xFF).
+    prof.observe_pairs([(0xFF, 0x00)] * 100)
+    assert prof.p_propagate == pytest.approx(1.0)
+    # Push three more segments of all-kill pairs; the propagate segment
+    # must age out entirely.
+    for _ in range(3):
+        prof.observe_pairs([(0x00, 0x00)] * 50)
+    assert prof.pairs <= 100
+    assert prof.p_propagate == pytest.approx(0.0)
+    assert prof.p_generate == pytest.approx(0.0)
+
+
+def test_window_never_evicts_last_segment():
+    prof = OperandProfile(width=8, window_pairs=4)
+    prof.observe_pairs([(0xFF, 0x00)] * 32)  # one oversized segment
+    assert prof.pairs == 32  # kept whole: never drop the only segment
+    assert prof.p_propagate == pytest.approx(1.0)
+
+
+def test_fixed_profile_hits_requested_fractions():
+    prof = OperandProfile.fixed(64, 0.375)
+    assert prof.p_propagate == pytest.approx(0.375, abs=1e-6)
+    assert prof.p_generate == pytest.approx((1 - 0.375) / 2, abs=1e-6)
+    biased = OperandProfile.fixed(64, 0.9, p_generate=0.05)
+    assert biased.p_propagate == pytest.approx(0.9, abs=1e-6)
+    assert biased.p_generate == pytest.approx(0.05, abs=1e-6)
+
+
+def test_fixed_profile_validates_fractions():
+    with pytest.raises(ValueError):
+        OperandProfile.fixed(64, 1.5)
+    with pytest.raises(ValueError):
+        OperandProfile.fixed(64, 0.8, p_generate=0.5)
+
+
+def test_reset_restores_priors():
+    prof = profile_from_pairs(16, [(0xFFFF, 0)] * 10)
+    prof.reset()
+    assert prof.pairs == 0
+    assert prof.p_propagate == 0.5
+
+
+def test_snapshot_is_json_able():
+    import json
+    snap = profile_from_pairs(16, [(1, 2), (3, 4)]).snapshot()
+    assert json.loads(json.dumps(snap)) == snap
+    assert snap["pairs"] == 2

@@ -218,3 +218,47 @@ def test_registry_merge_registries_directly():
     a.merge(b)
     assert a.counter("ops_total").value == 3
     assert a.counter("only_b_total").value == 9
+
+
+def test_registry_merge_snapshot_empty_is_noop():
+    reg = MetricsRegistry()
+    reg.counter("ops_total").inc(4)
+    reg.merge_snapshot({})
+    assert reg.counter("ops_total").value == 4
+    assert reg.names() == ["ops_total"]
+
+
+def test_registry_merge_snapshot_partial_subset():
+    src = MetricsRegistry()
+    src.counter("ops_total").inc(3)
+    src.gauge("depth").set(7)
+    dst = MetricsRegistry()
+    dst.counter("ops_total").inc(1)
+    snap = src.state()
+    del snap["depth"]  # a worker that never registered the gauge
+    dst.merge_snapshot(snap)
+    assert dst.counter("ops_total").value == 4
+    assert dst.get("depth") is None
+
+
+def test_registry_merge_snapshot_unknown_kind_rejected():
+    reg = MetricsRegistry()
+    with pytest.raises(KeyError):
+        reg.merge_snapshot({"weird": {"kind": "summary", "help": "",
+                                      "state": {"value": 1}}})
+
+
+def test_registry_merge_snapshot_malformed_entry_rejected():
+    reg = MetricsRegistry()
+    with pytest.raises(KeyError):
+        reg.merge_snapshot({"ops_total": {"help": "no kind field"}})
+
+
+def test_registry_merge_snapshot_negative_counter_rejected():
+    reg = MetricsRegistry()
+    reg.counter("ops_total").inc(2)
+    with pytest.raises(ValueError):
+        reg.merge_snapshot({"ops_total": {"kind": "counter", "help": "",
+                                          "state": {"value": -5}}})
+    # The failed merge must not have corrupted the counter.
+    assert reg.counter("ops_total").value == 2

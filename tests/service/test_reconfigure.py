@@ -1,0 +1,107 @@
+"""VlsaService live reconfiguration and batch observers."""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.service import VlsaService
+from repro.service.executor import VlsaBatchExecutor
+
+WIDTH = 32
+MASK = (1 << WIDTH) - 1
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def rand_pairs(n, seed=0):
+    rng = random.Random(seed)
+    return [(rng.getrandbits(WIDTH), rng.getrandbits(WIDTH))
+            for _ in range(n)]
+
+
+def test_reconfigure_updates_window_family_and_batch_cap():
+    async def main():
+        async with VlsaService(width=WIDTH, window=4) as svc:
+            applied = svc.reconfigure(window=16, family="blockspec",
+                                      max_batch_ops=128)
+            assert applied["family"] == "blockspec"
+            assert svc.family == "blockspec"
+            assert svc.max_batch_ops == 128
+            assert svc.m_reconfigs.value == 1
+            assert svc.describe()["family"] == "blockspec"
+            resp = await svc.submit(MASK, 1)
+            assert resp.sum_out == 0 and resp.cout == 1
+    run(main())
+
+
+def test_mid_stream_reconfigure_is_bit_exact():
+    """Sums across a config change equal the exact adder's."""
+    pairs = rand_pairs(600, seed=3)
+    want = VlsaBatchExecutor(WIDTH, window=WIDTH).execute(pairs)
+
+    async def main():
+        async with VlsaService(width=WIDTH, window=4) as svc:
+            first = await svc.submit_batch(pairs[:300])
+            svc.reconfigure(window=12, family="aca")
+            second = await svc.submit_batch(pairs[300:])
+            assert first.sums + second.sums == want.sums
+            assert first.couts + second.couts == want.couts
+    run(main())
+
+
+def test_reconfigure_rejects_bad_args():
+    from repro.families.base import FamilyError
+
+    async def main():
+        async with VlsaService(width=WIDTH) as svc:
+            with pytest.raises(ValueError):
+                svc.reconfigure(max_batch_ops=0)
+            with pytest.raises(FamilyError):
+                svc.reconfigure(family="not-a-family")
+            # Failed reconfigure attempts must not corrupt the service.
+            resp = await svc.submit(1, 2)
+            assert resp.sum_out == 3
+    run(main())
+
+
+def test_batch_observer_sees_every_batch_and_can_be_removed():
+    seen = []
+
+    def observer(pairs, outcome):
+        seen.append((len(pairs), outcome.stall_count))
+
+    async def main():
+        async with VlsaService(width=WIDTH, window=4) as svc:
+            svc.add_batch_observer(observer)
+            await svc.submit_batch([(1, 2), (MASK, 1)])
+            assert len(seen) == 1
+            assert seen[0][0] == 2
+            svc.remove_batch_observer(observer)
+            await svc.submit_batch([(3, 4)])
+            assert len(seen) == 1
+    run(main())
+
+
+def test_observer_exception_is_contained_and_counted():
+    def bad_observer(pairs, outcome):
+        raise RuntimeError("boom")
+
+    async def main():
+        async with VlsaService(width=WIDTH) as svc:
+            svc.add_batch_observer(bad_observer)
+            resp = await svc.submit_batch([(1, 2)])
+            assert resp.sums == [3]  # request unaffected
+            assert svc.m_observer_errors.value == 1
+    run(main())
+
+
+def test_analytic_stall_probability_tracks_family():
+    async def main():
+        async with VlsaService(width=64, window=8) as svc:
+            aca = svc.analytic_stall_probability
+            svc.reconfigure(family="blockspec", window=8)
+            assert svc.analytic_stall_probability != aca
+    run(main())

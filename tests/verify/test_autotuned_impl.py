@@ -1,0 +1,35 @@
+"""The ``service:autotuned`` implementation in the verify registry.
+
+Mid-stream reconfigurations must be invisible in sums/couts: the
+autotuned executor is held to the same bit-identical standard as the
+exact reference, across whatever schedule the controller picks.
+"""
+
+from repro.verify import (
+    DifferentialVerifier,
+    available_implementations,
+    default_implementations,
+)
+
+
+def test_autotuned_is_registered_but_not_default():
+    assert "service:autotuned" in available_implementations()
+    for width in (16, 32, 64):
+        assert "service:autotuned" not in default_implementations(width)
+
+
+def test_autotuned_bit_identical_to_service_numpy():
+    verifier = DifferentialVerifier(
+        32, window=8, impls=["service:numpy", "service:autotuned"])
+    report = verifier.run(vectors=600,
+                          streams=("uniform", "adversarial", "boundary"),
+                          chunk=200)
+    assert report.ok
+    assert report.mismatch_count == 0
+    cov = {c.impl: c for c in report.coverage}
+    assert cov["service:autotuned"].vectors == 600 * 3
+    # The autotuned path must actually have reconfigured at least once
+    # on this mixed stream (adversarial chunks force the window up).
+    impl = next(i for i in verifier.impls
+                if i.name == "service:autotuned")
+    assert impl.executor.controller.ops_seen == 600 * 3
