@@ -115,6 +115,13 @@ def _cmd_crosscheck(args, ctx) -> str:
 def _cmd_loadgen(args, ctx) -> str:
     from .service import run_loadgen
 
+    connect = None
+    if args.connect is not None:
+        host, _, port = args.connect.rpartition(":")
+        if not host or not port.isdigit():
+            raise SystemExit(f"--connect wants HOST:PORT, "
+                             f"got {args.connect!r}")
+        connect = (host, int(port))
     report = run_loadgen(
         workload=args.workload, ops=args.ops, width=args.width,
         window=args.window, chunk=args.chunk,
@@ -122,7 +129,8 @@ def _cmd_loadgen(args, ctx) -> str:
         max_batch_ops=args.max_batch, backend=args.service_backend,
         alpha=args.alpha, adversarial_fraction=args.adversarial_fraction,
         target=args.target, workers=args.workers,
-        shard_policy=args.shard_policy, ctx=ctx)
+        shard_policy=args.shard_policy, transport=args.transport,
+        connect=connect, ctx=ctx)
     if not args.no_save:
         path = save_json("loadgen_metrics.json", report.as_dict())
         print(f"[metrics: {path}]", file=sys.stderr)
@@ -295,17 +303,26 @@ def _add_loadgen(p):
                    type=float, default=0.1,
                    help="stalling fraction for the mixed workload "
                         "(default: %(default)s)")
-    p.add_argument("--target", choices=("service", "cluster"),
+    p.add_argument("--target", choices=("service", "cluster", "tcp"),
                    default="service",
-                   help="serving target: one in-process service or a "
-                        "multi-process cluster (default: %(default)s)")
+                   help="serving target: one in-process service, a "
+                        "multi-process cluster, or real-socket clients "
+                        "against a TCP edge (default: %(default)s)")
     p.add_argument("--workers", type=int, default=2,
-                   help="cluster worker processes, --target cluster only "
-                        "(default: %(default)s)")
+                   help="cluster worker processes, --target cluster/tcp "
+                        "(default: %(default)s; 0 with --target tcp "
+                        "self-hosts a plain in-process service)")
     p.add_argument("--shard-policy", dest="shard_policy",
                    choices=("round_robin", "least_loaded", "hash"),
                    default="round_robin",
                    help="cluster shard policy (default: %(default)s)")
+    p.add_argument("--transport", choices=("pipe", "shm"),
+                   default="pipe",
+                   help="cluster wire: pickle-over-pipe or zero-copy "
+                        "shared-memory rings (default: %(default)s)")
+    p.add_argument("--connect", metavar="HOST:PORT", default=None,
+                   help="drive an external already-running server "
+                        "(--target tcp only; default: self-host one)")
     p.add_argument("--strict", action="store_true",
                    help="exit 1 on any rejected/timed-out/degraded/"
                         "redirected request or worker restart (CI smoke)")
@@ -422,6 +439,14 @@ def _build_parser() -> argparse.ArgumentParser:
                      default="round_robin",
                      help="cluster shard policy, --workers > 0 only "
                           "(default: %(default)s)")
+    srv.add_argument("--transport", choices=("pipe", "shm"),
+                     default="pipe",
+                     help="router<->worker transport, --workers > 0 "
+                          "only: pickle-over-pipe or zero-copy "
+                          "shared-memory rings (default: %(default)s)")
+    srv.add_argument("--listen", default=None, metavar="HOST:PORT",
+                     help="bind address as one flag; overrides "
+                          "--host/--port")
     srv.add_argument("--seed", type=int, default=DEFAULT_SEED,
                      help="root RNG seed (default: %(default)s)")
     srv.add_argument("--no-save", action="store_true",
@@ -593,6 +618,14 @@ def _run_serve(args) -> int:
     import signal
 
     from .service import VlsaServer, VlsaService
+    from .service.server import install_uvloop
+
+    if args.listen:
+        host, _, port = args.listen.rpartition(":")
+        if not host or not port.isdigit():
+            raise SystemExit(f"--listen wants HOST:PORT, got "
+                             f"{args.listen!r}")
+        args.host, args.port = host, int(port)
 
     ctx = RunContext(seed=args.seed, label="serve")
     if args.workers > 0:
@@ -603,6 +636,7 @@ def _run_serve(args) -> int:
             recovery_cycles=args.recovery_cycles,
             workers=args.workers, backend=args.service_backend,
             shard_policy=args.shard_policy,
+            transport=args.transport,
             max_batch_ops=args.max_batch,
             worker_queue_ops=args.queue_capacity * args.max_batch), ctx=ctx)
     else:
@@ -651,6 +685,8 @@ def _run_serve(args) -> int:
             for sig in hooked:
                 loop.remove_signal_handler(sig)
 
+    if install_uvloop():
+        print("event loop: uvloop", file=sys.stderr)
     try:
         asyncio.run(amain())
     except KeyboardInterrupt:

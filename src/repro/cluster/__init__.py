@@ -4,11 +4,13 @@ A sharded pool of worker processes behind an asyncio router that keeps
 the single-process service's submission contract — plus supervision
 (heartbeats, crash/hang detection, backoff restarts), failover with a
 degraded exact-addition fallback, and cluster-wide metrics aggregation.
-See :mod:`repro.cluster.router` for the data path and
-:mod:`repro.cluster.supervisor` for the control path.
+See :mod:`repro.cluster.router` for the data path,
+:mod:`repro.cluster.supervisor` for the control path, and
+:mod:`repro.cluster.transport` for the wire (pickle-over-pipe or
+zero-copy shared-memory rings).
 """
 
-from .config import SHARD_POLICY_NAMES, ClusterConfig
+from .config import SHARD_POLICY_NAMES, TRANSPORT_NAMES, ClusterConfig
 from .router import (
     SHARD_POLICIES,
     ClusterRouter,
@@ -17,14 +19,27 @@ from .router import (
 )
 from .supervisor import WorkerHandle, WorkerSupervisor
 from .sync import SyncCluster, close_shared_cluster, shared_cluster
+from .transport import (
+    PipeTransport,
+    Ring,
+    ShmRingTransport,
+    Transport,
+    make_transport,
+)
 
 __all__ = [
     "ClusterConfig",
     "ClusterRouter",
     "ClusterUnhealthyError",
+    "PipeTransport",
+    "Ring",
     "SHARD_POLICIES",
     "SHARD_POLICY_NAMES",
+    "ShmRingTransport",
     "SyncCluster",
+    "Transport",
+    "TRANSPORT_NAMES",
+    "make_transport",
     "WorkerHandle",
     "WorkerSupervisor",
     "close_shared_cluster",

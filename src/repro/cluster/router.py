@@ -234,6 +234,63 @@ class ClusterRouter:
             "latency_cycles", "per-addition latency in cycles")
         self.h_wall = reg.histogram(
             "request_wall_seconds", "request wall time, admission to response")
+        # Transport-layer accounting, synced from the per-worker
+        # channels' I/O threads (deltas for counters, sums for gauges).
+        self.m_tx_bytes = reg.counter(
+            "transport_tx_bytes_total",
+            "payload bytes shipped router -> workers")
+        self.m_rx_bytes = reg.counter(
+            "transport_rx_bytes_total",
+            "payload bytes shipped workers -> router")
+        self.m_tx_msgs = reg.counter(
+            "transport_tx_msgs_total", "messages shipped router -> workers")
+        self.m_rx_msgs = reg.counter(
+            "transport_rx_msgs_total", "messages shipped workers -> router")
+        self.m_pipe_fallback = reg.counter(
+            "transport_pipe_fallback_total",
+            "messages too large for a ring slot, sent via the control pipe")
+        self.m_ring_stalls = reg.counter(
+            "transport_ring_full_stalls_total",
+            "producer waits on a full ring (back-pressure events)")
+        self.g_ring_tx = reg.gauge(
+            "ring_tx_occupancy_slots",
+            "router->worker ring slots published but not retired")
+        self.g_ring_rx = reg.gauge(
+            "ring_rx_occupancy_slots",
+            "worker->router ring slots published but not retired")
+        self._tstats_seen: Dict[int, Dict[str, int]] = {}
+
+    def _sync_transport_metrics(self) -> None:
+        """Fold channel I/O-thread accounting into the registry.
+
+        Counters accumulate deltas per worker id (channels die with
+        their workers); occupancy gauges are instantaneous sums over
+        the live pool.
+        """
+        tx_occ = rx_occ = 0
+        for handle in self.supervisor.live:
+            stats = handle.transport_stats()
+            if not stats:
+                continue
+            tx_occ += stats.get("ring_tx_occupancy", 0)
+            rx_occ += stats.get("ring_rx_occupancy", 0)
+            self._fold_channel_stats(handle.wid, stats)
+        self.g_ring_tx.set(tx_occ)
+        self.g_ring_rx.set(rx_occ)
+
+    def _fold_channel_stats(self, wid: int, stats: Dict[str, int]) -> None:
+        seen = self._tstats_seen.setdefault(wid, {})
+        for key, counter in (("tx_bytes", self.m_tx_bytes),
+                             ("rx_bytes", self.m_rx_bytes),
+                             ("tx_msgs", self.m_tx_msgs),
+                             ("rx_msgs", self.m_rx_msgs),
+                             ("pipe_fallbacks", self.m_pipe_fallback),
+                             ("ring_full_stalls", self.m_ring_stalls)):
+            value = stats.get(key, 0)
+            delta = value - seen.get(key, 0)
+            if delta > 0:
+                counter.inc(delta)
+            seen[key] = value
 
     # -- analytic model / descriptors -----------------------------------
     @property
@@ -304,6 +361,7 @@ class ClusterRouter:
                 "recovery_cycles": self.recovery_cycles,
                 "backend": self.backend_name,
                 "workers": self.cfg.workers,
+                "transport": self.cfg.transport,
                 "shard_policy": self.cfg.shard_policy,
                 "worker_queue_ops": self.cfg.worker_queue_ops,
                 "max_batch_ops": self.max_batch_ops,
@@ -533,6 +591,7 @@ class ClusterRouter:
         handle.wire_ops -= wb.ops
         handle.counters = result.get("counters", handle.counters)
         self._resolve_wire_batch(wb, result)
+        self._sync_transport_metrics()
         self._kick(handle)
 
     def _resolve_wire_batch(self, wb: _WireBatch,
@@ -691,12 +750,17 @@ class ClusterRouter:
 
     def _retire_worker(self, handle: WorkerHandle) -> None:
         """Fold a finished worker's final state into the retired bank."""
+        stats = handle.transport_stats()
+        if stats:
+            self._fold_channel_stats(handle.wid, stats)
+        self._tstats_seen.pop(handle.wid, None)
         state = self._patched_worker_state(handle)
         if state:
             self._retired.merge_snapshot(state)
 
     def merged_registry(self) -> MetricsRegistry:
         """Router + retired + live worker registries, merged fresh."""
+        self._sync_transport_metrics()
         merged = MetricsRegistry(namespace=self.registry.namespace)
         merged.merge_snapshot(self.registry.state())
         merged.merge_snapshot(self._retired.state())

@@ -4,9 +4,13 @@ The :class:`WorkerSupervisor` owns every OS-level concern of the pool so
 the router can stay a pure asyncio front end:
 
 * **Spawn.**  Each slot gets a fresh process (``spawn`` start method by
-  default — fork is unsafe once the I/O threads below exist), a duplex
-  pipe, a writer thread (so a full pipe can never block the event loop)
-  and a reader thread that posts every message onto the loop.
+  default — fork is unsafe once the I/O threads below exist) and a
+  transport channel (:mod:`repro.cluster.transport`: pickle-over-pipe
+  or zero-copy shared-memory rings) whose writer thread guarantees a
+  full wire can never block the event loop and whose reader thread
+  posts every message onto the loop.  Shared-memory segments are
+  created at spawn and destroyed deterministically on worker death,
+  restart and shutdown via the transport's segment tracker.
 * **Liveness.**  Three independent detectors: the reader thread sees
   pipe EOF the instant a crashed worker's last buffered replies drain
   (so no delivered result is ever thrown away), the monitor tick checks
@@ -26,8 +30,6 @@ from __future__ import annotations
 
 import asyncio
 import collections
-import queue
-import threading
 import time
 from typing import Any, Callable, Dict, List, Optional
 
@@ -35,20 +37,19 @@ from ..service.metrics import MetricsRegistry
 from ..service.tracing import Tracer
 from . import protocol
 from .config import ClusterConfig
+from .transport import RouterChannel, Transport, make_transport
 
 __all__ = ["WorkerHandle", "WorkerSupervisor"]
 
-_CLOSE = object()
-
 
 class WorkerHandle:
-    """One worker slot's process, pipe, I/O threads and router state."""
+    """One worker slot's process, transport channel and router state."""
 
     def __init__(self, wid: int, slot: int):
         self.wid = wid          # unique across restarts
         self.slot = slot        # stable pool position
         self.proc = None
-        self.conn = None
+        self.channel: Optional[RouterChannel] = None
         self.alive = False
         self.eof = False
         self.bye = False  # worker acknowledged SHUTDOWN (clean exit)
@@ -64,8 +65,6 @@ class WorkerHandle:
         #: heartbeat) — survive the process for post-mortem accounting.
         self.counters: Dict[str, int] = {}
         self.metrics_state: Dict[str, Any] = {}
-        self._out_q: "queue.SimpleQueue" = queue.SimpleQueue()
-        self._threads: List[threading.Thread] = []
 
     @property
     def load_ops(self) -> int:
@@ -73,19 +72,23 @@ class WorkerHandle:
         return self.backlog_ops + self.wire_ops
 
     def send(self, msg) -> None:
-        """Queue *msg* for the writer thread (never blocks the loop)."""
-        self._out_q.put(msg)
+        """Queue *msg* on the channel (never blocks the loop)."""
+        self.channel.send(msg)
+
+    def transport_stats(self) -> Dict[str, int]:
+        """Live wire accounting from the channel's I/O threads."""
+        return self.channel.stats() if self.channel is not None else {}
 
     # -- lifecycle (called by the supervisor only) ----------------------
-    def start(self, ctx, cfg: ClusterConfig, loop,
+    def start(self, ctx, cfg: ClusterConfig, loop, transport: Transport,
               on_message: Callable, on_eof: Callable) -> None:
-        parent, child = ctx.Pipe(duplex=True)
+        self.channel = transport.open_router_channel(ctx, cfg, self.wid)
         self.proc = ctx.Process(
             target=_spawn_target, name=f"vlsa-worker-{self.slot}",
-            args=(self.wid, child, cfg.worker_dict()), daemon=True)
+            args=(self.wid, self.channel.spawn_spec(), cfg.worker_dict()),
+            daemon=True)
         self.proc.start()
-        child.close()  # parent must drop the child end to see EOF
-        self.conn = parent
+        self.channel.after_spawn()  # drop child-side handles
         self.alive = True
         self.started_at = self.last_msg = time.monotonic()
 
@@ -95,36 +98,19 @@ class WorkerHandle:
             except RuntimeError:
                 pass  # loop already closed during teardown
 
-        def _reader():
-            while True:
-                try:
-                    msg = self.conn.recv()
-                except (EOFError, OSError):
-                    break
-                _post(on_message, self, msg)
-            _post(on_eof, self)
-
-        def _writer():
-            while True:
-                item = self._out_q.get()
-                if item is _CLOSE:
-                    break
-                try:
-                    self.conn.send(item)
-                except (BrokenPipeError, OSError):
-                    break  # reader will surface the EOF
-
-        for target, tag in ((_reader, "r"), (_writer, "w")):
-            t = threading.Thread(
-                target=target, name=f"vlsa-io-{tag}{self.wid}",
-                daemon=True)
-            t.start()
-            self._threads.append(t)
+        self.channel.start_io(
+            _post,
+            lambda msg: on_message(self, msg),
+            lambda: on_eof(self))
 
     def close(self, kill: bool = False, join_timeout: float = 0.5) -> None:
-        """Stop threads and the process (``kill=True`` skips SIGTERM)."""
+        """Stop the process and the channel (``kill=True`` skips SIGTERM).
+
+        The process dies first so the channel teardown (which for shm
+        destroys the shared segments) can never unmap memory a live
+        worker is still writing.
+        """
         self.alive = False
-        self._out_q.put(_CLOSE)
         if self.proc is not None and self.proc.is_alive():
             if kill:
                 self.proc.kill()
@@ -134,19 +120,17 @@ class WorkerHandle:
             if self.proc.is_alive():
                 self.proc.kill()
                 self.proc.join(join_timeout)
-        if self.conn is not None:
-            try:
-                self.conn.close()
-            except OSError:
-                pass
+        if self.channel is not None:
+            self.channel.close()
 
 
-def _spawn_target(wid: int, conn, cfg: Dict[str, Any]) -> None:
+def _spawn_target(wid: int, spawn_spec, cfg: Dict[str, Any]) -> None:
     # Imported lazily in the child so a ``spawn`` start pays the repro
     # import exactly once, inside the worker.
+    from .transport import open_worker_channel
     from .worker import worker_main
 
-    worker_main(wid, conn, cfg)
+    worker_main(wid, open_worker_channel(spawn_spec), cfg)
 
 
 class WorkerSupervisor:
@@ -169,6 +153,7 @@ class WorkerSupervisor:
         self.tracer = tracer
         self._on_message = on_message
         self._on_failover = on_failover
+        self.transport = make_transport(cfg.transport)
         self._slots: List[Optional[WorkerHandle]] = [None] * cfg.workers
         self._failures = [0] * cfg.workers
         self._next_wid = 0
@@ -228,13 +213,14 @@ class WorkerSupervisor:
         for handle in self._slots:
             if handle is not None:
                 handle.close()
+        self.transport.close()
         self.g_live.set(0)
 
     # ------------------------------------------------------------------
     def _spawn(self, slot: int) -> None:
         handle = WorkerHandle(self._next_wid, slot)
         self._next_wid += 1
-        handle.start(self._mp_ctx, self.cfg, self._loop,
+        handle.start(self._mp_ctx, self.cfg, self._loop, self.transport,
                      self._handle_message, self._handle_eof)
         self._slots[slot] = handle
         self.g_live.set(len(self.live))

@@ -7,10 +7,11 @@ and exposes blocking ``add`` / ``add_batch`` calls bridged with
 ``asyncio.run_coroutine_threadsafe``.
 
 Because a cluster spawns OS processes (~half a second each with the
-``spawn`` start method), :func:`shared_cluster` keeps a single-slot
+``spawn`` start method), :func:`shared_cluster` keeps a small LRU
 cache: repeated requests for the same configuration reuse one running
-pool, and whichever cluster is live at interpreter exit is torn down by
-an ``atexit`` hook.  The verifier's eight in-process implementations
+pool — two slots, so the verifier can hold the pipe and shm transports
+live side by side — and whatever is live at interpreter exit is torn
+down by an ``atexit`` hook.  The verifier's eight in-process implementations
 stay as cheap as ever; only the cluster adapter pays the boot cost, and
 only once per configuration.
 """
@@ -20,6 +21,7 @@ from __future__ import annotations
 import asyncio
 import atexit
 import threading
+from collections import OrderedDict
 from typing import List, Optional, Sequence, Tuple
 
 from .config import ClusterConfig
@@ -87,47 +89,51 @@ class SyncCluster:
 
 
 # ----------------------------------------------------------------------
-# Shared single-slot cache (process-wide, for the verifier)
+# Shared pool cache (process-wide, for the verifier)
 # ----------------------------------------------------------------------
 _shared_lock = threading.Lock()
-_shared: Optional[SyncCluster] = None
-_shared_key: Optional[Tuple] = None
+_shared: "OrderedDict[Tuple, SyncCluster]" = OrderedDict()
+#: Verifying the pipe and shm transports against each other needs two
+#: live pools at once; anything beyond that is an idle pool hoarding
+#: worker processes, so the least recently used one is torn down.
+_SHARED_SLOTS = 2
 
 
 def _key(cfg: ClusterConfig) -> Tuple:
     return (cfg.width, cfg.window, cfg.recovery_cycles, cfg.workers,
-            cfg.backend, cfg.shard_policy)
+            cfg.backend, cfg.shard_policy, cfg.family, cfg.transport)
 
 
 def shared_cluster(cfg: Optional[ClusterConfig] = None,
                    **cfg_kwargs) -> SyncCluster:
     """A process-wide cached :class:`SyncCluster` for *cfg*.
 
-    A request with a different configuration tears the old pool down
-    first (single slot — the verifier sweeps one configuration at a
-    time, and idle pools should not accumulate processes).
+    Up to ``_SHARED_SLOTS`` configurations stay warm — the differential
+    verifier interleaves the pipe and shm transports chunk by chunk, so
+    a single slot would reboot a pool per chunk.  A request beyond the
+    cap tears the least recently used pool down first.
     """
-    global _shared, _shared_key
     cfg = cfg if cfg is not None else ClusterConfig(**cfg_kwargs)
     key = _key(cfg)
     with _shared_lock:
-        if _shared is not None and _shared_key == key:
-            return _shared
-        if _shared is not None:
-            _shared.close()
-        _shared = SyncCluster(cfg)
-        _shared_key = key
-        return _shared
+        cluster = _shared.get(key)
+        if cluster is not None:
+            _shared.move_to_end(key)
+            return cluster
+        while len(_shared) >= _SHARED_SLOTS:
+            _, oldest = _shared.popitem(last=False)
+            oldest.close()
+        cluster = SyncCluster(cfg)
+        _shared[key] = cluster
+        return cluster
 
 
 def close_shared_cluster() -> None:
-    """Tear down the cached cluster (idempotent; also runs at exit)."""
-    global _shared, _shared_key
+    """Tear down every cached cluster (idempotent; also runs at exit)."""
     with _shared_lock:
-        if _shared is not None:
-            _shared.close()
-            _shared = None
-            _shared_key = None
+        while _shared:
+            _, cluster = _shared.popitem(last=False)
+            cluster.close()
 
 
 atexit.register(close_shared_cluster)

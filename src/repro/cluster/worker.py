@@ -1,40 +1,80 @@
-"""The cluster worker process: one executor, one pipe, one loop.
+"""The cluster worker process: one executor, one channel, one loop.
 
 ``worker_main`` is the spawn target.  It owns a
 :class:`~repro.service.executor.VlsaBatchExecutor` (the same kernels the
 single-process service runs), a private
 :class:`~repro.service.metrics.MetricsRegistry`, and a worker-local
-virtual cycle clock; it reads wire batches off its pipe, executes them,
-and replies with array-native results (numpy backend) or lists (bigint
-fallback).
+virtual cycle clock; it reads wire batches off its transport channel
+(pipe or shared-memory ring — see :mod:`repro.cluster.transport`),
+executes them, and replies with array-native results (numpy backend) or
+lists (bigint fallback).
 
 The worker is deliberately synchronous and single-threaded: the paper's
 datapath is a serial accelerator, and a worker models exactly one of
 them.  Parallelism is the *pool's* job.  Heartbeats ride the gaps —
-``conn.poll(interval)`` doubles as the idle timer — and every heartbeat
-ships the full metrics state so the router's cluster-wide aggregation
-is never staler than one interval.
+``channel.recv(interval)`` doubles as the idle timer — and every
+heartbeat ships the full metrics state so the router's cluster-wide
+aggregation is never staler than one interval.  Heartbeats are the one
+message class a full shm ring may shed (they are idempotent and the
+next one carries strictly newer state); results always block for space.
+
+When the router vanishes the worker does **not** exit silently: it
+prints one structured ``VLSA_WORKER_TRACE`` JSON line to stderr first,
+so supervisor restarts stay attributable in tests and post-mortems.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import sys
 import time
 from typing import Any, Dict
 
 from ..service.executor import VlsaBatchExecutor
 from ..service.metrics import MetricsRegistry
 from . import protocol
+from .transport import ChannelClosed, WorkerChannel
 
-__all__ = ["worker_main"]
+__all__ = ["worker_main", "DEATH_TRACE_MARKER"]
+
+#: stderr marker prefixing the structured death-trace JSON line.
+DEATH_TRACE_MARKER = "VLSA_WORKER_TRACE"
 
 
-def worker_main(worker_id: int, conn, cfg: Dict[str, Any]) -> None:
+def _death_trace(reason: str, worker_id: int,
+                 registry: MetricsRegistry, channel: WorkerChannel) -> None:
+    """Emit a structured death event before exiting.
+
+    The channel to the router is gone by definition here, so stderr is
+    the only remaining lane; the supervisor's restart shows up in the
+    router trace, this line explains *why* from the worker's side.
+    """
+    state = registry.state()
+
+    def _val(name: str) -> int:
+        return state.get(name, {}).get("state", {}).get("value", 0)
+
+    record = {
+        "event": "worker_channel_closed",
+        "reason": reason,
+        "worker_id": worker_id,
+        "pid": os.getpid(),
+        "transport": channel.transport_name,
+        "ops_total": _val("worker_ops_total"),
+        "batches_total": _val("worker_batches_total"),
+    }
+    print(f"{DEATH_TRACE_MARKER} {json.dumps(record, sort_keys=True)}",
+          file=sys.stderr, flush=True)
+
+
+def worker_main(worker_id: int, channel: WorkerChannel,
+                cfg: Dict[str, Any]) -> None:
     """Entry point of one worker process (see module docstring).
 
     Args:
         worker_id: Slot index, echoed in heartbeats.
-        conn: The child end of a duplex ``multiprocessing.Pipe``.
+        channel: The worker-side transport endpoint.
         cfg: :meth:`~repro.cluster.config.ClusterConfig.worker_dict`.
     """
     executor = VlsaBatchExecutor(cfg["width"], window=cfg["window"],
@@ -50,6 +90,9 @@ def worker_main(worker_id: int, conn, cfg: Dict[str, Any]) -> None:
         "worker_batches_total", "wire batches executed")
     m_reconfigs = registry.counter(
         "worker_reconfigs_total", "live configuration swaps applied")
+    m_sheds = registry.counter(
+        "worker_heartbeat_sheds_total",
+        "heartbeats dropped because the outbound ring was full")
     m_cycles = registry.gauge(
         "worker_cycles", "virtual cycles on this worker's accelerator")
     h_batch = registry.histogram(
@@ -64,20 +107,29 @@ def worker_main(worker_id: int, conn, cfg: Dict[str, Any]) -> None:
 
     def beat() -> None:
         nonlocal last_beat
-        conn.send(protocol.heartbeat_msg(worker_id, registry.state()))
+        if not channel.send(protocol.heartbeat_msg(worker_id,
+                                                   registry.state()),
+                            shed_if_full=True):
+            m_sheds.inc()
         last_beat = time.monotonic()
 
     while True:
         try:
-            if not conn.poll(interval):
+            msg = channel.recv(interval)
+            if msg is None:
                 beat()
                 continue
-            msg = conn.recv()
-        except (EOFError, OSError):
+        except ChannelClosed:
+            _death_trace("recv", worker_id, registry, channel)
+            channel.close()
             return  # router went away; nothing left to serve
         kind = msg[0]
         if kind == protocol.SHUTDOWN:
-            conn.send(protocol.bye_msg(worker_id, registry.state()))
+            try:
+                channel.send(protocol.bye_msg(worker_id, registry.state()))
+            except ChannelClosed:
+                _death_trace("bye_send", worker_id, registry, channel)
+            channel.close()
             return
         if kind == protocol.CONFIG:
             # Live reconfiguration (autotune): rebuild the executor
@@ -126,8 +178,12 @@ def worker_main(worker_id: int, conn, cfg: Dict[str, Any]) -> None:
         result["counters"] = protocol.light_counters(
             m_ops.value, m_stalls.value, m_batches.value, cycle)
         try:
-            conn.send(protocol.result_msg(msg_id, result))
-        except (BrokenPipeError, OSError):
+            channel.send(protocol.result_msg(msg_id, result))
+        except ChannelClosed:
+            # The silent-exit bug this replaces: dying here without a
+            # trace made supervisor restarts unattributable.
+            _death_trace("result_send", worker_id, registry, channel)
+            channel.close()
             return
         if time.monotonic() - last_beat >= interval:
             beat()

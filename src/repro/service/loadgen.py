@@ -31,6 +31,7 @@ latency against the analytic ``1 + P(stall) * recovery_cycles``.
 from __future__ import annotations
 
 import asyncio
+import json
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Tuple
@@ -397,6 +398,88 @@ async def _drive(service, workload: Workload,
     await asyncio.gather(*(client() for _ in range(concurrency)))
 
 
+async def _drive_tcp(host: str, port: int, workload: Workload,
+                     concurrency: int, timeout: Optional[float],
+                     retries: int, stats: Dict[str, Any]) -> None:
+    """Drive the workload through real sockets speaking JSON lines.
+
+    Each client opens its own TCP connection and submits chunks with
+    the batch verb (``{"pairs": [...]}``); ``overloaded`` replies are
+    retried with exponential backoff up to *retries* times, mirroring
+    the in-process clients' ``submit_batch(retries=...)`` contract.
+    Client-observed request wall times and reply-derived totals land in
+    *stats* — the only vantage point an external target offers.
+    """
+    chunk_iter = workload.chunks
+    lock = asyncio.Lock()
+
+    async def client() -> None:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            while True:
+                async with lock:
+                    try:
+                        chunk = next(chunk_iter)
+                    except StopIteration:
+                        return
+                request = (json.dumps(
+                    {"pairs": [[int(a), int(b)] for a, b in chunk]})
+                    .encode() + b"\n")
+                for attempt in range(retries + 1):
+                    t0 = time.perf_counter()
+                    writer.write(request)
+                    await writer.drain()
+                    line = await reader.readline()
+                    if not line:
+                        raise ConnectionError("server closed connection")
+                    wall = time.perf_counter() - t0
+                    reply = json.loads(line)
+                    code = reply.get("code")
+                    if code is None:
+                        stats["ops"] += len(reply["sums"])
+                        stats["stalls"] += sum(
+                            1 for f in reply["stalled"] if f)
+                        stats["latency_sum"] += sum(reply["latencies"])
+                        stats["walls"].append(wall)
+                        stats["last_accept_cycle"] = max(
+                            stats["last_accept_cycle"],
+                            reply["accept_cycle"])
+                        break
+                    if code == "overloaded" and attempt < retries:
+                        stats["retries"] += 1
+                        await asyncio.sleep(0.005 * (1 << attempt))
+                        continue
+                    stats["rejected" if code == "overloaded"
+                          else "timeouts"] += 1
+                    break
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    await asyncio.gather(*(client() for _ in range(concurrency)))
+
+
+async def _tcp_info(host: str, port: int) -> Dict[str, Any]:
+    """One ``{"cmd": "info"}`` round trip (external-target probe)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(b'{"cmd": "info"}\n')
+        await writer.drain()
+        line = await reader.readline()
+        if not line:
+            raise ConnectionError("server closed connection")
+        return json.loads(line)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+
 def run_loadgen(workload: str = "uniform", ops: int = 100000,
                 width: int = 64, window: Optional[int] = None,
                 chunk: int = 1024, concurrency: int = 4,
@@ -406,38 +489,60 @@ def run_loadgen(workload: str = "uniform", ops: int = 100000,
                 timeout: Optional[float] = 30.0, retries: int = 8,
                 target: str = "service", workers: int = 2,
                 shard_policy: str = "round_robin",
+                transport: str = "pipe",
+                connect: Optional[Tuple[str, int]] = None,
                 ctx: Optional[RunContext] = None,
                 registry: Optional[MetricsRegistry] = None
                 ) -> LoadgenReport:
-    """Drive *ops* additions through an in-process serving target.
+    """Drive *ops* additions through a serving target.
 
     Args:
         target: ``"service"`` (one in-process :class:`VlsaService`, the
-            default) or ``"cluster"`` (a
+            default), ``"cluster"`` (a
             :class:`~repro.cluster.ClusterRouter` over *workers* real
-            worker processes — the full wire path).
+            worker processes — the full wire path), or ``"tcp"``
+            (real-socket JSON-lines clients against a
+            :class:`~repro.service.server.VlsaServer`: self-hosted over
+            a cluster/service when *connect* is None, else an external
+            already-running server at ``connect=(host, port)``).
         workers, shard_policy: Cluster pool size / shard policy
-            (``target="cluster"`` only).
+            (cluster-backed targets only; ``workers=0`` under
+            ``target="tcp"`` self-hosts a plain in-process service).
+        transport: Cluster wire — ``"pipe"`` or ``"shm"``
+            (cluster-backed targets only).
+        connect: ``(host, port)`` of an external server
+            (``target="tcp"`` only); the report is then built from the
+            clients' own vantage point plus an ``info`` probe.
 
     Returns:
         A :class:`LoadgenReport`; ``report.metrics`` holds the full
         registry snapshot (also what ``results/BENCH_service.json`` is
         built from).  Cluster runs add pool health (restarts, degraded
-        and redirected requests) to ``report.params``.
+        and redirected requests) and transport accounting to
+        ``report.params``.
     """
     if workload == "attack":
         width = 32
-    if target == "cluster":
+    if connect is not None and target != "tcp":
+        raise ValueError("connect=(host, port) requires target='tcp'")
+    if target == "tcp" and connect is not None:
+        return _run_loadgen_external(
+            workload=workload, ops=ops, width=width, window=window,
+            chunk=chunk, concurrency=concurrency, alpha=alpha,
+            adversarial_fraction=adversarial_fraction, timeout=timeout,
+            retries=retries, connect=connect, ctx=ctx)
+    serve_tcp = target == "tcp"
+    if target == "cluster" or (serve_tcp and workers > 0):
         from ..cluster import ClusterConfig, ClusterRouter
 
         cfg = ClusterConfig(
             width=width, window=window,
             recovery_cycles=recovery_cycles, workers=workers,
             backend=backend, shard_policy=shard_policy,
-            max_batch_ops=max_batch_ops,
+            transport=transport, max_batch_ops=max_batch_ops,
             worker_queue_ops=max(queue_capacity, 1) * max(chunk, 1))
         service = ClusterRouter(cfg, ctx=ctx, registry=registry)
-    elif target == "service":
+    elif target == "service" or serve_tcp:
         service = VlsaService(width=width, window=window,
                               recovery_cycles=recovery_cycles,
                               queue_capacity=queue_capacity,
@@ -446,14 +551,29 @@ def run_loadgen(workload: str = "uniform", ops: int = 100000,
                               registry=registry)
     else:
         raise ValueError(f"unknown loadgen target {target!r}; "
-                         f"expected 'service' or 'cluster'")
+                         f"expected 'service', 'cluster' or 'tcp'")
+    is_cluster = hasattr(service, "supervisor")
     wl = make_workload(workload, service.width, service.window, ops,
                        chunk=chunk, alpha=alpha,
                        adversarial_fraction=adversarial_fraction, ctx=ctx)
 
     async def main() -> float:
+        if serve_tcp:
+            from .server import VlsaServer
+
+            server = VlsaServer(service, host="127.0.0.1", port=0,
+                                request_timeout=timeout)
+            tcp_stats = {"ops": 0, "stalls": 0, "latency_sum": 0,
+                         "retries": 0, "rejected": 0, "timeouts": 0,
+                         "walls": [], "last_accept_cycle": 0}
+            async with server:
+                t0 = time.perf_counter()
+                await _drive_tcp("127.0.0.1", server.port, wl,
+                                 concurrency, timeout, retries,
+                                 tcp_stats)
+                return time.perf_counter() - t0
         async with service:
-            if target == "cluster":
+            if is_cluster:
                 await service.wait_ready()
             t0 = time.perf_counter()
             await _drive(service, wl, concurrency, timeout, retries)
@@ -495,18 +615,98 @@ def run_loadgen(workload: str = "uniform", ops: int = 100000,
         metrics=service.metrics_json(),
         params=dict(wl.params),
     )
-    if target == "cluster":
+    if serve_tcp:
+        report.params["target"] = "tcp"
+        report.params["edge"] = "self-hosted"
+    if is_cluster:
         report.params.update({
-            "target": "cluster",
+            "target": target,
             "workers": workers,
             "shard_policy": shard_policy,
+            "transport": transport,
             "worker_restarts": service.supervisor.m_restarts.value,
             "worker_failures": service.supervisor.m_failures.value,
             "degraded_requests": service.m_degraded.value,
             "degraded_ops": service.m_degraded_ops.value,
             "redirected_requests": service.m_redirected.value,
             "failed_requests": service.m_failed.value,
+            "transport_tx_bytes": service.m_tx_bytes.value,
+            "transport_rx_bytes": service.m_rx_bytes.value,
+            "transport_pipe_fallbacks": service.m_pipe_fallback.value,
+            "transport_ring_full_stalls": service.m_ring_stalls.value,
         })
+    if ctx is not None:
+        ctx.add("loadgen_ops", served)
+        ctx.record_event("loadgen_done", workload=workload, ops=served,
+                         adds_per_second=round(report.adds_per_second, 1))
+    return report
+
+
+def _run_loadgen_external(workload: str, ops: int, width: int,
+                          window: Optional[int], chunk: int,
+                          concurrency: int, alpha: float,
+                          adversarial_fraction: float,
+                          timeout: Optional[float], retries: int,
+                          connect: Tuple[str, int],
+                          ctx: Optional[RunContext]) -> LoadgenReport:
+    """Drive an already-running TCP server at ``connect=(host, port)``.
+
+    The server's configuration comes from an ``info`` probe (so the
+    workload matches what it actually serves); the report is built
+    purely from what the clients can observe — reply-derived op/stall
+    totals and client-side request wall times.  Server-internal rates
+    (spec errors, queue depth) are not visible from here and read 0.
+    """
+    host, port = connect
+    info = asyncio.run(_tcp_info(host, port))
+    width = int(info.get("width", width))
+    window = int(info.get("window", window or 0)) or None
+    recovery_cycles = int(info.get("recovery_cycles", 1))
+    if workload == "attack":
+        width = 32
+    wl = make_workload(workload, width, window or width, ops,
+                       chunk=chunk, alpha=alpha,
+                       adversarial_fraction=adversarial_fraction, ctx=ctx)
+    stats: Dict[str, Any] = {"ops": 0, "stalls": 0, "latency_sum": 0,
+                             "retries": 0, "rejected": 0, "timeouts": 0,
+                             "walls": [], "last_accept_cycle": 0}
+
+    async def main() -> float:
+        t0 = time.perf_counter()
+        await _drive_tcp(host, port, wl, concurrency, timeout, retries,
+                         stats)
+        return time.perf_counter() - t0
+
+    wall = asyncio.run(main())
+    served = stats["ops"]
+    analytic_stall = wl.analytic_stall_probability
+    walls = np.asarray(stats["walls"] or [0.0])
+    report = LoadgenReport(
+        workload=workload, width=width, window=window or width,
+        backend=str(info.get("backend", "tcp")), ops=served,
+        wall_seconds=wall,
+        adds_per_second=served / wall if wall > 0 else 0.0,
+        mean_latency_cycles=(stats["latency_sum"] / served
+                             if served else 0.0),
+        analytic_latency_cycles=(
+            None if analytic_stall is None
+            else expected_latency_cycles(analytic_stall,
+                                         recovery_cycles)),
+        stall_rate=stats["stalls"] / served if served else 0.0,
+        analytic_stall_rate=analytic_stall,
+        spec_error_rate=0.0,
+        total_cycles=stats["last_accept_cycle"],
+        rejected=stats["rejected"], timeouts=stats["timeouts"],
+        retries=stats["retries"], queue_depth_peak=0.0,
+        p50_wall_ms=float(np.percentile(walls, 50)) * 1e3,
+        p95_wall_ms=float(np.percentile(walls, 95)) * 1e3,
+        p99_wall_ms=float(np.percentile(walls, 99)) * 1e3,
+        metrics={},
+        params={**wl.params, "target": "tcp", "edge": "external",
+                "connect": f"{host}:{port}",
+                "server_info": {k: v for k, v in info.items()
+                                if k != "id"}},
+    )
     if ctx is not None:
         ctx.add("loadgen_ops", served)
         ctx.record_event("loadgen_done", workload=workload, ops=served,

@@ -6,6 +6,11 @@ only.  One JSON object per line in, one per line out:
 * ``{"a": 123, "b": 456}`` (optional ``"id"``, echoed back) →
   ``{"id": ..., "sum": 579, "cout": 0, "stalled": false,
   "latency_cycles": 1, "accept_cycle": 17}``
+* ``{"pairs": [[1, 2], [3, 4]]}`` → ``{"id": ..., "sums": [...],
+  "couts": [...], "stalled": [...], "latencies": [...],
+  "accept_cycle": 17}`` — one admitted batch, one shard, one reply;
+  this is the verb external load generators use to drive the cluster's
+  coalesced wire path at full depth.
 * ``{"cmd": "metrics"}`` → ``{"metrics": {...}}`` (registry snapshot)
 * ``{"cmd": "prometheus"}`` → ``{"prometheus": "..."}`` (text format)
 * ``{"cmd": "info"}`` → service configuration
@@ -16,6 +21,11 @@ Requests on one connection are answered in order; the service's
 admission control applies per request, so an overloaded server degrades
 by rejecting (with ``code: "overloaded"``) rather than by buffering
 without bound.
+
+When `uvloop <https://github.com/MagicStack/uvloop>`_ is installed,
+:func:`install_uvloop` swaps in its event-loop policy — the CLI calls
+it before serving; everything here is stdlib-only and runs identically
+on the default loop.
 """
 
 from __future__ import annotations
@@ -31,7 +41,22 @@ from .service import (
     VlsaService,
 )
 
-__all__ = ["VlsaServer", "serve_tcp"]
+__all__ = ["VlsaServer", "serve_tcp", "install_uvloop"]
+
+
+def install_uvloop() -> bool:
+    """Adopt uvloop's event-loop policy when available.
+
+    Returns True when uvloop is now the policy.  Missing uvloop is not
+    an error — the container may simply not ship it — so callers can
+    unconditionally invoke this before ``asyncio.run``.
+    """
+    try:
+        import uvloop
+    except ImportError:
+        return False
+    asyncio.set_event_loop_policy(uvloop.EventLoopPolicy())
+    return True
 
 
 class VlsaServer:
@@ -144,6 +169,9 @@ class VlsaServer:
             return {"id": req_id, "error": f"unknown cmd {cmd!r}",
                     "code": "bad_request"}
 
+        if "pairs" in msg:
+            return await self._handle_batch(req_id, msg["pairs"])
+
         if "a" not in msg or "b" not in msg:
             return {"id": req_id, "error": "need operands 'a' and 'b'",
                     "code": "bad_request"}
@@ -164,6 +192,27 @@ class VlsaServer:
         return {"id": req_id, "sum": resp.sum_out, "cout": resp.cout,
                 "stalled": resp.stalled,
                 "latency_cycles": resp.latency_cycles,
+                "accept_cycle": resp.accept_cycle}
+
+    async def _handle_batch(self, req_id, pairs) -> dict:
+        try:
+            coerced = [(int(a), int(b)) for a, b in pairs]
+        except (TypeError, ValueError):
+            return {"id": req_id, "code": "bad_request",
+                    "error": "pairs must be [[a, b], ...] of integers"}
+        try:
+            resp = await self.service.submit_batch(
+                coerced, timeout=self.request_timeout)
+        except ServiceOverloadedError as exc:
+            return {"id": req_id, "error": str(exc), "code": "overloaded"}
+        except RequestTimeoutError as exc:
+            return {"id": req_id, "error": str(exc), "code": "timeout"}
+        except ServiceClosedError as exc:
+            return {"id": req_id, "error": str(exc), "code": "closed"}
+        return {"id": req_id, "sums": list(resp.sums),
+                "couts": list(resp.couts),
+                "stalled": [bool(f) for f in resp.stalled],
+                "latencies": list(resp.latencies),
                 "accept_cycle": resp.accept_cycle}
 
 

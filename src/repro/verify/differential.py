@@ -313,24 +313,33 @@ class ClusterImpl(Implementation):
     interpreter exit.  Because it spawns OS processes, ``cluster`` is
     registered but *not* part of :func:`default_implementations` —
     drive it explicitly (``--impls service:numpy,cluster``).
+
+    The *transport* parameter selects the router<->worker wire:
+    ``cluster`` rides the pickle-over-pipe path, ``cluster:shm`` the
+    zero-copy shared-memory rings.  Both are held to the identical
+    bit-for-bit standard, which is what makes the pipe path a live
+    differential reference for the ring codec.
     """
 
     family = "exact"
 
     def __init__(self, width: int, window: int, recovery_cycles: int = 1,
-                 family: str = "aca", workers: Optional[int] = None):
+                 family: str = "aca", workers: Optional[int] = None,
+                 transport: str = "pipe"):
         import os
 
         from ..cluster import ClusterConfig
         from ..cluster.sync import shared_cluster
 
-        self.name = "cluster"
+        self.name = ("cluster" if transport == "pipe"
+                     else f"cluster:{transport}")
         if workers is None:
             workers = int(os.environ.get("REPRO_CLUSTER_VERIFY_WORKERS",
                                          "2"))
         self.cluster = shared_cluster(ClusterConfig(
             width=width, window=window, recovery_cycles=recovery_cycles,
-            workers=workers, heartbeat_interval=0.1, family=family))
+            workers=workers, heartbeat_interval=0.1, family=family,
+            transport=transport))
 
     def run(self, pairs: Sequence[Pair]) -> ImplResult:
         out = self.cluster.add_batch(list(pairs))
@@ -425,6 +434,10 @@ def _ensure_builtin() -> None:
     # processes, so a plain `repro verify` run does not pay for it; CI
     # and the cluster tests opt in with explicit impl lists.
     register_implementation("cluster", ClusterImpl)
+    register_implementation(
+        "cluster:shm",
+        lambda w, win, rc, family="aca":
+            ClusterImpl(w, win, rc, family=family, transport="shm"))
     # Likewise post-snapshot: the autotuned path reconfigures itself
     # mid-stream, so its flags are schedule-dependent — it exists to
     # prove sums/couts stay bit-identical across reconfigurations and

@@ -40,12 +40,14 @@ def rand_pairs(n, seed=0):
 
 
 @pytest.mark.parametrize("policy", ["round_robin", "least_loaded", "hash"])
-def test_batches_bit_identical_to_executor(policy):
+@pytest.mark.parametrize("transport", ["pipe", "shm"])
+def test_batches_bit_identical_to_executor(policy, transport):
     pairs = rand_pairs(3000, seed=hash(policy) & 0xFFFF)
     want = VlsaBatchExecutor(WIDTH, window=WINDOW).execute(pairs)
 
     async def main():
-        async with ClusterRouter(fast_cfg(shard_policy=policy)) as router:
+        async with ClusterRouter(fast_cfg(shard_policy=policy,
+                                          transport=transport)) as router:
             await router.wait_ready()
             got = await router.submit_batch(pairs)
             assert got.sums == want.sums
@@ -213,9 +215,61 @@ def test_hash_policy_is_deterministic_affinity():
     assert policy(router, live, 1, (7, 8)) is None
 
 
+def test_shm_transport_metrics_and_idle_occupancy():
+    pairs = rand_pairs(2000, seed=21)
+
+    async def main():
+        async with ClusterRouter(fast_cfg(transport="shm")) as router:
+            await router.wait_ready()
+            for lo in range(0, len(pairs), 250):
+                await router.submit_batch(pairs[lo:lo + 250])
+            mj = router.metrics_json()
+            # Copy-bytes accounting: 16 B/op out, 18 B/op + trailer in.
+            assert mj["transport_tx_bytes_total"]["value"] >= (
+                16 * len(pairs))
+            assert mj["transport_rx_bytes_total"]["value"] >= (
+                18 * len(pairs))
+            assert mj["transport_tx_msgs_total"]["value"] >= 8
+            # Results never take the fallback lane on the happy path.
+            assert mj["transport_pipe_fallback_total"]["value"] == 0
+            # Drained pool: occupancy gauges reconcile to zero
+            # (submitted minus retired, per direction).
+            assert mj["ring_tx_occupancy_slots"]["value"] == 0
+            assert mj["ring_rx_occupancy_slots"]["value"] == 0
+            assert router.describe()["transport"] == "shm"
+
+    run(main())
+
+
+def test_shm_oversized_batch_takes_pipe_fallback():
+    """A batch bigger than one slot must still arrive bit-identically
+    via the control-pipe slow lane, and be counted as a fallback."""
+    # Slot sized for the control floor only: ~2047 ops fit, send more.
+    cfg = fast_cfg(workers=1, transport="shm", shm_slot_bytes=32768)
+    pairs = rand_pairs(4000, seed=33)
+    want = VlsaBatchExecutor(WIDTH, window=WINDOW).execute(pairs)
+
+    async def main():
+        async with ClusterRouter(cfg) as router:
+            await router.wait_ready()
+            got = await router.submit_batch(pairs)
+            assert got.sums == want.sums
+            assert got.couts == want.couts
+            mj = router.metrics_json()
+            assert mj["transport_pipe_fallback_total"]["value"] >= 1
+
+    run(main())
+
+
 def test_config_validation():
     with pytest.raises(ValueError):
         ClusterConfig(workers=0)
+    with pytest.raises(ValueError):
+        ClusterConfig(transport="carrier-pigeon")
+    with pytest.raises(ValueError):
+        ClusterConfig(shm_slots=1)
+    with pytest.raises(ValueError):
+        ClusterConfig(shm_slot_bytes=100)
     with pytest.raises(ValueError):
         ClusterConfig(shard_policy="random")
     with pytest.raises(ValueError):

@@ -45,9 +45,10 @@ async def _wait_live(router, n, timeout=30.0):
                     f"{n} live workers")
 
 
-def test_crash_is_detected_and_slot_restarts():
+@pytest.mark.parametrize("transport", ["pipe", "shm"])
+def test_crash_is_detected_and_slot_restarts(transport):
     async def main():
-        async with ClusterRouter(fast_cfg()) as router:
+        async with ClusterRouter(fast_cfg(transport=transport)) as router:
             await router.wait_ready()
             victim = router.supervisor.live[0]
             victim.send((protocol.CRASH, 23))
@@ -66,8 +67,15 @@ def test_crash_is_detected_and_slot_restarts():
             # The reborn pool still serves.
             out = await router.submit_batch(rand_pairs(100))
             assert len(out.sums) == 100
+            if transport == "shm":
+                # Dead worker's segment pair destroyed, new pair
+                # created: exactly two per live worker, no leaks.
+                assert len(_shm_segments()) == 2 * len(
+                    router.supervisor.live)
 
     asyncio.run(main())
+    if transport == "shm":
+        assert _shm_segments() == []
 
 
 def test_restart_backoff_doubles_per_consecutive_failure():
@@ -111,16 +119,33 @@ def test_hang_detection_kills_and_fails_over():
     asyncio.run(main())
 
 
+def _shm_segments():
+    try:
+        return [n for n in os.listdir("/dev/shm")
+                if n.startswith("vlsa_ring")]
+    except FileNotFoundError:
+        from repro.cluster.transport import segment_tracker
+        return segment_tracker.live_names()
+
+
 @pytest.mark.slow
-def test_chaos_sigkill_mid_load_zero_lost_zero_duplicated():
+@pytest.mark.parametrize("transport", ["pipe", "shm"])
+def test_chaos_sigkill_mid_load_zero_lost_zero_duplicated(
+        transport, capfd):
     """The issue's chaos drill: SIGKILL a random worker under load.
 
     Every submitted request must resolve exactly once with exact sums,
     ``worker_restarts_total`` must record the recovery, and the metrics
     conservation identity must hold:
     worker-delivered ops + degraded ops >= router-delivered ops.
+
+    Over shm the kill lands while batches are in flight through the
+    rings — publish-after-write means a mid-slot-write death is simply
+    an unpublished slot — and teardown must leave zero ``/dev/shm``
+    segments and zero resource_tracker warnings behind.
     """
-    cfg = fast_cfg(redirect_limit=5, max_batch_ops=512)
+    cfg = fast_cfg(redirect_limit=5, max_batch_ops=512,
+                   transport=transport)
     rng = random.Random(0xC0FFEE)
     batches = [rand_pairs(200, seed=i) for i in range(60)]
 
@@ -169,8 +194,20 @@ def test_chaos_sigkill_mid_load_zero_lost_zero_duplicated():
             worker_ops = mj["worker_ops_total"]["value"]
             degraded_ops = mj["degraded_ops_total"]["value"]
             assert worker_ops + degraded_ops >= total_ops
+            if transport == "shm":
+                # A SIGKILLed worker's segments were destroyed on
+                # retirement; only the live pool's remain.
+                assert len(_shm_segments()) == 2 * len(
+                    router.supervisor.live)
 
     asyncio.run(main())
+    if transport == "shm":
+        # Deterministic cleanup: router stop destroyed every segment,
+        # and the untracked worker attach kept resource_tracker quiet.
+        assert _shm_segments() == []
+        err = capfd.readouterr().err
+        assert "resource_tracker" not in err
+        assert "leaked shared_memory" not in err
 
 
 def test_graceful_stop_is_not_a_failure():

@@ -26,25 +26,30 @@ def _cluster_pool():
 
 
 def test_cluster_is_registered():
-    assert "cluster" in available_implementations()
+    impls = available_implementations()
+    assert "cluster" in impls
+    assert "cluster:shm" in impls
 
 
 def test_cluster_fuzz_matches_service_numpy():
+    """Both transports verified in one run: the pipe path doubles as
+    the differential reference for the shm ring codec."""
     verifier = DifferentialVerifier(
-        width=16, window=4, impls=["service:numpy", "cluster"])
+        width=16, window=4,
+        impls=["service:numpy", "cluster", "cluster:shm"])
     report = verifier.run(
         vectors=1500, seed=0xBEEF,
         streams=["uniform", "adversarial", "boundary"])
     assert report.ok, report.render()
     assert report.mismatch_count == 0
-    # Both implementations actually ran every stream's vectors.
+    # Every implementation actually ran every stream's vectors.
     for cov in report.coverage:
         assert cov.vectors >= 3 * 1500
 
 
 def test_cluster_exhaustive_tiny_width():
     report = run_exhaustive(
-        widths=[3], impls=["service:numpy", "cluster"])
+        widths=[3], impls=["service:numpy", "cluster", "cluster:shm"])
     assert report.ok, report.render()
     assert report.mismatch_count == 0
     # Complete cells carry the analytic expected counts and match them.
